@@ -1,0 +1,35 @@
+// Shared configuration for the paper-reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the DAC'13 paper
+// with the same workload parameters (1024x768 frames, N = 10 iterations,
+// output windows 1..9, cone depths 1..5, Xilinx Virtex-6 XC6VLX760) and
+// finishes with a PASS/CHECK summary of the qualitative claims the paper
+// makes about that artifact. See EXPERIMENTS.md for the recorded outcomes.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/flow.hpp"
+
+namespace islhls_bench {
+
+// The paper's evaluation setup (Sec. 4).
+inline islhls::Flow_options paper_options() {
+    islhls::Flow_options options;
+    options.iterations = 10;
+    options.frame_width = 1024;
+    options.frame_height = 768;
+    options.device = "xc6vlx760";
+    options.space.max_window = 9;
+    options.space.max_depth = 5;
+    return options;
+}
+
+// Uniform PASS/INFO line formatting for the claim checks.
+inline int report_claim(const std::string& claim, bool holds) {
+    std::cout << (holds ? "[PASS] " : "[DEVIATION] ") << claim << "\n";
+    return holds ? 0 : 1;
+}
+
+}  // namespace islhls_bench

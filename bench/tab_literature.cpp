@@ -1,0 +1,95 @@
+// Sections 4.1/4.2 reproduction: comparison against published designs.
+//
+// IGF side (Sec. 4.1): [16] runs a 20-iteration 3x3 convolution on a
+// Virtex-II Pro at 13.5 fps (1024x768) and <5 fps (Full HD); the paper's
+// flow reaches ~35 fps on Full HD on the same part and ~110 fps at 1024x768
+// on a Virtex-6.
+// Chambolle side (Sec. 4.2): the hand-made design [19] reaches 38 fps at
+// 1024x768 and 99 fps at 512x512 after months of work; the automatic flow
+// obtains comparable rates (24 / 72 fps), and [3][22][23] stay sub-real-time.
+#include "baseline/literature.hpp"
+#include "bench_common.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+namespace {
+
+double flow_fps(const char* kernel, int iterations, int w, int h, const char* device) {
+    islhls::Flow_options options = islhls_bench::paper_options();
+    options.iterations = iterations;
+    options.frame_width = w;
+    options.frame_height = h;
+    options.device = device;
+    islhls::Hls_flow flow =
+        islhls::Hls_flow::from_kernel(islhls::kernel_by_name(kernel), options);
+    const auto fit = flow.device_fit();
+    return fit.has_best ? fit.best.throughput.fps : 0.0;
+}
+
+}  // namespace
+
+int main() {
+    using namespace islhls;
+    using namespace islhls_bench;
+
+    std::cout << "=== Secs. 4.1/4.2: comparison with published implementations ===\n\n";
+
+    Table table({"system", "device", "workload", "fps", "source"});
+    for (const auto& p : literature_points()) {
+        table.add(p.system.substr(0, 44), p.device, p.workload, format_fixed(p.fps, 1),
+                  p.citation);
+    }
+
+    // Our flow on the matching workloads. Note: our virtual Virtex-II Pro is
+    // deliberately conservative (4 elems/cycle external bus, 2.2x logic
+    // delay), so the V2P rows under-run the paper's claim there — recorded
+    // as a known deviation in EXPERIMENTS.md. The modern-device argument
+    // (the paper's own headline: "with a Virtex-6 ... 110 fps") is checked
+    // on the Virtex-6 rows.
+    const double conv_v2p_1024 = flow_fps("igf", 20, 1024, 768, "xc2vp30");
+    const double conv_v6_fullhd = flow_fps("igf", 20, 1920, 1080, "xc6vlx760");
+    const double igf_v6_1024 = flow_fps("igf", 10, 1024, 768, "xc6vlx760");
+    const double chamb_v6_1024 = flow_fps("chambolle", 10, 1024, 768, "xc6vlx760");
+    const double chamb_v6_512 = flow_fps("chambolle", 10, 512, 512, "xc6vlx760");
+
+    table.add("cone flow (this work)", "Virtex-II Pro", "convolution 1024x768",
+              format_fixed(conv_v2p_1024, 1), "generated");
+    table.add("cone flow (this work)", "Virtex-6", "convolution 1920x1080",
+              format_fixed(conv_v6_fullhd, 1), "generated (20 iterations)");
+    table.add("cone flow (this work)", "Virtex-6", "convolution 1024x768",
+              format_fixed(igf_v6_1024, 1), "generated (paper: ~110)");
+    table.add("cone flow (this work)", "Virtex-6", "chambolle 1024x768",
+              format_fixed(chamb_v6_1024, 1), "generated (paper: 24)");
+    table.add("cone flow (this work)", "Virtex-6", "chambolle 512x512",
+              format_fixed(chamb_v6_512, 1), "generated (paper: 72)");
+    std::cout << table << "\n";
+
+    report_claim(cat("on a modern Virtex-6 the flow is ~an order of magnitude above "
+                     "[16]'s 13.5 fps (",
+                     format_fixed(igf_v6_1024, 1), " fps)"),
+                 igf_v6_1024 > 5.0 * 13.5);
+    report_claim(cat("Full HD with 20 iterations stays in the same order of "
+                     "magnitude as the paper's 35 fps (",
+                     format_fixed(conv_v6_fullhd, 1),
+                     " fps; known-conservative, see EXPERIMENTS.md)"),
+                 conv_v6_fullhd >= 8.0);
+    report_claim(
+        cat("automatic Chambolle is comparable to the hand design [19] (",
+            format_fixed(chamb_v6_1024, 1), " vs 38 fps; paper got 24)"),
+        chamb_v6_1024 > 38.0 * 0.4 && chamb_v6_1024 < 38.0 * 1.5);
+    report_claim(cat("512x512 Chambolle in the [19] comparison band (",
+                     format_fixed(chamb_v6_512, 1), " vs paper's 72)"),
+                 chamb_v6_512 > 72.0 * 0.4 && chamb_v6_512 < 72.0 * 2.0);
+    report_claim("the non-ISL-parallel references stay below the 30 fps real-time "
+                 "threshold",
+                 [] {
+                     for (const auto& p : literature_for("chambolle")) {
+                         if (p.citation.find("Akin") == std::string::npos &&
+                             p.fps >= 30.0) {
+                             return false;
+                         }
+                     }
+                     return true;
+                 }());
+    return 0;
+}

@@ -1,0 +1,45 @@
+#include "backend/fixed_point.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace islhls {
+
+double Fixed_format::scale() const { return std::ldexp(1.0, frac_bits); }
+
+double Fixed_format::max_value() const {
+    return (std::ldexp(1.0, total_bits() - 1) - 1.0) / scale();
+}
+
+double Fixed_format::min_value() const {
+    return -std::ldexp(1.0, total_bits() - 1) / scale();
+}
+
+double Fixed_format::resolution() const { return 1.0 / scale(); }
+
+std::string to_string(const Fixed_format& fmt) {
+    return cat("Q", fmt.integer_bits, ".", fmt.frac_bits);
+}
+
+double quantize(double value, const Fixed_format& fmt) {
+    return from_raw(to_raw(value, fmt), fmt);
+}
+
+std::int64_t to_raw(double value, const Fixed_format& fmt) {
+    check_internal(fmt.total_bits() >= 2 && fmt.total_bits() <= 62,
+                   "fixed format must have 2..62 bits");
+    const double scaled = std::nearbyint(value * fmt.scale());
+    const double hi = std::ldexp(1.0, fmt.total_bits() - 1) - 1.0;
+    const double lo = -std::ldexp(1.0, fmt.total_bits() - 1);
+    if (scaled > hi) return static_cast<std::int64_t>(hi);
+    if (scaled < lo) return static_cast<std::int64_t>(lo);
+    return static_cast<std::int64_t>(scaled);
+}
+
+double from_raw(std::int64_t raw, const Fixed_format& fmt) {
+    return static_cast<double>(raw) / fmt.scale();
+}
+
+}  // namespace islhls

@@ -1,0 +1,37 @@
+// Fixed-point number formats for the generated hardware.
+//
+// The VHDL backend and the virtual synthesizer agree on a signed Qm.f format
+// (m integer bits including sign, f fraction bits). The simulator can run
+// cones under quantization to measure the accuracy cost of a format choice.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace islhls {
+
+struct Fixed_format {
+    int integer_bits = 10;  // includes the sign bit
+    int frac_bits = 6;
+
+    int total_bits() const { return integer_bits + frac_bits; }
+    double scale() const;        // 2^frac_bits
+    double max_value() const;    // largest representable value
+    double min_value() const;    // smallest (most negative) representable value
+    double resolution() const;   // value of one LSB
+
+    bool operator==(const Fixed_format&) const = default;
+};
+
+std::string to_string(const Fixed_format& fmt);
+
+// Rounds to the nearest representable value, saturating at the range ends.
+double quantize(double value, const Fixed_format& fmt);
+
+// Raw two's-complement integer for `value` (saturating).
+std::int64_t to_raw(double value, const Fixed_format& fmt);
+
+// Value of a raw integer in the format.
+double from_raw(std::int64_t raw, const Fixed_format& fmt);
+
+}  // namespace islhls

@@ -1,0 +1,56 @@
+// Synthesizable VHDL generation for cones and cone architectures.
+//
+// The emitter lowers a cone's register program to an entity with one
+// pipeline register per operation (the paper's "slim VHDL code with a high
+// degree of resource reuse" — Sec. 3.2): repeated sub-operations exist once
+// and every consumer reads the same signal. Division and square root are
+// instantiated from a small support package whose behavioral entities any
+// synthesis tool can map.
+#pragma once
+
+#include <string>
+
+#include "backend/fixed_point.hpp"
+#include "cone/cone.hpp"
+
+namespace islhls {
+
+struct Vhdl_options {
+    Fixed_format format;
+    std::string entity_prefix = "islhls";
+    bool include_assertions = true;  // emit synthesis-time sanity comments
+};
+
+// VHDL identifier for a cone entity, e.g. "islhls_igf_w4x4_d2".
+std::string cone_entity_name(const std::string& kernel_name, const Cone_spec& spec,
+                             const Vhdl_options& options = {});
+
+// Support package: fixed-point divider / square root entities shared by all
+// generated cones. Emit once per output library.
+std::string emit_support_package(const Vhdl_options& options = {});
+
+// The cone datapath entity (flattened input/output vectors, one register per
+// operation, ASAP pipeline levels).
+std::string emit_cone(const Cone& cone, const std::string& kernel_name,
+                      const Vhdl_options& options = {});
+
+// A self-checking testbench driving the cone entity with the given quantized
+// input stimulus and asserting the expected outputs (computed by the caller,
+// typically via the fixed-point simulator).
+std::string emit_cone_testbench(const Cone& cone, const std::string& kernel_name,
+                                const std::vector<double>& stimulus,
+                                const std::vector<double>& expected,
+                                const Vhdl_options& options = {});
+
+// Structural summary parsed back out of emitted VHDL (used by tests to check
+// emitter invariants without a VHDL simulator).
+struct Vhdl_structure {
+    int register_assignments = 0;  // "<=" inside the clocked process
+    int input_bits = 0;
+    int output_bits = 0;
+    int divider_instances = 0;
+    int sqrt_instances = 0;
+};
+Vhdl_structure analyze_vhdl(const std::string& vhdl_text);
+
+}  // namespace islhls

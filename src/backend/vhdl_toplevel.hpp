@@ -1,0 +1,47 @@
+// Top-level architecture emitter: the complete hardware implementation the
+// flow outputs (right edge of the paper's Fig. 2).
+//
+// For an architecture instance (output window, level depths) the emitter
+// produces one entity that:
+//   - streams the initial input coverage in through a word-wide port into a
+//     double-buffered on-chip input memory,
+//   - sequences the levels deep-first, running the instantiated cone
+//     entity(ies) over the sub-tiles of each level's coverage (the Fig. 3
+//     schedule: "cone A executed four times"),
+//   - streams the output window back out.
+// One cone entity per depth class is instantiated; the sequencer multiplexes
+// sub-tile inputs onto it, which mirrors the paper's feasibility rule ("at
+// least one cone of each depth").
+//
+// The generated VHDL is self-contained apart from the cone entities and the
+// support package (emit_cone / emit_support_package).
+#pragma once
+
+#include "backend/vhdl.hpp"
+#include "dse/architecture.hpp"
+#include "dse/cone_library.hpp"
+
+namespace islhls {
+
+// Entity name, e.g. "islhls_igf_top_w4_l2x5" (window 4, levels 2,5).
+std::string toplevel_entity_name(const std::string& kernel_name,
+                                 const Arch_instance& instance,
+                                 const Vhdl_options& options = {});
+
+// Emits the top-level entity. The instance's level structure must be valid
+// (positive window, at least one level). Cones are built through `library`.
+std::string emit_architecture_toplevel(Cone_library& library,
+                                       const Arch_instance& instance,
+                                       const Vhdl_options& options = {});
+
+// Structural facts parsed back from the emitted top level (for tests).
+struct Toplevel_structure {
+    int cone_instances = 0;      // one per depth class
+    int buffer_declarations = 0; // level/input/output memories
+    int fsm_states = 0;
+    bool has_stream_in = false;
+    bool has_stream_out = false;
+};
+Toplevel_structure analyze_toplevel(const std::string& vhdl_text);
+
+}  // namespace islhls

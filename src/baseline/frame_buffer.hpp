@@ -1,0 +1,41 @@
+// The classic two-frame-buffer ISL architecture ([1][2][3] in the paper):
+// compute fi completely, store it, then compute fi+1 from it. When the frame
+// does not fit on chip (the realistic case the paper argues from), every
+// element access goes to external memory and performance collapses.
+//
+// This model is the reference point for the paper's claim that cone
+// architectures decouple on-chip memory from frame size.
+#pragma once
+
+#include "backend/fixed_point.hpp"
+#include "symexec/stencil_step.hpp"
+#include "synth/device.hpp"
+
+namespace islhls {
+
+struct Frame_buffer_options {
+    Fixed_format format;        // datapath format of the processing element
+    // Buffer element width: generic tools keep the C type (float = 32 bits),
+    // they do not quantize the frames the way the cone flow does.
+    double buffer_bits_per_element = 32.0;
+    int parallel_elements = 1;  // elements computed concurrently
+    double offchip_access_cycles = 6.0;  // per random external word
+};
+
+struct Frame_buffer_estimate {
+    bool frame_fits_onchip = false;
+    double onchip_kbits_needed = 0.0;
+    double seconds_per_frame = 0.0;
+    double fps = 0.0;
+    double f_max_mhz = 0.0;
+    double cycles_per_element = 0.0;
+};
+
+// Estimates the two-buffer architecture for `step` iterated `iterations`
+// times over a frame of the given size on `device`.
+Frame_buffer_estimate estimate_frame_buffer(const Stencil_step& step, int iterations,
+                                            int frame_width, int frame_height,
+                                            const Fpga_device& device,
+                                            const Frame_buffer_options& options = {});
+
+}  // namespace islhls

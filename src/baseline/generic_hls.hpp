@@ -1,0 +1,67 @@
+// Model of a generic commercial HLS tool (Vivado HLS / Synphony C style)
+// applied to an ISL kernel, reproducing Sec. 4.3 of the paper.
+//
+// Such tools optimize one loop nest at a time with a fixed menu of
+// transformations and do not restructure computation across ISL iterations.
+// The model implements the menu and the paper's observed failure modes:
+//   - loop merging is rejected because of the inter-iteration dependency;
+//   - full flattening + pipelining explodes the internal representation
+//     (the paper saw out-of-memory on a 16 GB machine);
+//   - everything else degenerates to the two-frame-buffer architecture,
+//     off-chip bound for realistic frames.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "backend/fixed_point.hpp"
+#include "symexec/stencil_step.hpp"
+#include "synth/device.hpp"
+
+namespace islhls {
+
+enum class Hls_directive {
+    none,              // as-written code
+    unroll_inner,      // partial unroll of the x loop
+    array_partition,   // cyclic partitioning of the frame buffers
+    pipeline_inner,    // pipeline the x loop
+    partition_and_pipeline,
+    loop_merge,        // merge the iteration loop into the spatial nest
+    flatten_and_pipeline,  // flatten all loops, pipeline the body
+};
+
+std::string to_string(Hls_directive d);
+
+struct Generic_hls_result {
+    Hls_directive directive = Hls_directive::none;
+    bool succeeded = false;
+    std::string failure;  // tool diagnostic when !succeeded
+    double fps = 0.0;
+    double seconds_per_frame = 0.0;
+    double lut_count = 0.0;
+    double f_max_mhz = 0.0;
+};
+
+struct Generic_hls_options {
+    Fixed_format format;
+    int unroll_factor = 8;
+    int partition_banks = 8;
+    double host_memory_gb = 16.0;  // machine running the HLS tool
+};
+
+// Runs one directive configuration through the model.
+Generic_hls_result run_generic_hls(const Stencil_step& step, int iterations,
+                                   int frame_width, int frame_height,
+                                   const Fpga_device& device, Hls_directive directive,
+                                   const Generic_hls_options& options = {});
+
+// Runs the full menu (the exploration a user of such tools would do) and
+// returns every configuration's outcome.
+std::vector<Generic_hls_result> run_generic_hls_menu(
+    const Stencil_step& step, int iterations, int frame_width, int frame_height,
+    const Fpga_device& device, const Generic_hls_options& options = {});
+
+// The best succeeded configuration of a menu run (throws Dse_error if none).
+const Generic_hls_result& best_of(const std::vector<Generic_hls_result>& menu);
+
+}  // namespace islhls

@@ -1,0 +1,35 @@
+#include "baseline/literature.hpp"
+
+#include <algorithm>
+
+namespace islhls {
+
+const std::vector<Literature_point>& literature_points() {
+    static const std::vector<Literature_point> points = {
+        {"[16] Cope 2006", "hand-written 20-iteration 3x3 convolution",
+         "Virtex-II Pro", "convolution 1024x768", 13.5, false},
+        {"[16] Cope 2006", "hand-written 20-iteration 3x3 convolution",
+         "Virtex-II Pro", "convolution 1920x1080", 4.9, false},
+        {"[19] Akin 2011", "hand-optimized Chambolle (months of design work)",
+         "Virtex-6", "chambolle 1024x768", 38.0, true},
+        {"[19] Akin 2011", "hand-optimized Chambolle (months of design work)",
+         "Virtex-6", "chambolle 512x512", 99.0, true},
+        {"[3] Pock 2007", "TV-L1 optical flow (GPU-oriented, no ISL parallelism)",
+         "GPU/CPU", "chambolle 512x512", 25.0, false},
+        {"[22] Zach 2007", "duality-based TV-L1 realtime attempt",
+         "GPU", "chambolle 512x512", 28.0, false},
+        {"[23] Weishaupt 2010", "tracking/structure-from-motion implementation",
+         "CPU", "chambolle 512x512", 12.0, false},
+    };
+    return points;
+}
+
+std::vector<Literature_point> literature_for(const std::string& keyword) {
+    std::vector<Literature_point> out;
+    for (const Literature_point& p : literature_points()) {
+        if (p.workload.find(keyword) != std::string::npos) out.push_back(p);
+    }
+    return out;
+}
+
+}  // namespace islhls

@@ -1,0 +1,26 @@
+// Published reference points the paper compares against (Secs. 4.1, 4.2).
+// These are constants from the cited works, kept verbatim so the benches can
+// print the same comparison rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace islhls {
+
+struct Literature_point {
+    std::string citation;   // e.g. "[16] Cope 2006"
+    std::string system;     // short description
+    std::string device;     // FPGA used by the cited work
+    std::string workload;   // algorithm + frame size
+    double fps = 0.0;       // published frame rate
+    bool real_time = false; // >= 30 fps as the paper's threshold
+};
+
+// All reference points mentioned in the paper's experimental section.
+const std::vector<Literature_point>& literature_points();
+
+// Reference points for one workload keyword ("convolution" or "chambolle").
+std::vector<Literature_point> literature_for(const std::string& keyword);
+
+}  // namespace islhls

@@ -1,0 +1,62 @@
+#include "dse/architecture.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+#include "support/numeric.hpp"
+#include "support/text.hpp"
+
+namespace islhls {
+
+int Arch_instance::iterations() const {
+    return std::accumulate(level_depths.begin(), level_depths.end(), 0);
+}
+
+std::vector<int> Arch_instance::depth_classes() const {
+    std::vector<int> classes = level_depths;
+    std::sort(classes.begin(), classes.end(), std::greater<int>());
+    classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+    return classes;
+}
+
+std::string to_string(const Arch_instance& a) {
+    std::vector<std::string> depth_text;
+    for (int d : a.level_depths) depth_text.push_back(std::to_string(d));
+    std::string cores;
+    for (const auto& [depth, count] : a.cores_per_depth) {
+        cores += cat(" d", depth, "x", count);
+    }
+    return cat("arch(w=", a.window, ", levels=[", join(depth_text, ","), "],", cores,
+               ")");
+}
+
+Coverage level_coverages(int window, const std::vector<int>& level_depths,
+                         const Footprint& step_footprint) {
+    check_internal(window >= 1, "level_coverages: window must be >= 1");
+    check_internal(!level_depths.empty(), "level_coverages: no levels");
+    const std::size_t levels = level_depths.size();
+    Coverage cov;
+    cov.width.assign(levels + 1, 0);
+    cov.height.assign(levels + 1, 0);
+    // Walk backwards from the output: each earlier level must additionally
+    // cover the halo consumed by everything after it.
+    cov.width[levels] = window;
+    cov.height[levels] = window;
+    for (std::size_t k = levels; k-- > 0;) {
+        const Footprint grown = repeat(step_footprint, level_depths[k]);
+        cov.width[k] = cov.width[k + 1] + grown.width_growth();
+        cov.height[k] = cov.height[k + 1] + grown.height_growth();
+    }
+    return cov;
+}
+
+long long executions_for_level(const Coverage& coverage, std::size_t level, int window) {
+    check_internal(level + 1 < coverage.width.size() + 1 && level >= 1,
+                   "executions_for_level: level out of range");
+    check_internal(level < coverage.width.size(), "executions_for_level: bad level");
+    return static_cast<long long>(ceil_div(coverage.width[level], window)) *
+           static_cast<long long>(ceil_div(coverage.height[level], window));
+}
+
+}  // namespace islhls

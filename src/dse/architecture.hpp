@@ -1,0 +1,46 @@
+// Architecture instances: the points of the design space (Sec. 3.1).
+//
+// An instance is fully characterized by the square output window size, the
+// deep-first sequence of cone depths covering the N iterations, and how many
+// cores of each depth class are instantiated. Helper functions derive the
+// level coverages (how much area each level must materialize so later levels
+// find their halos on chip) and the per-level execution counts.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "grid/tile.hpp"
+
+namespace islhls {
+
+struct Arch_instance {
+    int window = 1;                    // square output window side
+    std::vector<int> level_depths;     // deep-first, sums to the iteration count
+    std::map<int, int> cores_per_depth;
+
+    int iterations() const;
+    // Distinct depth classes (each requires at least one core — the paper's
+    // feasibility rule).
+    std::vector<int> depth_classes() const;
+};
+
+std::string to_string(const Arch_instance& a);
+
+// Per-level output coverage, deep-first, preceded by the initial input
+// coverage: element [0] is the window loaded from off-chip (with the full
+// remaining-iterations halo), element [k] is what level k must produce,
+// element [L] equals the output window. Sizes are per axis.
+struct Coverage {
+    std::vector<int> width;   // size L+1
+    std::vector<int> height;  // size L+1
+};
+Coverage level_coverages(int window, const std::vector<int>& level_depths,
+                         const Footprint& step_footprint);
+
+// Cone executions level k needs to tile its coverage with window-sized
+// outputs (the paper's "cone A executed four times" pattern of Fig. 3).
+long long executions_for_level(const Coverage& coverage, std::size_t level, int window);
+
+}  // namespace islhls

@@ -1,0 +1,40 @@
+#include "dse/cone_library.hpp"
+
+#include "support/error.hpp"
+
+namespace islhls {
+
+Cone_library::Cone_library(Stencil_step step, std::string kernel_name)
+    : step_(std::move(step)), kernel_name_(std::move(kernel_name)) {}
+
+const Cone& Cone_library::cone(int window, int depth) {
+    check_internal(window >= 1 && depth >= 1, "cone(window, depth) must be positive");
+    const auto key = std::make_pair(window, depth);
+    auto it = cones_.find(key);
+    if (it == cones_.end()) {
+        auto built = std::make_unique<Cone>(step_, Cone_spec{window, window, depth});
+        it = cones_.emplace(key, std::move(built)).first;
+    }
+    return *it->second;
+}
+
+const Cone_stats& Cone_library::stats(int window, int depth) {
+    return cone(window, depth).stats();
+}
+
+const Synthesis_report& Cone_library::synthesis(int window, int depth,
+                                                const Fpga_device& device,
+                                                const Synth_options& options) {
+    const auto key = std::make_tuple(window, depth, device.name);
+    auto it = syntheses_.find(key);
+    if (it == syntheses_.end()) {
+        const Synthesis_report report =
+            synthesize_cone(cone(window, depth), kernel_name_, device, options);
+        synthesis_runs_ += 1;
+        synthesis_cpu_seconds_ += report.synthesis_cpu_seconds;
+        it = syntheses_.emplace(key, report).first;
+    }
+    return it->second;
+}
+
+}  // namespace islhls

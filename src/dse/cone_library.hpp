@@ -1,0 +1,52 @@
+// Cache of built cones and their (virtual) synthesis results for one kernel.
+//
+// Building a cone is cheap; synthesizing one is not (the virtual synthesizer
+// models tool runtimes of minutes to hours). The library keeps both memoized
+// and tracks the cumulative simulated synthesis CPU time, so the flow can
+// report how much the estimation-based exploration saves over synthesizing
+// every design point.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cone/cone.hpp"
+#include "symexec/stencil_step.hpp"
+#include "synth/device.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace islhls {
+
+class Cone_library {
+public:
+    // Takes ownership of the stencil step (the shared expression pool).
+    Cone_library(Stencil_step step, std::string kernel_name);
+
+    const std::string& kernel_name() const { return kernel_name_; }
+    const Stencil_step& step() const { return step_; }
+    Stencil_step& step() { return step_; }
+
+    // Builds (or returns the cached) square-window cone.
+    const Cone& cone(int window, int depth);
+    const Cone_stats& stats(int window, int depth);
+
+    // Runs (or returns the cached) virtual synthesis of the cone on `device`.
+    // Every *new* synthesis adds its simulated tool runtime to the meter.
+    const Synthesis_report& synthesis(int window, int depth, const Fpga_device& device,
+                                      const Synth_options& options);
+
+    // Number of syntheses performed and their cumulative simulated CPU time.
+    int synthesis_runs() const { return synthesis_runs_; }
+    double synthesis_cpu_seconds() const { return synthesis_cpu_seconds_; }
+
+private:
+    Stencil_step step_;
+    std::string kernel_name_;
+    std::map<std::pair<int, int>, std::unique_ptr<Cone>> cones_;
+    std::map<std::tuple<int, int, std::string>, Synthesis_report> syntheses_;
+    int synthesis_runs_ = 0;
+    double synthesis_cpu_seconds_ = 0.0;
+};
+
+}  // namespace islhls

@@ -1,0 +1,142 @@
+#include "dse/evaluator.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/numeric.hpp"
+#include "support/text.hpp"
+
+namespace islhls {
+
+Arch_evaluator::Arch_evaluator(Cone_library& library, const Fpga_device& device,
+                               const Evaluator_options& options)
+    : library_(library), device_(device), options_(options) {
+    check_internal(options.calibration_windows.size() >= 2,
+                   "area calibration needs at least two windows");
+}
+
+const Area_model& Arch_evaluator::model_for_depth(int depth) {
+    auto it = area_models_.find(depth);
+    if (it == area_models_.end()) {
+        Area_model model(options_.format.total_bits());
+        for (int w : options_.calibration_windows) {
+            const Synthesis_report& report =
+                library_.synthesis(w, depth, device_, options_.synth);
+            model.add_sample({report.register_count, report.lut_count});
+        }
+        model.calibrate();
+        it = area_models_.emplace(depth, std::move(model)).first;
+    }
+    return it->second;
+}
+
+double Arch_evaluator::estimated_cone_area(int window, int depth) {
+    // Calibration designs were really synthesized — return their exact area
+    // (the paper does the same: estimation kicks in beyond the alpha points).
+    for (int w : options_.calibration_windows) {
+        if (w == window) {
+            return library_.synthesis(window, depth, device_, options_.synth).lut_count;
+        }
+    }
+    const Area_model& model = model_for_depth(depth);
+    return model.estimate(library_.stats(window, depth).register_count);
+}
+
+double Arch_evaluator::actual_cone_area(int window, int depth) {
+    return library_.synthesis(window, depth, device_, options_.synth).lut_count;
+}
+
+Arch_evaluation Arch_evaluator::evaluate(const Arch_instance& instance) {
+    Arch_evaluation eval;
+    eval.instance = instance;
+
+    const Stencil_step& step = library_.step();
+    const Footprint fp = step.footprint();
+    const int w = instance.window;
+
+    // --- area: sum over instantiated cores -----------------------------------
+    double estimated = 0.0;
+    double actual = 0.0;
+    double f_max = device_.max_clock_mhz;
+    for (const auto& [depth, count] : instance.cores_per_depth) {
+        if (count <= 0) {
+            eval.feasible = false;
+            eval.infeasible_reason = cat("depth ", depth, " has no cores");
+            return eval;
+        }
+        estimated += count * estimated_cone_area(w, depth);
+        actual += count * actual_cone_area(w, depth);
+        // Clock = slowest cone type (single clock domain).
+        const Synthesis_report& report =
+            library_.synthesis(w, depth, device_, options_.synth);
+        f_max = std::min(f_max, report.f_max_mhz);
+    }
+    // Infrastructure scales with the device class: small parts ship leaner
+    // DMA/sequencing blocks, so cap the per-class overhead at a fraction of
+    // the usable fabric.
+    const double per_class = std::min(
+        options_.class_overhead_luts, 0.08 * static_cast<double>(device_.usable_luts()));
+    const double infra =
+        per_class * static_cast<double>(instance.depth_classes().size());
+    eval.estimated_area_luts = estimated + infra;
+    eval.actual_area_luts = actual + infra;
+    eval.f_max_mhz = f_max;
+
+    // Feasibility: the paper's rule — one core of each used depth class must
+    // exist — plus the area budget when a device bound applies (checked by
+    // the caller; here we only require the classes to be represented).
+    for (int depth : instance.depth_classes()) {
+        if (instance.cores_per_depth.count(depth) == 0) {
+            eval.feasible = false;
+            eval.infeasible_reason = cat("no core allocated for depth ", depth);
+            return eval;
+        }
+    }
+
+    // --- level structure -----------------------------------------------------
+    const Coverage coverage = level_coverages(w, instance.level_depths, fp);
+    std::vector<Level_load> loads;
+    for (std::size_t k = 1; k <= instance.level_depths.size(); ++k) {
+        Level_load load;
+        load.depth = instance.level_depths[k - 1];
+        load.executions = executions_for_level(coverage, k, w);
+        const Cone_stats& stats = library_.stats(w, load.depth);
+        load.cone_inputs = stats.input_count;
+        load.latency_cycles =
+            library_.synthesis(w, load.depth, device_, options_.synth).latency_cycles;
+        loads.push_back(load);
+    }
+
+    eval.windows_per_frame =
+        static_cast<long long>(ceil_div(options_.frame_width, w)) *
+        static_cast<long long>(ceil_div(options_.frame_height, w));
+
+    // Off-chip traffic per output window: the initial coverage (all state +
+    // const fields) in, the output window (state fields) out.
+    const int fields_in = step.pool().field_count();
+    const int fields_out = step.state_field_count();
+    const double offchip_elems =
+        static_cast<double>(coverage.width[0]) * coverage.height[0] * fields_in +
+        static_cast<double>(w) * w * fields_out;
+
+    eval.throughput = estimate_throughput(
+        loads, instance.cores_per_depth, eval.windows_per_frame, offchip_elems,
+        f_max, device_.offchip_elems_per_cycle, options_.throughput);
+
+    // --- memory budget ----------------------------------------------------------
+    std::vector<int> sides;
+    for (std::size_t i = 0; i < coverage.width.size(); ++i) {
+        sides.push_back(std::max(coverage.width[i], coverage.height[i]));
+    }
+    eval.memory = plan_memory(sides, fields_in, options_.frame_width,
+                              options_.frame_height, options_.format.total_bits());
+    if (eval.memory.total_kbits > static_cast<double>(device_.bram_kbits)) {
+        eval.feasible = false;
+        eval.infeasible_reason = cat("on-chip buffers need ",
+                                     format_fixed(eval.memory.total_kbits, 1),
+                                     " kbit > device ", device_.bram_kbits, " kbit");
+    }
+    return eval;
+}
+
+}  // namespace islhls

@@ -1,0 +1,74 @@
+// Evaluation of one architecture instance: area (estimated via the paper's
+// Eq. 1 model, with the virtual-synthesis "actual" kept alongside for
+// validation), throughput, memory budget and feasibility.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "backend/fixed_point.hpp"
+#include "dse/architecture.hpp"
+#include "dse/cone_library.hpp"
+#include "estimate/area_model.hpp"
+#include "estimate/memory_model.hpp"
+#include "estimate/throughput_model.hpp"
+#include "synth/device.hpp"
+
+namespace islhls {
+
+struct Evaluator_options {
+    int frame_width = 1024;
+    int frame_height = 768;
+    Fixed_format format;
+    Synth_options synth;
+    Throughput_params throughput;
+    // Windows synthesized (per depth class) to calibrate the area model; the
+    // paper uses two ("as low as two" syntheses).
+    std::vector<int> calibration_windows = {1, 2};
+    // Fixed infrastructure per cone class: DMA lane, sequencer, buffer
+    // alignment network. Charged once per distinct depth in the instance,
+    // which is what makes remainder classes expensive on a full device.
+    double class_overhead_luts = 24000.0;
+};
+
+struct Arch_evaluation {
+    Arch_instance instance;
+    bool feasible = true;
+    std::string infeasible_reason;
+
+    double estimated_area_luts = 0.0;  // Eq. 1 model, what the DSE ranks by
+    double actual_area_luts = 0.0;     // virtual synthesis ground truth
+    double f_max_mhz = 0.0;            // slowest cone type clock
+    long long windows_per_frame = 0;
+    Throughput_estimate throughput;
+    Memory_budget memory;
+};
+
+class Arch_evaluator {
+public:
+    Arch_evaluator(Cone_library& library, const Fpga_device& device,
+                   const Evaluator_options& options);
+
+    // Full evaluation; never throws on infeasible instances (reports them).
+    Arch_evaluation evaluate(const Arch_instance& instance);
+
+    // Eq. 1 estimated LUTs of one cone type (calibrating the depth's model on
+    // first use).
+    double estimated_cone_area(int window, int depth);
+    // Virtual-synthesis LUTs of one cone type.
+    double actual_cone_area(int window, int depth);
+
+    const Fpga_device& device() const { return device_; }
+    Cone_library& library() { return library_; }
+    const Evaluator_options& options() const { return options_; }
+
+private:
+    const Area_model& model_for_depth(int depth);
+
+    Cone_library& library_;
+    const Fpga_device& device_;
+    Evaluator_options options_;
+    std::map<int, Area_model> area_models_;  // per depth class
+};
+
+}  // namespace islhls

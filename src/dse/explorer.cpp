@@ -1,0 +1,160 @@
+#include "dse/explorer.hpp"
+
+#include <algorithm>
+
+#include "dse/pareto.hpp"
+
+#include "support/error.hpp"
+#include "support/numeric.hpp"
+#include "support/text.hpp"
+
+namespace islhls {
+
+Explorer::Explorer(Cone_library& library, const Fpga_device& device,
+                   const Evaluator_options& evaluator_options,
+                   const Space_options& space_options)
+    : evaluator_(library, device, evaluator_options), space_(space_options) {
+    check_internal(space_.iterations >= 1 && space_.max_window >= 1 &&
+                       space_.max_depth >= 1,
+                   "invalid space options");
+}
+
+std::vector<std::vector<int>> Explorer::depth_partitions() const {
+    std::vector<int> parts;
+    for (int d = 1; d <= space_.max_depth; ++d) parts.push_back(d);
+    return partitions_into(space_.iterations, parts);
+}
+
+std::vector<int> Explorer::canonical_partition(int primary_depth) const {
+    check_internal(primary_depth >= 1, "primary depth must be >= 1");
+    std::vector<int> levels;
+    int remaining = space_.iterations;
+    int depth = primary_depth;
+    while (remaining > 0) {
+        if (depth > remaining) depth = remaining;
+        levels.push_back(depth);
+        remaining -= depth;
+    }
+    return levels;
+}
+
+Explorer::Grow_result Explorer::grow_allocation(Arch_instance instance,
+                                                double area_budget,
+                                                int max_total_cores,
+                                                std::vector<Arch_evaluation>* out) {
+    Grow_result result;
+    // Minimal allocation: one core per depth class (the paper's feasibility
+    // requirement).
+    instance.cores_per_depth.clear();
+    for (int d : instance.depth_classes()) instance.cores_per_depth[d] = 1;
+
+    for (;;) {
+        Arch_evaluation eval = evaluator_.evaluate(instance);
+        const bool fits = eval.estimated_area_luts <= area_budget && eval.feasible;
+        if (!fits) break;
+        if (out != nullptr) out->push_back(eval);
+        if (!result.any_feasible ||
+            eval.throughput.fps > result.best.throughput.fps) {
+            result.best = eval;
+            result.any_feasible = true;
+        }
+        // Adding cores only helps while the design is core-bound.
+        if (eval.throughput.bottleneck != "core") break;
+        int total_cores = 0;
+        for (const auto& [d, n] : instance.cores_per_depth) total_cores += n;
+        if (total_cores >= max_total_cores) break;
+        // Feed the bottleneck class.
+        int bottleneck_depth = -1;
+        double worst = -1.0;
+        for (const auto& [d, cycles] : eval.throughput.class_cycles) {
+            if (cycles > worst) {
+                worst = cycles;
+                bottleneck_depth = d;
+            }
+        }
+        if (bottleneck_depth < 0) break;
+        instance.cores_per_depth[bottleneck_depth] += 1;
+    }
+    return result;
+}
+
+Explorer::Pareto_result Explorer::explore_pareto() {
+    Pareto_result result;
+    const auto partitions = depth_partitions();
+    for (int w = 1; w <= space_.max_window; ++w) {
+        for (const auto& partition : partitions) {
+            Arch_instance instance;
+            instance.window = w;
+            instance.level_depths = partition;
+            grow_allocation(instance, space_.pareto_area_cap_luts,
+                            space_.max_cores_per_sweep, &result.points);
+        }
+    }
+    std::vector<Design_point> dps;
+    dps.reserve(result.points.size());
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+        dps.push_back({result.points[i].estimated_area_luts,
+                       result.points[i].throughput.seconds_per_frame, i});
+    }
+    result.front = pareto_front(dps);
+    return result;
+}
+
+Explorer::Fit_result Explorer::fit_device() {
+    Fit_result result;
+    const double budget =
+        static_cast<double>(evaluator_.device().usable_luts());
+    for (int w = 1; w <= space_.max_window; ++w) {
+        for (int d = 1; d <= space_.max_depth; ++d) {
+            Fit_cell cell;
+            cell.window = w;
+            cell.primary_depth = d;
+            Arch_instance instance;
+            instance.window = w;
+            instance.level_depths = canonical_partition(d);
+            const Grow_result grown = grow_allocation(
+                instance, budget, space_.max_cores_per_sweep * 4, nullptr);
+            cell.valid = grown.any_feasible;
+            if (cell.valid) {
+                cell.eval = grown.best;
+                if (!result.has_best ||
+                    cell.eval.throughput.fps > result.best.throughput.fps) {
+                    result.best = cell.eval;
+                    result.has_best = true;
+                }
+            }
+            result.grid.push_back(std::move(cell));
+        }
+    }
+    return result;
+}
+
+Explorer::Area_validation Explorer::validate_area_model() {
+    Area_validation validation;
+    const auto& calibration = evaluator_.options().calibration_windows;
+    double err_sum = 0.0;
+    int err_count = 0;
+    for (int d = 1; d <= space_.max_depth; ++d) {
+        for (int w = 1; w <= space_.max_window; ++w) {
+            Area_point p;
+            p.window = w;
+            p.depth = d;
+            p.registers = evaluator_.library().stats(w, d).register_count;
+            p.estimated_luts = evaluator_.estimated_cone_area(w, d);
+            p.actual_luts = evaluator_.actual_cone_area(w, d);
+            p.is_calibration = std::find(calibration.begin(), calibration.end(), w) !=
+                               calibration.end();
+            p.rel_error = relative_error(p.estimated_luts, p.actual_luts);
+            if (!p.is_calibration) {
+                validation.max_rel_error = std::max(validation.max_rel_error, p.rel_error);
+                err_sum += p.rel_error;
+                err_count += 1;
+            }
+            validation.points.push_back(p);
+        }
+    }
+    validation.avg_rel_error = err_count > 0 ? err_sum / err_count : 0.0;
+    return validation;
+}
+
+}  // namespace islhls

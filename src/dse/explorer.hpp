@@ -1,0 +1,99 @@
+// Design space exploration driver (the right half of the paper's Fig. 2).
+//
+// Three entry points mirror the paper's three experiment kinds:
+//   - validate_area_model(): Eq. 1 estimated vs virtually-synthesized area
+//     across the whole (window, depth) grid (Figs. 5 and 8);
+//   - explore_pareto(): device-unconstrained sweep over windows, iteration
+//     partitions and core allocations, Pareto set extraction (Figs. 6 and 9);
+//   - fit_device(): maximize throughput inside one device's budget, per
+//     (window, primary depth) cell (Figs. 7 and 10).
+#pragma once
+
+#include <vector>
+
+#include "dse/evaluator.hpp"
+
+namespace islhls {
+
+struct Space_options {
+    int iterations = 10;      // N, the total ISL iteration count
+    int max_window = 9;       // output windows 1..max (square)
+    int max_depth = 5;        // cone depths 1..max
+    int max_cores_per_sweep = 16;       // Pareto sweep: total cores cap
+    double pareto_area_cap_luts = 6e6;  // Pareto sweep: area cap
+};
+
+class Explorer {
+public:
+    Explorer(Cone_library& library, const Fpga_device& device,
+             const Evaluator_options& evaluator_options,
+             const Space_options& space_options);
+
+    // All deep-first partitions of N into parts <= max_depth.
+    std::vector<std::vector<int>> depth_partitions() const;
+
+    // Canonical partition for a primary depth d: floor(N/d) levels of d, the
+    // remainder split recursively (the paper's "missing iterations" handling:
+    // depth 3 over N=10 becomes [3,3,3,1], depth 4 becomes [4,4,2]).
+    std::vector<int> canonical_partition(int primary_depth) const;
+
+    // --- Pareto exploration -----------------------------------------------------
+    struct Pareto_result {
+        std::vector<Arch_evaluation> points;   // every evaluated allocation
+        std::vector<std::size_t> front;        // indices into `points`
+    };
+    Pareto_result explore_pareto();
+
+    // --- device fit ---------------------------------------------------------------
+    struct Fit_cell {
+        int window = 0;
+        int primary_depth = 0;
+        bool valid = false;          // a feasible allocation exists
+        Arch_evaluation eval;
+    };
+    struct Fit_result {
+        std::vector<Fit_cell> grid;  // (window, primary depth) row-major
+        bool has_best = false;
+        Arch_evaluation best;        // highest fps over the valid grid
+    };
+    Fit_result fit_device();
+
+    // --- area-model validation -----------------------------------------------------
+    struct Area_point {
+        int window = 0;
+        int depth = 0;
+        int registers = 0;
+        double estimated_luts = 0.0;
+        double actual_luts = 0.0;
+        bool is_calibration = false;  // synthesized to fit alpha
+        double rel_error = 0.0;
+    };
+    struct Area_validation {
+        std::vector<Area_point> points;
+        double max_rel_error = 0.0;  // over non-calibration points
+        double avg_rel_error = 0.0;
+    };
+    Area_validation validate_area_model();
+
+    Arch_evaluator& evaluator() { return evaluator_; }
+    const Space_options& space() const { return space_; }
+
+private:
+    // Grows the core allocation of `instance` greedily (always feeding the
+    // bottleneck class) while the estimated area stays within `area_budget`;
+    // records every step into `out` when `record_steps` is set. Returns the
+    // best-fps evaluation found (unset optional when even the minimal
+    // allocation does not fit).
+    struct Grow_result {
+        bool any_feasible = false;
+        Arch_evaluation best;
+    };
+    Grow_result grow_allocation(Arch_instance instance, double area_budget,
+                                int max_total_cores,
+                                std::vector<Arch_evaluation>* out);
+
+    Arch_evaluator evaluator_;
+    Space_options space_;
+};
+
+}  // namespace islhls

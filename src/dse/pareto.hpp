@@ -1,0 +1,23 @@
+// Pareto extraction over (area, time) design points — both minimized.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace islhls {
+
+struct Design_point {
+    double area_luts = 0.0;
+    double seconds_per_frame = 0.0;
+    std::size_t tag = 0;  // caller's index into its own evaluation list
+};
+
+// Indices (into `points`) of the non-dominated set, sorted by ascending area.
+// A point dominates another when it is <= in both objectives and < in at
+// least one. Duplicate-coordinate points keep the first occurrence.
+std::vector<std::size_t> pareto_front(const std::vector<Design_point>& points);
+
+// True when `a` dominates `b`.
+bool dominates(const Design_point& a, const Design_point& b);
+
+}  // namespace islhls

@@ -1,0 +1,59 @@
+#include "estimate/area_model.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/numeric.hpp"
+
+namespace islhls {
+
+Area_model::Area_model(double size_reg) : size_reg_(size_reg) {
+    check_internal(size_reg > 0.0, "Size_reg must be positive");
+}
+
+void Area_model::add_sample(const Area_sample& sample) {
+    samples_.push_back(sample);
+    calibrated_ = false;
+}
+
+void Area_model::calibrate() {
+    if (samples_.size() < 2) {
+        throw Dse_error("area model calibration needs at least two syntheses");
+    }
+    // Base = the smallest design (cheapest to synthesize, so the natural
+    // anchor in practice).
+    const auto base = std::min_element(
+        samples_.begin(), samples_.end(),
+        [](const Area_sample& a, const Area_sample& b) {
+            return a.register_count < b.register_count;
+        });
+    base_regs_ = base->register_count;
+    base_area_ = base->lut_count;
+
+    // alpha = least squares of (A - A_base) over ((Reg - Reg_base) * Size_reg),
+    // through the origin: with two samples this is the paper's direct ratio.
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const Area_sample& s : samples_) {
+        if (s.register_count == base_regs_) continue;
+        xs.push_back((s.register_count - base_regs_) * size_reg_);
+        ys.push_back(s.lut_count - base_area_);
+    }
+    if (xs.empty()) {
+        throw Dse_error("area model calibration needs two distinct register counts");
+    }
+    alpha_ = fit_through_origin(xs, ys);
+    calibrated_ = true;
+}
+
+double Area_model::alpha() const {
+    check_internal(calibrated_, "alpha() before calibrate()");
+    return alpha_;
+}
+
+double Area_model::estimate(int register_count) const {
+    check_internal(calibrated_, "estimate() before calibrate()");
+    return base_area_ + (register_count - base_regs_) * size_reg_ * alpha_;
+}
+
+}  // namespace islhls

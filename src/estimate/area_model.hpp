@@ -1,0 +1,57 @@
+// The paper's incremental area model (Eq. 1):
+//
+//   A_est(i) = A_est(i-1) + (Reg_i - Reg_{i-1}) * Size_reg * alpha
+//
+// chained from a synthesized base design, which telescopes to
+//
+//   A_est(Reg) = A_base + (Reg - Reg_base) * Size_reg * alpha.
+//
+// `Reg` is known for free once the VHDL (register program) is generated;
+// `alpha` — the degree of logic reuse the synthesis tool achieves — is fitted
+// from a small number of real syntheses (two suffice; more improve accuracy),
+// exactly as in Sec. 3.3 of the paper.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace islhls {
+
+// One calibration observation: a synthesized design.
+struct Area_sample {
+    int register_count = 0;
+    double lut_count = 0.0;
+};
+
+class Area_model {
+public:
+    // `size_reg`: bits per register on the target (the paper's Size_reg);
+    // equals the fixed-point word width in this flow.
+    explicit Area_model(double size_reg);
+
+    // Adds a synthesized design to the calibration set.
+    void add_sample(const Area_sample& sample);
+
+    // Fits alpha by least squares relative to the smallest-register sample
+    // (two samples reduce to the paper's two-synthesis form). Throws
+    // Dse_error with fewer than two samples.
+    void calibrate();
+
+    bool calibrated() const { return calibrated_; }
+    double alpha() const;
+    double size_reg() const { return size_reg_; }
+    std::size_t sample_count() const { return samples_.size(); }
+
+    // Estimated LUT area for a design with `register_count` registers.
+    double estimate(int register_count) const;
+
+private:
+    double size_reg_;
+    std::vector<Area_sample> samples_;
+    double alpha_ = 0.0;
+    double base_area_ = 0.0;
+    int base_regs_ = 0;
+    bool calibrated_ = false;
+};
+
+}  // namespace islhls

@@ -1,0 +1,84 @@
+#include "estimate/format_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/fixed_exec.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace islhls {
+
+Format_search_result search_fixed_format(const Cone& cone, const Frame_set& content,
+                                         Boundary boundary,
+                                         const Format_search_options& options) {
+    check_internal(options.sample_windows >= 1, "need at least one sample window");
+    const Register_program& program = cone.program();
+    const Stencil_step& step = cone.step();
+
+    // Sample window origins across the frame.
+    Prng rng(options.seed);
+    std::vector<std::pair<int, int>> origins;
+    for (int i = 0; i < options.sample_windows; ++i) {
+        origins.push_back({rng.next_int(0, std::max(0, content.width() - 1)),
+                           rng.next_int(0, std::max(0, content.height() - 1))});
+    }
+
+    // Gather per-origin input vectors and the double reference.
+    std::vector<std::vector<double>> input_sets;
+    std::vector<std::vector<double>> references;
+    double max_abs = 0.0;
+    for (const auto& [ox, oy] : origins) {
+        std::vector<double> inputs;
+        inputs.reserve(program.input_ports().size());
+        for (const auto& port : program.input_ports()) {
+            const Frame& f = content.field(step.pool().field_name(port.field));
+            inputs.push_back(f.sample(ox + port.dx, oy + port.dy, boundary));
+        }
+        // Range analysis over every intermediate register.
+        for (double v : program.run_trace(inputs)) {
+            max_abs = std::max(max_abs, std::fabs(v));
+        }
+        references.push_back(program.run(inputs));
+        input_sets.push_back(std::move(inputs));
+    }
+
+    Format_search_result result;
+    result.max_abs_value = max_abs;
+    // Integer bits: sign + magnitude + one guard bit for rounding growth.
+    const int integer_bits =
+        2 + static_cast<int>(std::ceil(std::log2(std::max(1.0, max_abs))));
+
+    auto psnr_of = [&](const Fixed_format& fmt) {
+        double se = 0.0;
+        long long count = 0;
+        for (std::size_t s = 0; s < input_sets.size(); ++s) {
+            const std::vector<double> fixed = run_fixed(program, input_sets[s], fmt);
+            for (std::size_t o = 0; o < fixed.size(); ++o) {
+                const double d = fixed[o] - references[s][o];
+                se += d * d;
+                count += 1;
+            }
+        }
+        const double mse = se / static_cast<double>(count);
+        if (mse == 0.0) return 1e9;
+        return 10.0 * std::log10(options.peak_value * options.peak_value / mse);
+    };
+
+    for (int frac = 1; integer_bits + frac <= options.max_total_bits; ++frac) {
+        const Fixed_format fmt{integer_bits, frac};
+        result.formats_tried += 1;
+        const double psnr = psnr_of(fmt);
+        if (psnr >= options.target_psnr_db) {
+            result.format = fmt;
+            result.psnr_db = psnr;
+            return result;
+        }
+        result.format = fmt;
+        result.psnr_db = psnr;
+    }
+    result.satisfiable = false;
+    return result;
+}
+
+}  // namespace islhls

@@ -1,0 +1,42 @@
+// Automatic fixed-point format selection.
+//
+// The paper fixes the hardware number format by hand; this extension picks
+// the narrowest Qm.f automatically for a given accuracy target:
+//   1. run the cone in double over sample windows, recording the dynamic
+//      range of every intermediate register — that fixes the integer bits
+//      (plus one guard bit against rounding growth);
+//   2. grow the fraction bits until the bit-accurate fixed-point execution
+//      reaches the requested PSNR against the double reference.
+// Narrower formats mean cheaper operators everywhere in the cost model, so
+// this directly trades accuracy against area.
+#pragma once
+
+#include "backend/fixed_point.hpp"
+#include "cone/cone.hpp"
+#include "grid/frame_set.hpp"
+
+namespace islhls {
+
+struct Format_search_options {
+    double target_psnr_db = 50.0;  // accuracy target vs the double reference
+    double peak_value = 255.0;     // PSNR peak (data range)
+    int sample_windows = 32;       // evaluation positions per frame
+    int max_total_bits = 32;       // do not search beyond this width
+    std::uint64_t seed = 99;       // window sampling
+};
+
+struct Format_search_result {
+    Fixed_format format;       // the chosen (narrowest passing) format
+    double psnr_db = 0.0;      // achieved accuracy at that format
+    double max_abs_value = 0.0;  // observed intermediate dynamic range
+    int formats_tried = 0;
+    bool satisfiable = true;   // false when max_total_bits is insufficient
+};
+
+// Searches the format for `cone` with inputs drawn from `content` (boundary
+// policy applied at the frame border).
+Format_search_result search_fixed_format(const Cone& cone, const Frame_set& content,
+                                         Boundary boundary,
+                                         const Format_search_options& options = {});
+
+}  // namespace islhls

@@ -1,0 +1,31 @@
+#include "estimate/memory_model.hpp"
+
+#include "support/error.hpp"
+
+namespace islhls {
+
+Memory_budget plan_memory(const std::vector<int>& coverage_sizes, int fields,
+                          int frame_width, int frame_height, double bits_per_word) {
+    check_internal(coverage_sizes.size() >= 2,
+                   "plan_memory needs at least input and output coverage");
+    check_internal(fields >= 1, "plan_memory needs at least one field");
+    Memory_budget budget;
+    auto kbits_of = [&](int side) {
+        return static_cast<double>(side) * side * fields * bits_per_word / 1024.0;
+    };
+    budget.input_buffer_kbits = kbits_of(coverage_sizes.front());
+    budget.output_buffer_kbits = kbits_of(coverage_sizes.back());
+    for (std::size_t i = 1; i + 1 < coverage_sizes.size(); ++i) {
+        budget.intermediate_kbits += kbits_of(coverage_sizes[i]);
+    }
+    // Double buffering on the external-facing ends to overlap transfers.
+    budget.total_kbits = 2.0 * budget.input_buffer_kbits + budget.intermediate_kbits +
+                         2.0 * budget.output_buffer_kbits;
+    budget.whole_frame_kbits = 2.0 * static_cast<double>(frame_width) * frame_height *
+                               fields * bits_per_word / 1024.0;
+    budget.saving_factor =
+        budget.total_kbits > 0.0 ? budget.whole_frame_kbits / budget.total_kbits : 0.0;
+    return budget;
+}
+
+}  // namespace islhls

@@ -1,0 +1,31 @@
+// On-chip memory budgeting for an architecture instance.
+//
+// The template keeps the whole multi-level computation of one output window
+// on chip (that is its point — Sec. 2.2's memory/performance conflict): the
+// initial input window with its N-iteration halo plus one intermediate
+// buffer per level boundary. This model checks that those buffers fit the
+// device's BRAM and quantifies how much smaller they are than the
+// whole-frame buffers of the classic approach.
+#pragma once
+
+#include <vector>
+
+namespace islhls {
+
+struct Memory_budget {
+    double input_buffer_kbits = 0.0;        // initial window incl. halo
+    double intermediate_kbits = 0.0;        // level-boundary buffers
+    double output_buffer_kbits = 0.0;       // final window
+    double total_kbits = 0.0;
+    double whole_frame_kbits = 0.0;         // classic two-buffer approach
+    double saving_factor = 0.0;             // whole-frame / ours
+};
+
+// `coverage_sizes`: per level boundary (deep-first), the side length of the
+// square region that must be materialized, starting with the initial input
+// window and ending with the output window; `fields` counts state fields;
+// `bits_per_word` is the fixed-point width.
+Memory_budget plan_memory(const std::vector<int>& coverage_sizes, int fields,
+                          int frame_width, int frame_height, double bits_per_word);
+
+}  // namespace islhls

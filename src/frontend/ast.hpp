@@ -1,0 +1,99 @@
+// Abstract syntax tree for the C-subset kernel language.
+//
+// Nodes are tagged unions (one struct per syntactic class with a kind tag);
+// ownership is by unique_ptr down the tree. The AST is deliberately close to
+// the source: semantic interpretation happens in sema / symexec.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/token.hpp"
+
+namespace islhls {
+
+struct Expr_ast;
+using Expr_ast_ptr = std::unique_ptr<Expr_ast>;
+
+enum class Expr_ast_kind {
+    number,        // literal
+    var,           // identifier
+    array_access,  // base[i0][i1]... — `args` holds the index expressions
+    call,          // name(arg, ...)
+    unary,         // op operand (`-`, `+`, `!`)
+    binary,        // operand op operand
+    ternary,       // cond ? a : b — args = {cond, a, b}
+};
+
+struct Expr_ast {
+    Expr_ast_kind kind = Expr_ast_kind::number;
+    Source_loc loc;
+    double number = 0.0;     // number
+    bool is_integer = false; // number: literal was integral
+    std::string name;        // var / call / array base
+    std::string op;          // unary / binary operator spelling
+    std::vector<Expr_ast_ptr> args;
+};
+
+struct Stmt_ast;
+using Stmt_ast_ptr = std::unique_ptr<Stmt_ast>;
+
+enum class Stmt_ast_kind {
+    decl,      // [const] type name [dims] [= init | = {init_list}]
+    assign,    // target (=|+=|-=|*=|/=) value;  also covers ++/--
+    for_loop,  // for (init; cond; step) body
+    if_stmt,   // if (cond) body [else else_body]
+    block,     // { stmts }
+};
+
+struct Stmt_ast {
+    Stmt_ast_kind kind = Stmt_ast_kind::block;
+    Source_loc loc;
+
+    // decl
+    std::string type_name;   // "int" | "float" | "double"
+    bool is_const = false;
+    std::string name;
+    std::vector<int> array_dims;          // empty for scalars
+    std::vector<Expr_ast_ptr> init_list;  // flattened brace initializer
+    Expr_ast_ptr init;                    // scalar initializer
+
+    // assign
+    Expr_ast_ptr target;  // var or array_access
+    std::string assign_op;
+    Expr_ast_ptr value;
+
+    // for / if
+    Stmt_ast_ptr for_init;  // decl or assign
+    Expr_ast_ptr cond;
+    Stmt_ast_ptr for_step;  // assign
+    Stmt_ast_ptr body;
+    Stmt_ast_ptr else_body;
+
+    // block
+    std::vector<Stmt_ast_ptr> stmts;
+};
+
+// One function parameter: `[const] float name[dim0][dim1]` or a scalar.
+struct Param_ast {
+    bool is_const = false;
+    std::string type_name;
+    std::string name;
+    std::vector<std::string> dims;  // dimension spellings (identifier or number)
+    Source_loc loc;
+};
+
+struct Function_ast {
+    std::string return_type;  // must be "void" for kernels
+    std::string name;
+    std::vector<Param_ast> params;
+    Stmt_ast_ptr body;  // block
+    Source_loc loc;
+};
+
+struct Translation_unit_ast {
+    std::vector<Function_ast> functions;
+};
+
+}  // namespace islhls

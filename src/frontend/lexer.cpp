@@ -1,0 +1,220 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace islhls {
+
+bool is_keyword(const std::string& spelling) {
+    return spelling == "void" || spelling == "int" || spelling == "float" ||
+           spelling == "double" || spelling == "const" || spelling == "for" ||
+           spelling == "if" || spelling == "else" || spelling == "return" ||
+           spelling == "while" || spelling == "do";
+}
+
+namespace {
+
+class Lexer {
+public:
+    explicit Lexer(const std::string& source) : src_(source) {}
+
+    std::vector<Token> run() {
+        std::vector<Token> tokens;
+        for (;;) {
+            skip_space_and_comments();
+            if (at_end()) break;
+            if (peek() == '#') {
+                handle_directive();
+                continue;
+            }
+            Token t = next_token();
+            // #define substitution: identifier that names a macro becomes its
+            // literal replacement token (location of the use site).
+            if (t.kind == Token_kind::identifier) {
+                const auto it = defines_.find(t.text);
+                if (it != defines_.end()) {
+                    Token replacement = it->second;
+                    replacement.loc = t.loc;
+                    t = replacement;
+                }
+            }
+            tokens.push_back(std::move(t));
+        }
+        Token eoi;
+        eoi.kind = Token_kind::end_of_input;
+        eoi.loc = loc_;
+        tokens.push_back(eoi);
+        return tokens;
+    }
+
+private:
+    bool at_end() const { return pos_ >= src_.size(); }
+    char peek(int ahead = 0) const {
+        const std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+        return p < src_.size() ? src_[p] : '\0';
+    }
+    char advance() {
+        const char c = src_[pos_++];
+        if (c == '\n') {
+            loc_.line += 1;
+            loc_.column = 1;
+        } else {
+            loc_.column += 1;
+        }
+        return c;
+    }
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw Parse_error(what, loc_.line, loc_.column);
+    }
+
+    void skip_space_and_comments() {
+        for (;;) {
+            if (at_end()) return;
+            const char c = peek();
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                advance();
+            } else if (c == '/' && peek(1) == '/') {
+                while (!at_end() && peek() != '\n') advance();
+            } else if (c == '/' && peek(1) == '*') {
+                advance();
+                advance();
+                while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+                if (at_end()) fail("unterminated /* comment");
+                advance();
+                advance();
+            } else {
+                return;
+            }
+        }
+    }
+
+    void handle_directive() {
+        const Source_loc start = loc_;
+        advance();  // '#'
+        std::string word;
+        while (!at_end() && std::isalpha(static_cast<unsigned char>(peek()))) {
+            word.push_back(advance());
+        }
+        if (word != "define") {
+            throw Parse_error(cat("unsupported preprocessor directive '#", word, "'"),
+                              start.line, start.column);
+        }
+        skip_inline_space();
+        Token name = next_token();
+        if (name.kind != Token_kind::identifier) {
+            throw Parse_error("#define expects an identifier", name.loc.line,
+                              name.loc.column);
+        }
+        skip_inline_space();
+        Token value = next_token();
+        if (value.kind != Token_kind::number) {
+            throw Parse_error("#define supports only numeric literal values",
+                              value.loc.line, value.loc.column);
+        }
+        defines_[name.text] = value;
+    }
+
+    void skip_inline_space() {
+        while (!at_end() && (peek() == ' ' || peek() == '\t')) advance();
+    }
+
+    Token next_token() {
+        Token t;
+        t.loc = loc_;
+        const char c = peek();
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string word;
+            while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                                 peek() == '_')) {
+                word.push_back(advance());
+            }
+            t.kind = is_keyword(word) ? Token_kind::keyword : Token_kind::identifier;
+            t.text = word;
+            return t;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            return lex_number();
+        }
+        return lex_operator_or_punct();
+    }
+
+    Token lex_number() {
+        Token t;
+        t.loc = loc_;
+        t.kind = Token_kind::number;
+        std::string digits;
+        bool is_float = false;
+        while (std::isdigit(static_cast<unsigned char>(peek()))) digits.push_back(advance());
+        if (peek() == '.') {
+            is_float = true;
+            digits.push_back(advance());
+            while (std::isdigit(static_cast<unsigned char>(peek()))) digits.push_back(advance());
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            is_float = true;
+            digits.push_back(advance());
+            if (peek() == '+' || peek() == '-') digits.push_back(advance());
+            if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("malformed exponent");
+            while (std::isdigit(static_cast<unsigned char>(peek()))) digits.push_back(advance());
+        }
+        if (peek() == 'f' || peek() == 'F') {
+            is_float = true;
+            advance();  // suffix dropped; golden arithmetic is double
+        }
+        t.text = digits;
+        t.number_value = std::strtod(digits.c_str(), nullptr);
+        t.is_integer = !is_float;
+        return t;
+    }
+
+    Token lex_operator_or_punct() {
+        Token t;
+        t.loc = loc_;
+        const char c = peek();
+        // Two-character operators first.
+        static const char* two_char[] = {"==", "!=", "<=", ">=", "&&", "||",
+                                         "+=", "-=", "*=", "/=", "++", "--"};
+        for (const char* op2 : two_char) {
+            if (c == op2[0] && peek(1) == op2[1]) {
+                advance();
+                advance();
+                t.kind = Token_kind::op;
+                t.text = op2;
+                return t;
+            }
+        }
+        switch (c) {
+            case '+': case '-': case '*': case '/': case '%':
+            case '<': case '>': case '=': case '!': case '?': case ':':
+                advance();
+                t.kind = Token_kind::op;
+                t.text = std::string(1, c);
+                return t;
+            case '(': case ')': case '[': case ']': case '{': case '}':
+            case ',': case ';':
+                advance();
+                t.kind = Token_kind::punctuation;
+                t.text = std::string(1, c);
+                return t;
+            default:
+                fail(cat("unexpected character '", std::string(1, c), "'"));
+        }
+    }
+
+    const std::string& src_;
+    std::size_t pos_ = 0;
+    Source_loc loc_;
+    std::map<std::string, Token> defines_;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) { return Lexer(source).run(); }
+
+}  // namespace islhls

@@ -1,0 +1,20 @@
+// Lexer for the C-subset kernel language.
+//
+// Handles identifiers, integer/float literals (with exponents and f-suffix),
+// all operators/punctuation used by the grammar, // and /* */ comments, and a
+// one-line `#define NAME literal` preprocessor subset (each use of NAME is
+// replaced by the literal token).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/token.hpp"
+
+namespace islhls {
+
+// Tokenizes the entire source; the last token is always end_of_input.
+// Throws Parse_error on malformed input.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace islhls

@@ -1,0 +1,429 @@
+#include "frontend/parser.hpp"
+
+#include <cmath>
+
+#include "frontend/lexer.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace islhls {
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+    Translation_unit_ast parse_unit() {
+        Translation_unit_ast unit;
+        while (!peek().is(Token_kind::end_of_input)) {
+            unit.functions.push_back(parse_function());
+        }
+        if (unit.functions.empty()) fail("no function definition found");
+        return unit;
+    }
+
+private:
+    // --- token helpers -------------------------------------------------------
+    const Token& peek(int ahead = 0) const {
+        const std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+        return p < tokens_.size() ? tokens_[p] : tokens_.back();
+    }
+    const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+    [[noreturn]] void fail(const std::string& what) const {
+        const Token& t = peek();
+        throw Parse_error(cat(what, " (got '", t.text.empty() ? "<eof>" : t.text, "')"),
+                          t.loc.line, t.loc.column);
+    }
+
+    bool match(Token_kind k, const std::string& text) {
+        if (peek().is(k, text)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    void expect(Token_kind k, const std::string& text) {
+        if (!match(k, text)) fail(cat("expected '", text, "'"));
+    }
+
+    std::string expect_identifier(const char* what) {
+        if (!peek().is(Token_kind::identifier)) fail(cat("expected ", what));
+        return advance().text;
+    }
+
+    bool peek_type(int ahead = 0) const {
+        const Token& t = peek(ahead);
+        return t.is(Token_kind::keyword, "int") || t.is(Token_kind::keyword, "float") ||
+               t.is(Token_kind::keyword, "double") || t.is(Token_kind::keyword, "void");
+    }
+
+    // --- declarations --------------------------------------------------------
+    Function_ast parse_function() {
+        Function_ast fn;
+        fn.loc = peek().loc;
+        if (!peek_type()) fail("expected return type");
+        fn.return_type = advance().text;
+        fn.name = expect_identifier("function name");
+        expect(Token_kind::punctuation, "(");
+        if (!peek().is(Token_kind::punctuation, ")")) {
+            fn.params.push_back(parse_param());
+            while (match(Token_kind::punctuation, ",")) fn.params.push_back(parse_param());
+        }
+        expect(Token_kind::punctuation, ")");
+        fn.body = parse_block();
+        return fn;
+    }
+
+    Param_ast parse_param() {
+        Param_ast p;
+        p.loc = peek().loc;
+        p.is_const = match(Token_kind::keyword, "const");
+        if (!peek_type()) fail("expected parameter type");
+        p.type_name = advance().text;
+        if (p.type_name == "void") fail("parameter cannot be void");
+        p.name = expect_identifier("parameter name");
+        while (match(Token_kind::punctuation, "[")) {
+            const Token& dim = peek();
+            if (dim.is(Token_kind::identifier) || dim.is(Token_kind::number)) {
+                p.dims.push_back(advance().text);
+            } else {
+                fail("expected array dimension");
+            }
+            expect(Token_kind::punctuation, "]");
+        }
+        return p;
+    }
+
+    // --- statements ----------------------------------------------------------
+    Stmt_ast_ptr parse_block() {
+        auto block = std::make_unique<Stmt_ast>();
+        block->kind = Stmt_ast_kind::block;
+        block->loc = peek().loc;
+        expect(Token_kind::punctuation, "{");
+        while (!peek().is(Token_kind::punctuation, "}")) {
+            if (peek().is(Token_kind::end_of_input)) fail("unterminated block");
+            block->stmts.push_back(parse_statement());
+        }
+        expect(Token_kind::punctuation, "}");
+        return block;
+    }
+
+    Stmt_ast_ptr parse_statement() {
+        const Token& t = peek();
+        if (t.is(Token_kind::punctuation, "{")) return parse_block();
+        if (t.is(Token_kind::keyword, "for")) return parse_for();
+        if (t.is(Token_kind::keyword, "if")) return parse_if();
+        if (t.is(Token_kind::keyword, "while") || t.is(Token_kind::keyword, "do")) {
+            fail("while/do loops are not supported; use canonical for loops");
+        }
+        if (t.is(Token_kind::keyword, "return")) {
+            fail("return statements are not supported in void kernels");
+        }
+        if (t.is(Token_kind::keyword, "const") || peek_type()) {
+            auto decl = parse_decl();
+            expect(Token_kind::punctuation, ";");
+            return decl;
+        }
+        auto assign = parse_assign();
+        expect(Token_kind::punctuation, ";");
+        return assign;
+    }
+
+    Stmt_ast_ptr parse_decl() {
+        auto stmt = std::make_unique<Stmt_ast>();
+        stmt->kind = Stmt_ast_kind::decl;
+        stmt->loc = peek().loc;
+        stmt->is_const = match(Token_kind::keyword, "const");
+        if (!peek_type()) fail("expected type in declaration");
+        stmt->type_name = advance().text;
+        if (stmt->type_name == "void") fail("cannot declare a void variable");
+        stmt->name = expect_identifier("variable name");
+        while (match(Token_kind::punctuation, "[")) {
+            const Token& dim = peek();
+            if (!dim.is(Token_kind::number) || !dim.is_integer) {
+                fail("local array dimensions must be integer literals");
+            }
+            stmt->array_dims.push_back(static_cast<int>(advance().number_value));
+            expect(Token_kind::punctuation, "]");
+        }
+        if (match(Token_kind::op, "=")) {
+            if (peek().is(Token_kind::punctuation, "{")) {
+                parse_init_list(*stmt);
+            } else {
+                stmt->init = parse_expr();
+            }
+        }
+        return stmt;
+    }
+
+    // Flattens nested brace initializers (row-major, matching C layout).
+    void parse_init_list(Stmt_ast& decl) {
+        expect(Token_kind::punctuation, "{");
+        while (!peek().is(Token_kind::punctuation, "}")) {
+            if (peek().is(Token_kind::punctuation, "{")) {
+                // Nested braces: recurse by reusing the same flat list.
+                parse_init_list(decl);
+            } else {
+                decl.init_list.push_back(parse_expr());
+            }
+            if (!match(Token_kind::punctuation, ",")) break;
+        }
+        expect(Token_kind::punctuation, "}");
+    }
+
+    Stmt_ast_ptr parse_assign() {
+        auto stmt = std::make_unique<Stmt_ast>();
+        stmt->kind = Stmt_ast_kind::assign;
+        stmt->loc = peek().loc;
+        // Prefix increment/decrement.
+        if (peek().is(Token_kind::op, "++") || peek().is(Token_kind::op, "--")) {
+            const std::string op = advance().text;
+            stmt->target = parse_postfix();
+            stmt->assign_op = op == "++" ? "+=" : "-=";
+            stmt->value = make_number(1.0, stmt->loc);
+            return stmt;
+        }
+        stmt->target = parse_postfix();
+        if (stmt->target->kind != Expr_ast_kind::var &&
+            stmt->target->kind != Expr_ast_kind::array_access) {
+            fail("assignment target must be a variable or array element");
+        }
+        const Token& t = peek();
+        if (t.is(Token_kind::op, "++") || t.is(Token_kind::op, "--")) {
+            stmt->assign_op = advance().text == "++" ? "+=" : "-=";
+            stmt->value = make_number(1.0, stmt->loc);
+            return stmt;
+        }
+        if (t.is(Token_kind::op, "=") || t.is(Token_kind::op, "+=") ||
+            t.is(Token_kind::op, "-=") || t.is(Token_kind::op, "*=") ||
+            t.is(Token_kind::op, "/=")) {
+            stmt->assign_op = advance().text;
+            stmt->value = parse_expr();
+            return stmt;
+        }
+        fail("expected assignment operator");
+    }
+
+    Stmt_ast_ptr parse_for() {
+        auto stmt = std::make_unique<Stmt_ast>();
+        stmt->kind = Stmt_ast_kind::for_loop;
+        stmt->loc = peek().loc;
+        expect(Token_kind::keyword, "for");
+        expect(Token_kind::punctuation, "(");
+        if (!peek().is(Token_kind::punctuation, ";")) {
+            if (peek().is(Token_kind::keyword, "const") || peek_type()) {
+                stmt->for_init = parse_decl();
+            } else {
+                stmt->for_init = parse_assign();
+            }
+        }
+        expect(Token_kind::punctuation, ";");
+        if (!peek().is(Token_kind::punctuation, ";")) stmt->cond = parse_expr();
+        expect(Token_kind::punctuation, ";");
+        if (!peek().is(Token_kind::punctuation, ")")) stmt->for_step = parse_assign();
+        expect(Token_kind::punctuation, ")");
+        stmt->body = parse_statement();
+        return stmt;
+    }
+
+    Stmt_ast_ptr parse_if() {
+        auto stmt = std::make_unique<Stmt_ast>();
+        stmt->kind = Stmt_ast_kind::if_stmt;
+        stmt->loc = peek().loc;
+        expect(Token_kind::keyword, "if");
+        expect(Token_kind::punctuation, "(");
+        stmt->cond = parse_expr();
+        expect(Token_kind::punctuation, ")");
+        stmt->body = parse_statement();
+        if (match(Token_kind::keyword, "else")) stmt->else_body = parse_statement();
+        return stmt;
+    }
+
+    // --- expressions -----------------------------------------------------------
+    static Expr_ast_ptr make_number(double v, Source_loc loc) {
+        auto e = std::make_unique<Expr_ast>();
+        e->kind = Expr_ast_kind::number;
+        e->number = v;
+        e->is_integer = std::floor(v) == v;
+        e->loc = loc;
+        return e;
+    }
+
+    Expr_ast_ptr make_binary(const std::string& op, Expr_ast_ptr lhs, Expr_ast_ptr rhs) {
+        auto e = std::make_unique<Expr_ast>();
+        e->kind = Expr_ast_kind::binary;
+        e->loc = lhs->loc;
+        e->op = op;
+        e->args.push_back(std::move(lhs));
+        e->args.push_back(std::move(rhs));
+        return e;
+    }
+
+    Expr_ast_ptr parse_expr() { return parse_ternary(); }
+
+    Expr_ast_ptr parse_ternary() {
+        Expr_ast_ptr cond = parse_logical_or();
+        if (!peek().is(Token_kind::op, "?")) return cond;
+        advance();
+        Expr_ast_ptr then_e = parse_expr();
+        expect(Token_kind::op, ":");
+        Expr_ast_ptr else_e = parse_ternary();
+        auto e = std::make_unique<Expr_ast>();
+        e->kind = Expr_ast_kind::ternary;
+        e->loc = cond->loc;
+        e->args.push_back(std::move(cond));
+        e->args.push_back(std::move(then_e));
+        e->args.push_back(std::move(else_e));
+        return e;
+    }
+
+    Expr_ast_ptr parse_logical_or() {
+        Expr_ast_ptr lhs = parse_logical_and();
+        while (peek().is(Token_kind::op, "||")) {
+            advance();
+            lhs = make_binary("||", std::move(lhs), parse_logical_and());
+        }
+        return lhs;
+    }
+
+    Expr_ast_ptr parse_logical_and() {
+        Expr_ast_ptr lhs = parse_equality();
+        while (peek().is(Token_kind::op, "&&")) {
+            advance();
+            lhs = make_binary("&&", std::move(lhs), parse_equality());
+        }
+        return lhs;
+    }
+
+    Expr_ast_ptr parse_equality() {
+        Expr_ast_ptr lhs = parse_relational();
+        while (peek().is(Token_kind::op, "==") || peek().is(Token_kind::op, "!=")) {
+            const std::string op = advance().text;
+            lhs = make_binary(op, std::move(lhs), parse_relational());
+        }
+        return lhs;
+    }
+
+    Expr_ast_ptr parse_relational() {
+        Expr_ast_ptr lhs = parse_additive();
+        while (peek().is(Token_kind::op, "<") || peek().is(Token_kind::op, "<=") ||
+               peek().is(Token_kind::op, ">") || peek().is(Token_kind::op, ">=")) {
+            const std::string op = advance().text;
+            lhs = make_binary(op, std::move(lhs), parse_additive());
+        }
+        return lhs;
+    }
+
+    Expr_ast_ptr parse_additive() {
+        Expr_ast_ptr lhs = parse_multiplicative();
+        while (peek().is(Token_kind::op, "+") || peek().is(Token_kind::op, "-")) {
+            const std::string op = advance().text;
+            lhs = make_binary(op, std::move(lhs), parse_multiplicative());
+        }
+        return lhs;
+    }
+
+    Expr_ast_ptr parse_multiplicative() {
+        Expr_ast_ptr lhs = parse_unary();
+        while (peek().is(Token_kind::op, "*") || peek().is(Token_kind::op, "/") ||
+               peek().is(Token_kind::op, "%")) {
+            const std::string op = advance().text;
+            lhs = make_binary(op, std::move(lhs), parse_unary());
+        }
+        return lhs;
+    }
+
+    Expr_ast_ptr parse_unary() {
+        const Token& t = peek();
+        if (t.is(Token_kind::op, "-") || t.is(Token_kind::op, "+") ||
+            t.is(Token_kind::op, "!")) {
+            const std::string op = advance().text;
+            auto e = std::make_unique<Expr_ast>();
+            e->kind = Expr_ast_kind::unary;
+            e->loc = t.loc;
+            e->op = op;
+            e->args.push_back(parse_unary());
+            return e;
+        }
+        return parse_postfix();
+    }
+
+    Expr_ast_ptr parse_postfix() {
+        Expr_ast_ptr base = parse_primary();
+        if (!peek().is(Token_kind::punctuation, "[")) return base;
+        if (base->kind != Expr_ast_kind::var) fail("only identifiers can be subscripted");
+        auto access = std::make_unique<Expr_ast>();
+        access->kind = Expr_ast_kind::array_access;
+        access->loc = base->loc;
+        access->name = base->name;
+        while (match(Token_kind::punctuation, "[")) {
+            access->args.push_back(parse_expr());
+            expect(Token_kind::punctuation, "]");
+        }
+        return access;
+    }
+
+    Expr_ast_ptr parse_primary() {
+        const Token& t = peek();
+        if (t.is(Token_kind::number)) {
+            const Token& num = advance();
+            auto e = make_number(num.number_value, num.loc);
+            e->is_integer = num.is_integer;
+            return e;
+        }
+        if (t.is(Token_kind::punctuation, "(")) {
+            advance();
+            Expr_ast_ptr inner = parse_expr();
+            expect(Token_kind::punctuation, ")");
+            return inner;
+        }
+        if (t.is(Token_kind::identifier)) {
+            const std::string name = advance().text;
+            if (peek().is(Token_kind::punctuation, "(")) {
+                advance();
+                auto call = std::make_unique<Expr_ast>();
+                call->kind = Expr_ast_kind::call;
+                call->loc = t.loc;
+                call->name = name;
+                if (!peek().is(Token_kind::punctuation, ")")) {
+                    call->args.push_back(parse_expr());
+                    while (match(Token_kind::punctuation, ",")) {
+                        call->args.push_back(parse_expr());
+                    }
+                }
+                expect(Token_kind::punctuation, ")");
+                return call;
+            }
+            auto var = std::make_unique<Expr_ast>();
+            var->kind = Expr_ast_kind::var;
+            var->loc = t.loc;
+            var->name = name;
+            return var;
+        }
+        fail("expected expression");
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Translation_unit_ast parse_translation_unit(const std::string& source) {
+    return Parser(tokenize(source)).parse_unit();
+}
+
+Function_ast parse_single_function(const std::string& source) {
+    Translation_unit_ast unit = parse_translation_unit(source);
+    if (unit.functions.size() != 1) {
+        throw Parse_error(cat("expected exactly one function, found ",
+                              unit.functions.size()),
+                          1, 1);
+    }
+    return std::move(unit.functions.front());
+}
+
+}  // namespace islhls

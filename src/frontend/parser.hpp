@@ -1,0 +1,34 @@
+// Recursive-descent parser for the C-subset kernel language.
+//
+// Grammar (EBNF, informal):
+//   unit        := function+
+//   function    := type ident '(' params? ')' block
+//   params      := param (',' param)*
+//   param       := 'const'? type ident ('[' (ident|number) ']')*
+//   block       := '{' stmt* '}'
+//   stmt        := decl ';' | assign ';' | for | if | block
+//   decl        := 'const'? type ident dims? ('=' (expr | '{'...'}'))?
+//   assign      := lvalue ('='|'+='|'-='|'*='|'/=') expr | lvalue '++' | '++' lvalue
+//   for         := 'for' '(' (decl|assign)? ';' expr? ';' assign? ')' stmt
+//   if          := 'if' '(' expr ')' stmt ('else' stmt)?
+//   expr        := ternary; usual C precedence: ?: || && ==/!= rel +- */ unary postfix
+//   postfix     := primary ('[' expr ']')*
+//   primary     := number | ident | call | '(' expr ')'
+//
+// Unsupported C (pointers, structs, while/do, return values, ...) produces a
+// Parse_error with a source location.
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.hpp"
+
+namespace islhls {
+
+// Parses a whole translation unit. Throws Parse_error.
+Translation_unit_ast parse_translation_unit(const std::string& source);
+
+// Parses a source that must contain exactly one function.
+Function_ast parse_single_function(const std::string& source);
+
+}  // namespace islhls

@@ -1,0 +1,294 @@
+#include "frontend/sema.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace islhls {
+
+const Field_info* Kernel_info::find_field(const std::string& name) const {
+    for (const Field_info& f : fields) {
+        if (f.name == name) return &f;
+    }
+    return nullptr;
+}
+
+std::vector<std::string> Kernel_info::state_field_names() const {
+    std::vector<std::string> out;
+    for (const Field_info& f : fields) {
+        if (f.is_state) out.push_back(f.name);
+    }
+    return out;
+}
+
+std::vector<std::string> Kernel_info::const_field_names() const {
+    std::vector<std::string> out;
+    for (const Field_info& f : fields) {
+        if (!f.is_state) out.push_back(f.name);
+    }
+    return out;
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw Sema_error(what); }
+
+bool is_float_type(const std::string& t) { return t == "float" || t == "double"; }
+
+// Extracts the loop variable from a canonical for-init (decl `int v = e` or
+// assignment `v = e`); returns the variable name.
+std::string loop_variable(const Stmt_ast& loop, const char* which) {
+    if (loop.for_init == nullptr) {
+        fail(cat(which, " spatial loop must initialize its counter"));
+    }
+    const Stmt_ast& init = *loop.for_init;
+    if (init.kind == Stmt_ast_kind::decl) {
+        if (init.type_name != "int") {
+            fail(cat(which, " spatial loop counter must be int"));
+        }
+        return init.name;
+    }
+    if (init.kind == Stmt_ast_kind::assign &&
+        init.target->kind == Expr_ast_kind::var && init.assign_op == "=") {
+        return init.target->name;
+    }
+    fail(cat(which, " spatial loop has a non-canonical initializer"));
+}
+
+// Spatial loops must advance by exactly one element per trip (windows are
+// contiguous); accepts v++, ++v, v += 1.
+void check_unit_step(const Stmt_ast& loop, const std::string& var, const char* which) {
+    if (loop.for_step == nullptr) fail(cat(which, " spatial loop must have a step"));
+    const Stmt_ast& step = *loop.for_step;
+    if (step.kind != Stmt_ast_kind::assign || step.target->kind != Expr_ast_kind::var ||
+        step.target->name != var) {
+        fail(cat(which, " spatial loop step must update its own counter"));
+    }
+    const bool plus_one = step.assign_op == "+=" &&
+                          step.value->kind == Expr_ast_kind::number &&
+                          step.value->number == 1.0;
+    if (!plus_one) fail(cat(which, " spatial loop must step by exactly 1"));
+    if (loop.cond == nullptr) fail(cat(which, " spatial loop must have a condition"));
+}
+
+// Recursively checks statements of the kernel body: writes may only go to
+// local scalars or `X_out[row][col]`; out fields are never read.
+class Body_checker {
+public:
+    Body_checker(const Kernel_info& info, const std::vector<std::string>& out_params)
+        : info_(info), out_params_(out_params) {}
+
+    void check_stmt(const Stmt_ast& s) {
+        switch (s.kind) {
+            case Stmt_ast_kind::block:
+                for (const auto& sub : s.stmts) check_stmt(*sub);
+                break;
+            case Stmt_ast_kind::decl:
+                if (s.init != nullptr) check_expr(*s.init);
+                for (const auto& e : s.init_list) check_expr(*e);
+                locals_.push_back(s.name);
+                break;
+            case Stmt_ast_kind::assign:
+                check_assign(s);
+                break;
+            case Stmt_ast_kind::for_loop:
+                if (s.for_init != nullptr) check_stmt(*s.for_init);
+                if (s.cond != nullptr) check_expr(*s.cond);
+                if (s.for_step != nullptr) check_stmt(*s.for_step);
+                check_stmt(*s.body);
+                break;
+            case Stmt_ast_kind::if_stmt:
+                check_expr(*s.cond);
+                check_stmt(*s.body);
+                if (s.else_body != nullptr) check_stmt(*s.else_body);
+                break;
+        }
+    }
+
+private:
+    bool is_out_param(const std::string& name) const {
+        return std::find(out_params_.begin(), out_params_.end(), name) != out_params_.end();
+    }
+
+    void check_assign(const Stmt_ast& s) {
+        const Expr_ast& target = *s.target;
+        if (target.kind == Expr_ast_kind::var) {
+            if (info_.find_field(target.name) != nullptr || is_out_param(target.name)) {
+                fail(cat("cannot assign a whole array '", target.name, "'"));
+            }
+        } else if (target.kind == Expr_ast_kind::array_access) {
+            if (!is_out_param(target.name)) {
+                const bool is_local_array =
+                    std::find(locals_.begin(), locals_.end(), target.name) != locals_.end();
+                if (info_.find_field(target.name) != nullptr) {
+                    fail(cat("input field '", target.name,
+                             "' is read-only inside the kernel"));
+                }
+                if (!is_local_array) {
+                    fail(cat("assignment to unknown array '", target.name, "'"));
+                }
+            }
+            for (const auto& idx : target.args) check_expr(*idx);
+        } else {
+            fail("assignment target must be a variable or array element");
+        }
+        check_expr(*s.value);
+    }
+
+    void check_expr(const Expr_ast& e) {
+        switch (e.kind) {
+            case Expr_ast_kind::var:
+                if (is_out_param(e.name)) {
+                    fail(cat("output parameter '", e.name, "' cannot be read"));
+                }
+                break;
+            case Expr_ast_kind::array_access: {
+                if (is_out_param(e.name)) {
+                    fail(cat("output parameter '", e.name,
+                             "' cannot be read (ISL iterations only flow forward)"));
+                }
+                const Field_info* field = info_.find_field(e.name);
+                if (field != nullptr && e.args.size() != 2) {
+                    fail(cat("field '", e.name, "' requires two subscripts"));
+                }
+                for (const auto& idx : e.args) check_expr(*idx);
+                break;
+            }
+            default:
+                for (const auto& a : e.args) check_expr(*a);
+                break;
+        }
+    }
+
+    const Kernel_info& info_;
+    const std::vector<std::string>& out_params_;
+    std::vector<std::string> locals_;
+};
+
+}  // namespace
+
+Kernel_info analyze_kernel(const Function_ast& fn) {
+    Kernel_info info;
+    info.kernel_name = fn.name;
+
+    if (fn.return_type != "void") {
+        fail(cat("kernel '", fn.name, "' must return void"));
+    }
+    if (fn.params.empty()) fail("kernel has no parameters");
+
+    // --- classify parameters -------------------------------------------------
+    std::vector<std::string> out_params;
+    std::vector<const Param_ast*> in_params;
+    for (const Param_ast& p : fn.params) {
+        if (p.dims.size() != 2) {
+            fail(cat("parameter '", p.name, "' must be a 2-D array (got ",
+                     p.dims.size(), " dimensions)"));
+        }
+        if (!is_float_type(p.type_name)) {
+            fail(cat("parameter '", p.name, "' must be float or double"));
+        }
+        if (info.dim_names.empty()) {
+            info.dim_names = {p.dims[0], p.dims[1]};
+        } else if (info.dim_names[0] != p.dims[0] || info.dim_names[1] != p.dims[1]) {
+            fail(cat("parameter '", p.name, "' dimensions [", p.dims[0], "][",
+                     p.dims[1], "] differ from [", info.dim_names[0], "][",
+                     info.dim_names[1], "]"));
+        }
+        if (ends_with(p.name, "_out")) {
+            if (p.is_const) fail(cat("output parameter '", p.name, "' cannot be const"));
+            out_params.push_back(p.name);
+        } else {
+            in_params.push_back(&p);
+        }
+    }
+    if (out_params.empty()) fail("kernel has no '_out' output parameter");
+
+    // --- pair X_out with X ----------------------------------------------------
+    for (const Param_ast* p : in_params) {
+        Field_info field;
+        field.name = p->name;
+        const std::string expected_out = p->name + "_out";
+        const bool has_out = std::find(out_params.begin(), out_params.end(),
+                                       expected_out) != out_params.end();
+        if (has_out) {
+            field.is_state = true;
+            field.out_param = expected_out;
+        } else {
+            if (!p->is_const) {
+                fail(cat("parameter '", p->name,
+                         "' has no '_out' counterpart; mark it const if it is an "
+                         "iteration-invariant input"));
+            }
+            field.is_state = false;
+        }
+        info.fields.push_back(field);
+    }
+    for (const std::string& out : out_params) {
+        const std::string base = out.substr(0, out.size() - 4);
+        if (info.find_field(base) == nullptr || !info.find_field(base)->is_state) {
+            fail(cat("output parameter '", out, "' has no matching input '", base, "'"));
+        }
+    }
+    if (info.state_field_names().empty()) fail("kernel advances no state field");
+
+    // --- locate the canonical spatial loop nest ---------------------------------
+    const Stmt_ast* row_loop = nullptr;
+    check_internal(fn.body != nullptr && fn.body->kind == Stmt_ast_kind::block,
+                   "function body must be a block");
+    for (const auto& stmt : fn.body->stmts) {
+        if (stmt->kind == Stmt_ast_kind::decl) {
+            if (!stmt->is_const) {
+                fail(cat("preamble declaration '", stmt->name,
+                         "' must be const (it is evaluated once per kernel)"));
+            }
+            info.preamble.push_back(stmt.get());
+        } else if (stmt->kind == Stmt_ast_kind::for_loop) {
+            if (row_loop != nullptr) fail("kernel must contain exactly one loop nest");
+            row_loop = stmt.get();
+        } else {
+            fail("kernel body may contain only const declarations and the loop nest");
+        }
+    }
+    if (row_loop == nullptr) fail("kernel contains no spatial loop nest");
+
+    // Inner loop: the row loop's body is either the column loop directly or a
+    // block of const decls plus the column loop.
+    const Stmt_ast* col_loop = nullptr;
+    const Stmt_ast& row_body = *row_loop->body;
+    if (row_body.kind == Stmt_ast_kind::for_loop) {
+        col_loop = &row_body;
+    } else if (row_body.kind == Stmt_ast_kind::block) {
+        for (const auto& stmt : row_body.stmts) {
+            if (stmt->kind == Stmt_ast_kind::decl) {
+                if (!stmt->is_const) {
+                    fail("declarations between the spatial loops must be const");
+                }
+                info.preamble.push_back(stmt.get());
+            } else if (stmt->kind == Stmt_ast_kind::for_loop) {
+                if (col_loop != nullptr) fail("expected a single inner spatial loop");
+                col_loop = stmt.get();
+            } else {
+                fail("only const declarations may appear between the spatial loops");
+            }
+        }
+    }
+    if (col_loop == nullptr) fail("kernel requires a two-deep spatial loop nest");
+
+    info.row_var = loop_variable(*row_loop, "outer");
+    info.col_var = loop_variable(*col_loop, "inner");
+    if (info.row_var == info.col_var) fail("spatial loop counters must differ");
+    check_unit_step(*row_loop, info.row_var, "outer");
+    check_unit_step(*col_loop, info.col_var, "inner");
+
+    info.kernel_body = col_loop->body.get();
+    check_internal(info.kernel_body != nullptr, "column loop has no body");
+
+    // --- validate reads/writes inside the kernel body ----------------------------
+    Body_checker checker(info, out_params);
+    checker.check_stmt(*info.kernel_body);
+
+    return info;
+}
+
+}  // namespace islhls

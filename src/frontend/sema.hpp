@@ -1,0 +1,63 @@
+// Semantic analysis: recognizing the canonical ISL form.
+//
+// The flow accepts C kernels in the shape of the paper's Algorithm 1, one
+// spatial sweep of the elementary transformation t:
+//
+//   void step(float u_out[H][W], const float u[H][W], const float g[H][W]) {
+//       const float k = 0.25f;                // optional preamble constants
+//       for (int y = 0; y < H; y++) {
+//           for (int x = 0; x < W; x++) {
+//               u_out[y][x] = ...u[y-1][x]...g[y][x]...;
+//           }
+//       }
+//   }
+//
+// Field roles are inferred from parameter names and constness:
+//   - `X_out` paired with `X`  -> X is a *state field* advanced per iteration;
+//   - a const array with no `_out` counterpart -> iteration-invariant field.
+//
+// Sema validates the shape (void return, 2-D arrays of float/double with
+// consistent dimensions, a two-deep canonical spatial loop nest stepping by
+// one, writes only to `X_out[row][col]` at offset zero) and hands symexec the
+// kernel body plus the classification below. Offset affinity (subscripts are
+// loopvar +/- constant — the translational-invariance restriction) is
+// enforced during symbolic execution where indices are actually evaluated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+
+namespace islhls {
+
+// One logical field of the ISL state.
+struct Field_info {
+    std::string name;       // base name as seen by reads ("u", "g")
+    bool is_state = false;  // true when an `_out` counterpart exists
+    std::string out_param;  // parameter receiving the next iteration (state only)
+};
+
+// Everything later stages need to know about a validated kernel.
+struct Kernel_info {
+    std::string kernel_name;
+    std::vector<Field_info> fields;       // declaration order; state and const
+    std::vector<std::string> dim_names;   // the two dimension spellings [rows, cols]
+    std::string row_var;                  // first-subscript loop variable
+    std::string col_var;                  // second-subscript loop variable
+
+    // Non-owning pointers into the analyzed Function_ast (keep it alive).
+    std::vector<const Stmt_ast*> preamble;  // const decls before/between loops
+    const Stmt_ast* kernel_body = nullptr;  // innermost loop body
+
+    // Convenience lookups.
+    const Field_info* find_field(const std::string& name) const;
+    std::vector<std::string> state_field_names() const;
+    std::vector<std::string> const_field_names() const;
+};
+
+// Validates `fn` and extracts the kernel structure. Throws Sema_error with an
+// explanatory message on any deviation from the canonical form.
+Kernel_info analyze_kernel(const Function_ast& fn);
+
+}  // namespace islhls

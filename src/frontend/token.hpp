@@ -1,0 +1,37 @@
+// Token definitions for the C-subset frontend.
+#pragma once
+
+#include <string>
+
+namespace islhls {
+
+enum class Token_kind {
+    end_of_input,
+    identifier,
+    number,       // int or floating literal; spelled value kept in `text`
+    keyword,      // void int float double const for if else return define
+    punctuation,  // ( ) [ ] { } , ;
+    op,           // + - * / % = += -= *= /= == != < <= > >= && || ! ? : ++ --
+};
+
+// Position within the original source, 1-based.
+struct Source_loc {
+    int line = 1;
+    int column = 1;
+};
+
+struct Token {
+    Token_kind kind = Token_kind::end_of_input;
+    std::string text;
+    double number_value = 0.0;   // valid when kind == number
+    bool is_integer = false;     // literal had no '.', exponent or f-suffix
+    Source_loc loc;
+
+    bool is(Token_kind k) const { return kind == k; }
+    bool is(Token_kind k, const std::string& t) const { return kind == k && text == t; }
+};
+
+// True for spellings treated as keywords by the lexer.
+bool is_keyword(const std::string& spelling);
+
+}  // namespace islhls

@@ -1,0 +1,66 @@
+// 2-D frames (the matrices an ISL iterates on) and boundary handling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace islhls {
+
+// How out-of-range reads are resolved. ISL hardware implementations pick one
+// of these at the frame border; the golden model and the architecture
+// simulator must agree on it for bit-exact comparison.
+enum class Boundary {
+    clamp,     // replicate the nearest edge element
+    zero,      // read 0 outside the frame
+    mirror,    // reflect across the edge (abcb|abcd|cbab style reflection)
+    periodic,  // wrap around (toroidal)
+};
+
+// Returns a human-readable name ("clamp", ...).
+std::string to_string(Boundary b);
+
+// A dense row-major 2-D array of doubles.
+//
+// Doubles are used as the golden arithmetic; the fixed-point backend
+// quantizes separately. Indexing is (x, y) with x the column (fastest
+// varying) to match the image convention used in the paper.
+class Frame {
+public:
+    Frame() = default;
+    Frame(int width, int height, double fill = 0.0);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    std::size_t element_count() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    // Unchecked in-range access.
+    double& at(int x, int y);
+    double at(int x, int y) const;
+
+    // In-range check.
+    bool contains(int x, int y) const {
+        return x >= 0 && x < width_ && y >= 0 && y < height_;
+    }
+
+    // Boundary-resolved read: any (x, y), resolved per `b`.
+    double sample(int x, int y, Boundary b) const;
+
+    // Raw storage access (row-major, row y starts at y*width).
+    const std::vector<double>& data() const { return data_; }
+    std::vector<double>& data() { return data_; }
+
+    bool operator==(const Frame& other) const = default;
+
+private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<double> data_;
+};
+
+// Maps an arbitrary coordinate into [0, n) according to the boundary policy.
+// For Boundary::zero the function returns -1 to signal "outside".
+int resolve_coordinate(int v, int n, Boundary b);
+
+}  // namespace islhls

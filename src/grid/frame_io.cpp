@@ -1,0 +1,100 @@
+#include "grid/frame_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace islhls {
+
+void save_pgm(const Frame& frame, const std::string& path, int maxval) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) throw Io_error(cat("cannot open '", path, "' for writing"));
+    write_pgm(frame, os, maxval);
+    if (!os) throw Io_error(cat("write failed for '", path, "'"));
+}
+
+void write_pgm(const Frame& frame, std::ostream& os, int maxval) {
+    check_internal(maxval >= 1 && maxval <= 255, "write_pgm supports maxval 1..255");
+    os << "P5\n" << frame.width() << ' ' << frame.height() << '\n' << maxval << '\n';
+    for (int y = 0; y < frame.height(); ++y) {
+        for (int x = 0; x < frame.width(); ++x) {
+            double v = std::round(frame.at(x, y));
+            v = std::min(static_cast<double>(maxval), std::max(0.0, v));
+            const char byte = static_cast<char>(static_cast<unsigned char>(v));
+            os.write(&byte, 1);
+        }
+    }
+}
+
+Frame load_pgm(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw Io_error(cat("cannot open '", path, "' for reading"));
+    return read_pgm(is);
+}
+
+namespace {
+// Reads the next header token, skipping whitespace and '#' comments.
+std::string next_token(std::istream& is) {
+    std::string tok;
+    int c = is.get();
+    while (c != EOF) {
+        if (c == '#') {
+            while (c != EOF && c != '\n') c = is.get();
+        } else if (std::isspace(c)) {
+            c = is.get();
+        } else {
+            break;
+        }
+    }
+    while (c != EOF && !std::isspace(c)) {
+        tok.push_back(static_cast<char>(c));
+        c = is.get();
+    }
+    return tok;
+}
+
+int next_int(std::istream& is, const char* what) {
+    const std::string tok = next_token(is);
+    if (tok.empty()) throw Io_error(cat("PGM: missing ", what));
+    try {
+        return std::stoi(tok);
+    } catch (const std::exception&) {
+        throw Io_error(cat("PGM: bad ", what, " '", tok, "'"));
+    }
+}
+}  // namespace
+
+Frame read_pgm(std::istream& is) {
+    const std::string magic = next_token(is);
+    if (magic != "P5" && magic != "P2") {
+        throw Io_error(cat("PGM: unsupported magic '", magic, "'"));
+    }
+    const int width = next_int(is, "width");
+    const int height = next_int(is, "height");
+    const int maxval = next_int(is, "maxval");
+    if (width <= 0 || height <= 0 || maxval <= 0 || maxval > 255) {
+        throw Io_error("PGM: bad dimensions or maxval");
+    }
+    Frame frame(width, height);
+    if (magic == "P2") {
+        for (int y = 0; y < height; ++y) {
+            for (int x = 0; x < width; ++x) frame.at(x, y) = next_int(is, "pixel");
+        }
+    } else {
+        // next_token consumed exactly the single whitespace byte after the
+        // maxval token, so the stream already points at the binary payload.
+        for (int y = 0; y < height; ++y) {
+            for (int x = 0; x < width; ++x) {
+                char byte = 0;
+                if (!is.read(&byte, 1)) throw Io_error("PGM: truncated pixel data");
+                frame.at(x, y) = static_cast<unsigned char>(byte);
+            }
+        }
+    }
+    return frame;
+}
+
+}  // namespace islhls

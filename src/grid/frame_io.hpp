@@ -1,0 +1,22 @@
+// PGM (portable graymap) I/O for frames.
+//
+// PGM is enough to move test images in and out of the flow without external
+// dependencies. Values are clipped to [0, maxval] and rounded on save.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "grid/frame.hpp"
+
+namespace islhls {
+
+// Writes binary PGM (P5). Throws Io_error on stream failure.
+void save_pgm(const Frame& frame, const std::string& path, int maxval = 255);
+void write_pgm(const Frame& frame, std::ostream& os, int maxval = 255);
+
+// Reads binary (P5) or ASCII (P2) PGM. Throws Io_error on malformed input.
+Frame load_pgm(const std::string& path);
+Frame read_pgm(std::istream& is);
+
+}  // namespace islhls

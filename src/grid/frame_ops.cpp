@@ -1,0 +1,110 @@
+#include "grid/frame_ops.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace islhls {
+
+Frame make_gradient(int width, int height, double lo, double hi) {
+    Frame f(width, height);
+    const double step = width > 1 ? (hi - lo) / (width - 1) : 0.0;
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) f.at(x, y) = lo + step * x;
+    }
+    return f;
+}
+
+Frame make_checkerboard(int width, int height, int cell, double lo, double hi) {
+    check_internal(cell >= 1, "checkerboard cell must be >= 1");
+    Frame f(width, height);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const bool odd = ((x / cell) + (y / cell)) % 2 != 0;
+            f.at(x, y) = odd ? hi : lo;
+        }
+    }
+    return f;
+}
+
+Frame make_impulse(int width, int height, int cx, int cy, double amplitude) {
+    Frame f(width, height);
+    f.at(cx, cy) = amplitude;
+    return f;
+}
+
+Frame make_noise(int width, int height, std::uint64_t seed, double lo, double hi) {
+    Frame f(width, height);
+    Prng rng(seed);
+    for (double& v : f.data()) v = rng.next_in(lo, hi);
+    return f;
+}
+
+Frame make_synthetic_scene(int width, int height, std::uint64_t seed) {
+    Frame f(width, height, 64.0);
+    Prng rng(seed);
+    // A handful of smooth Gaussian blobs...
+    const int blob_count = 6;
+    for (int b = 0; b < blob_count; ++b) {
+        const double cx = rng.next_in(0.0, width);
+        const double cy = rng.next_in(0.0, height);
+        const double sigma = rng.next_in(width / 16.0 + 1.0, width / 4.0 + 2.0);
+        const double amp = rng.next_in(30.0, 120.0);
+        for (int y = 0; y < height; ++y) {
+            for (int x = 0; x < width; ++x) {
+                const double dx = x - cx;
+                const double dy = y - cy;
+                f.at(x, y) += amp * std::exp(-(dx * dx + dy * dy) / (2 * sigma * sigma));
+            }
+        }
+    }
+    // ...plus mild sensor-like noise, clipped to the 8-bit range.
+    for (double& v : f.data()) {
+        v += rng.next_gaussian() * 2.0;
+        v = std::min(255.0, std::max(0.0, v));
+    }
+    return f;
+}
+
+namespace {
+void require_same_size(const Frame& a, const Frame& b) {
+    check_internal(a.width() == b.width() && a.height() == b.height(),
+                   "frame metric requires equal dimensions");
+}
+}  // namespace
+
+double max_abs_diff(const Frame& a, const Frame& b) {
+    require_same_size(a, b);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+        worst = std::max(worst, std::fabs(a.data()[i] - b.data()[i]));
+    }
+    return worst;
+}
+
+double rmse(const Frame& a, const Frame& b) {
+    require_same_size(a, b);
+    if (a.data().empty()) return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+        const double d = a.data()[i] - b.data()[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(a.data().size()));
+}
+
+double psnr(const Frame& a, const Frame& b, double peak) {
+    const double e = rmse(a, b);
+    if (e == 0.0) return std::numeric_limits<double>::infinity();
+    return 20.0 * std::log10(peak / e);
+}
+
+double element_sum(const Frame& f) {
+    double acc = 0.0;
+    for (double v : f.data()) acc += v;
+    return acc;
+}
+
+}  // namespace islhls

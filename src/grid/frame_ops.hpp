@@ -1,0 +1,47 @@
+// Frame generators and comparison metrics.
+//
+// Generators produce the synthetic workloads used by examples, tests and
+// benches (the paper used camera frames; any translation-invariant content
+// exercises the same code paths). Metrics quantify golden-vs-simulated and
+// float-vs-fixed-point differences.
+#pragma once
+
+#include <cstdint>
+
+#include "grid/frame.hpp"
+
+namespace islhls {
+
+// Horizontal linear ramp from `lo` at x=0 to `hi` at x=width-1.
+Frame make_gradient(int width, int height, double lo = 0.0, double hi = 255.0);
+
+// Checkerboard of `cell`-sized squares alternating lo/hi.
+Frame make_checkerboard(int width, int height, int cell, double lo = 0.0,
+                        double hi = 255.0);
+
+// Single impulse of `amplitude` at (cx, cy) over a zero background — useful
+// to observe the stencil's impulse response directly.
+Frame make_impulse(int width, int height, int cx, int cy, double amplitude = 1.0);
+
+// Uniform noise in [lo, hi), deterministic from `seed`.
+Frame make_noise(int width, int height, std::uint64_t seed, double lo = 0.0,
+                 double hi = 255.0);
+
+// Synthetic "natural" image: smooth low-frequency blobs plus mild noise;
+// approximates camera-frame statistics for the multimedia case studies.
+Frame make_synthetic_scene(int width, int height, std::uint64_t seed);
+
+// Largest absolute element difference; frames must have equal dimensions.
+double max_abs_diff(const Frame& a, const Frame& b);
+
+// Root of the mean squared element difference.
+double rmse(const Frame& a, const Frame& b);
+
+// Peak signal-to-noise ratio in dB for the given peak value; returns +inf
+// when the frames are identical.
+double psnr(const Frame& a, const Frame& b, double peak = 255.0);
+
+// Sum of all elements (used in conservation checks).
+double element_sum(const Frame& f);
+
+}  // namespace islhls

@@ -1,0 +1,101 @@
+#include "ir/analysis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/error.hpp"
+
+namespace islhls {
+
+int Op_census::count(Op_kind k) const {
+    const auto it = by_kind.find(k);
+    return it == by_kind.end() ? 0 : it->second;
+}
+
+std::vector<Expr_id> reachable_nodes(const Expr_pool& pool,
+                                     const std::vector<Expr_id>& roots) {
+    std::vector<Expr_id> order;
+    std::unordered_set<Expr_id> visited;
+    // Iterative post-order DFS: push (node, expanded) pairs.
+    std::vector<std::pair<Expr_id, bool>> stack;
+    for (auto it = roots.rbegin(); it != roots.rend(); ++it) stack.push_back({*it, false});
+    while (!stack.empty()) {
+        auto [id, expanded] = stack.back();
+        stack.pop_back();
+        if (expanded) {
+            order.push_back(id);
+            continue;
+        }
+        if (visited.count(id) != 0) continue;
+        visited.insert(id);
+        stack.push_back({id, true});
+        const Expr_node& n = pool.node(id);
+        for (int i = n.arg_count() - 1; i >= 0; --i) {
+            const Expr_id arg = n.args[static_cast<std::size_t>(i)];
+            if (visited.count(arg) == 0) stack.push_back({arg, false});
+        }
+    }
+    return order;
+}
+
+Op_census count_ops(const Expr_pool& pool, const std::vector<Expr_id>& roots) {
+    Op_census census;
+    for (Expr_id id : reachable_nodes(pool, roots)) {
+        const Expr_node& n = pool.node(id);
+        census.by_kind[n.kind] += 1;
+        if (is_operation(n.kind)) {
+            census.operation_count += 1;
+        } else if (n.kind == Op_kind::input) {
+            census.input_count += 1;
+        } else {
+            census.constant_count += 1;
+        }
+    }
+    return census;
+}
+
+int dag_depth(const Expr_pool& pool, const std::vector<Expr_id>& roots) {
+    std::unordered_map<Expr_id, int> depth;
+    int worst = 0;
+    for (Expr_id id : reachable_nodes(pool, roots)) {
+        const Expr_node& n = pool.node(id);
+        int d = 0;
+        if (is_operation(n.kind)) {
+            int operand_max = 0;
+            for (int i = 0; i < n.arg_count(); ++i) {
+                operand_max = std::max(operand_max,
+                                       depth.at(n.args[static_cast<std::size_t>(i)]));
+            }
+            d = operand_max + 1;
+        }
+        depth.emplace(id, d);
+        worst = std::max(worst, d);
+    }
+    return worst;
+}
+
+std::vector<Input_ref> input_support(const Expr_pool& pool,
+                                     const std::vector<Expr_id>& roots) {
+    std::vector<Input_ref> refs;
+    for (Expr_id id : reachable_nodes(pool, roots)) {
+        const Expr_node& n = pool.node(id);
+        if (n.kind == Op_kind::input) refs.push_back({n.field, n.dx, n.dy});
+    }
+    std::sort(refs.begin(), refs.end());
+    refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
+    return refs;
+}
+
+Footprint support_footprint(const Expr_pool& pool, const std::vector<Expr_id>& roots) {
+    Footprint fp;
+    for (const Input_ref& r : input_support(pool, roots)) {
+        fp.left = std::max(fp.left, -r.dx);
+        fp.right = std::max(fp.right, r.dx);
+        fp.up = std::max(fp.up, -r.dy);
+        fp.down = std::max(fp.down, r.dy);
+    }
+    return fp;
+}
+
+}  // namespace islhls

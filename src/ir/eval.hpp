@@ -1,0 +1,31 @@
+// Numeric evaluation of expression DAGs.
+//
+// Used by the golden checks (does a cone DAG compute the same values as N
+// native iterations?) and by the architecture simulator's functional mode.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace islhls {
+
+// Resolves the value of an input leaf (field, dx, dy) for the current
+// evaluation context (typically a read from a Frame_set around some origin).
+using Input_resolver = std::function<double(int field, int dx, int dy)>;
+
+// Evaluates `root` with DAG memoization; every node computed at most once.
+double evaluate(const Expr_pool& pool, Expr_id root, const Input_resolver& resolve);
+
+// Evaluates several roots sharing one memo table (cheaper than repeated
+// evaluate() calls when roots share structure, as cone outputs do).
+std::vector<double> evaluate_many(const Expr_pool& pool,
+                                  const std::vector<Expr_id>& roots,
+                                  const Input_resolver& resolve);
+
+// Applies a single operation to already-computed operand values; shared by
+// the evaluator and the register-program executor so semantics never diverge.
+double apply_op(Op_kind kind, const double* operands);
+
+}  // namespace islhls

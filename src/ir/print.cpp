@@ -1,0 +1,71 @@
+#include "ir/print.hpp"
+
+#include "support/text.hpp"
+
+namespace islhls {
+
+namespace {
+
+std::string leaf_text(const Expr_pool& pool, const Expr_node& n) {
+    if (n.kind == Op_kind::constant) return cat(n.value);
+    return cat(pool.field_name(n.field), "[", n.dx, ",", n.dy, "]");
+}
+
+std::string infix_rec(const Expr_pool& pool, Expr_id id) {
+    const Expr_node& n = pool.node(id);
+    switch (n.kind) {
+        case Op_kind::constant:
+        case Op_kind::input:
+            return leaf_text(pool, n);
+        case Op_kind::add:
+            return cat("(", infix_rec(pool, n.args[0]), " + ", infix_rec(pool, n.args[1]), ")");
+        case Op_kind::sub:
+            return cat("(", infix_rec(pool, n.args[0]), " - ", infix_rec(pool, n.args[1]), ")");
+        case Op_kind::mul:
+            return cat("(", infix_rec(pool, n.args[0]), " * ", infix_rec(pool, n.args[1]), ")");
+        case Op_kind::div:
+            return cat("(", infix_rec(pool, n.args[0]), " / ", infix_rec(pool, n.args[1]), ")");
+        case Op_kind::lt:
+            return cat("(", infix_rec(pool, n.args[0]), " < ", infix_rec(pool, n.args[1]), ")");
+        case Op_kind::le:
+            return cat("(", infix_rec(pool, n.args[0]), " <= ", infix_rec(pool, n.args[1]), ")");
+        case Op_kind::eq:
+            return cat("(", infix_rec(pool, n.args[0]), " == ", infix_rec(pool, n.args[1]), ")");
+        case Op_kind::min_op:
+            return cat("min(", infix_rec(pool, n.args[0]), ", ", infix_rec(pool, n.args[1]), ")");
+        case Op_kind::max_op:
+            return cat("max(", infix_rec(pool, n.args[0]), ", ", infix_rec(pool, n.args[1]), ")");
+        case Op_kind::neg:
+            return cat("(-", infix_rec(pool, n.args[0]), ")");
+        case Op_kind::abs_op:
+            return cat("fabs(", infix_rec(pool, n.args[0]), ")");
+        case Op_kind::sqrt_op:
+            return cat("sqrt(", infix_rec(pool, n.args[0]), ")");
+        case Op_kind::select:
+            return cat("(", infix_rec(pool, n.args[0]), " ? ", infix_rec(pool, n.args[1]),
+                       " : ", infix_rec(pool, n.args[2]), ")");
+    }
+    return "?";
+}
+
+std::string sexpr_rec(const Expr_pool& pool, Expr_id id) {
+    const Expr_node& n = pool.node(id);
+    if (n.kind == Op_kind::constant || n.kind == Op_kind::input) {
+        return leaf_text(pool, n);
+    }
+    std::string out = cat("(", to_string(n.kind));
+    for (int i = 0; i < n.arg_count(); ++i) {
+        out += ' ';
+        out += sexpr_rec(pool, n.args[static_cast<std::size_t>(i)]);
+    }
+    out += ')';
+    return out;
+}
+
+}  // namespace
+
+std::string to_infix(const Expr_pool& pool, Expr_id root) { return infix_rec(pool, root); }
+
+std::string to_sexpr(const Expr_pool& pool, Expr_id root) { return sexpr_rec(pool, root); }
+
+}  // namespace islhls

@@ -1,0 +1,18 @@
+// Human-readable rendering of expressions, for diagnostics and tests.
+#pragma once
+
+#include <string>
+
+#include "ir/expr.hpp"
+
+namespace islhls {
+
+// C-like infix rendering, fully parenthesized:
+//   "((f[-1,0] + f[1,0]) * 0.5)". Shared subtrees are re-printed (the
+// textual form is a tree view of the DAG).
+std::string to_infix(const Expr_pool& pool, Expr_id root);
+
+// Lisp-ish prefix rendering: "(mul (add f[-1,0] f[1,0]) 0.5)".
+std::string to_sexpr(const Expr_pool& pool, Expr_id root);
+
+}  // namespace islhls

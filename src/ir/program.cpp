@@ -1,0 +1,91 @@
+#include "ir/program.hpp"
+
+#include <algorithm>
+
+#include "ir/analysis.hpp"
+#include "ir/eval.hpp"
+#include "support/error.hpp"
+
+namespace islhls {
+
+Register_program build_program(const Expr_pool& pool, const std::vector<Expr_id>& roots) {
+    Register_program prog;
+    const std::vector<Expr_id> order = reachable_nodes(pool, roots);
+    std::unordered_map<Expr_id, std::int32_t> reg_of;
+    reg_of.reserve(order.size());
+
+    for (Expr_id id : order) {
+        const Expr_node& n = pool.node(id);
+        Instruction instr;
+        instr.kind = n.kind;
+        instr.operand_count = n.arg_count();
+        int level = 0;
+        for (int i = 0; i < n.arg_count(); ++i) {
+            const std::int32_t src = reg_of.at(n.args[static_cast<std::size_t>(i)]);
+            instr.operands[static_cast<std::size_t>(i)] = src;
+            level = std::max(level, prog.instrs_[static_cast<std::size_t>(src)].level);
+        }
+        switch (n.kind) {
+            case Op_kind::constant:
+                instr.value = n.value;
+                prog.constant_count_ += 1;
+                break;
+            case Op_kind::input:
+                instr.field = n.field;
+                instr.dx = n.dx;
+                instr.dy = n.dy;
+                prog.ports_.push_back({n.field, n.dx, n.dy});
+                prog.input_count_ += 1;
+                break;
+            default:
+                instr.level = level + 1;
+                prog.register_count_ += 1;
+                break;
+        }
+        if (is_operation(n.kind)) {
+            prog.depth_ = std::max(prog.depth_, instr.level);
+        }
+        reg_of.emplace(id, static_cast<std::int32_t>(prog.instrs_.size()));
+        prog.instrs_.push_back(instr);
+    }
+    for (Expr_id r : roots) prog.output_regs_.push_back(reg_of.at(r));
+    return prog;
+}
+
+std::vector<double> Register_program::run_trace(const std::vector<double>& inputs) const {
+    check_internal(inputs.size() == static_cast<std::size_t>(input_count_),
+                   "Register_program::run_trace input arity mismatch");
+    std::vector<double> regs(instrs_.size(), 0.0);
+    std::size_t next_input = 0;
+    for (std::size_t i = 0; i < instrs_.size(); ++i) {
+        const Instruction& instr = instrs_[i];
+        switch (instr.kind) {
+            case Op_kind::constant:
+                regs[i] = instr.value;
+                break;
+            case Op_kind::input:
+                regs[i] = inputs[next_input++];
+                break;
+            default: {
+                double operands[3] = {0.0, 0.0, 0.0};
+                for (int a = 0; a < instr.operand_count; ++a) {
+                    operands[a] = regs[static_cast<std::size_t>(
+                        instr.operands[static_cast<std::size_t>(a)])];
+                }
+                regs[i] = apply_op(instr.kind, operands);
+                break;
+            }
+        }
+    }
+    return regs;
+}
+
+std::vector<double> Register_program::run(const std::vector<double>& inputs) const {
+    const std::vector<double> regs = run_trace(inputs);
+    std::vector<double> out;
+    out.reserve(output_regs_.size());
+    for (std::int32_t r : output_regs_) out.push_back(regs[static_cast<std::size_t>(r)]);
+    return out;
+}
+
+}  // namespace islhls

@@ -1,0 +1,55 @@
+// Built-in ISL kernels: the paper's two case studies plus a suite of
+// classical stencil algorithms used by tests, examples and benches.
+//
+// Each kernel carries (a) its C source in the canonical ISL form consumed by
+// the frontend, and (b) an independent native C++ implementation of one
+// step. Tests cross-validate the whole frontend+symexec+cone chain against
+// the native implementation, so the two must agree bit-for-bit in double
+// arithmetic.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "grid/frame.hpp"
+#include "grid/frame_set.hpp"
+
+namespace islhls {
+
+struct Kernel_def {
+    std::string name;          // registry key, e.g. "igf"
+    std::string display_name;  // e.g. "Iterative Gaussian Filter"
+    std::string description;
+    std::string c_source;      // canonical ISL C form
+    std::vector<std::string> state_fields;
+    std::vector<std::string> const_fields;
+    int default_iterations = 10;
+    Boundary boundary = Boundary::clamp;
+
+    // Native single step: consumes the current state (and const fields),
+    // returns the next state (const fields copied through unchanged).
+    std::function<Frame_set(const Frame_set&, Boundary)> native_step;
+
+    // Builds the initial Frame_set from a content frame (e.g. Chambolle
+    // starts with zero dual fields and the image as constant field g).
+    std::function<Frame_set(const Frame&)> make_initial;
+
+    // The field to inspect as "the result" after iterating.
+    std::string result_field;
+};
+
+// All registered kernels, in a stable order.
+const std::vector<Kernel_def>& all_kernels();
+
+// Lookup by registry key; throws Error when unknown.
+const Kernel_def& kernel_by_name(const std::string& name);
+
+// Registry keys in order.
+std::vector<std::string> kernel_names();
+
+// Runs `iterations` native steps.
+Frame_set run_native(const Kernel_def& kernel, const Frame_set& initial,
+                     int iterations);
+
+}  // namespace islhls

@@ -1,0 +1,214 @@
+#include "sim/arch_sim.hpp"
+
+#include <algorithm>
+
+#include "sim/fixed_exec.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace islhls {
+
+namespace {
+
+// A dense per-field buffer over an absolute-coordinate rectangle.
+class Region_buffer {
+public:
+    Region_buffer(const Window& window, int fields)
+        : window_(window),
+          data_(static_cast<std::size_t>(fields) * window.element_count(), 0.0) {}
+
+    const Window& window() const { return window_; }
+
+    bool contains(int x, int y) const {
+        return x >= window_.x0 && x < window_.x0 + window_.width && y >= window_.y0 &&
+               y < window_.y0 + window_.height;
+    }
+
+    double get(int field, int x, int y) const {
+        return data_[index(field, x, y)];
+    }
+    void set(int field, int x, int y, double v) { data_[index(field, x, y)] = v; }
+
+private:
+    std::size_t index(int field, int x, int y) const {
+        check_internal(contains(x, y), cat("Region_buffer read outside ", to_string(window_),
+                                           " at (", x, ",", y, ")"));
+        return (static_cast<std::size_t>(field) * window_.height +
+                static_cast<std::size_t>(y - window_.y0)) *
+                   window_.width +
+               static_cast<std::size_t>(x - window_.x0);
+    }
+
+    Window window_;
+    std::vector<double> data_;
+};
+
+// Flush tile origins covering `extent` with stride `w`: 0, w, 2w, ...,
+// with the last tile pulled back flush to the end (origins may overlap).
+std::vector<int> flush_origins(int extent, int w) {
+    std::vector<int> origins;
+    if (extent <= w) {
+        origins.push_back(0);
+        return origins;
+    }
+    for (int o = 0;; o += w) {
+        if (o + w >= extent) {
+            origins.push_back(extent - w);
+            break;
+        }
+        origins.push_back(o);
+    }
+    return origins;
+}
+
+}  // namespace
+
+Arch_sim_result simulate_architecture(Cone_library& library,
+                                      const Arch_instance& instance,
+                                      const Frame_set& initial,
+                                      const Arch_sim_options& options) {
+    const Stencil_step& step = library.step();
+    const Footprint fp = step.footprint();
+    const int w = instance.window;
+    check_internal(w >= 1 && !instance.level_depths.empty(),
+                   "simulate_architecture: malformed instance");
+
+    const int frame_w = initial.width();
+    const int frame_h = initial.height();
+    const int fields_total = step.pool().field_count();
+    const int state_count = step.state_field_count();
+
+    // Per-field index mapping: buffer slot == pool field index.
+    std::vector<const Frame*> field_frames;
+    for (int f = 0; f < fields_total; ++f) {
+        field_frames.push_back(&initial.field(step.pool().field_name(f)));
+    }
+
+    Arch_sim_result result;
+    result.final_state = Frame_set(frame_w, frame_h);
+    std::vector<Frame*> out_frames;
+    for (const std::string& name : step.state_fields()) {
+        out_frames.push_back(&result.final_state.add_field(name));
+    }
+
+    const std::size_t level_count = instance.level_depths.size();
+    // Suffix halo after each level k (0-based level index; suffix excludes
+    // the level itself for its OUTPUT coverage).
+    std::vector<Footprint> suffix(level_count + 1);
+    suffix[level_count] = Footprint{};
+    for (std::size_t k = level_count; k-- > 0;) {
+        suffix[k] = compose(repeat(fp, instance.level_depths[k]), suffix[k + 1]);
+    }
+    // Output coverage of level k (1-based like the architecture module):
+    // the output window grown by suffix[k].
+
+    const std::vector<int> tx_origins = flush_origins(frame_w, w);
+    const std::vector<int> ty_origins = flush_origins(frame_h, w);
+
+    for (int ty : ty_origins) {
+        for (int tx : tx_origins) {
+            result.stats.output_windows += 1;
+
+            // --- load the initial coverage from "off-chip" -----------------------
+            const Footprint total_halo = suffix[0];
+            Window input_region{tx - total_halo.left, ty - total_halo.up,
+                                w + total_halo.width_growth(),
+                                w + total_halo.height_growth()};
+            Region_buffer current(input_region, fields_total);
+            for (int f = 0; f < fields_total; ++f) {
+                for (int y = input_region.y0; y < input_region.y0 + input_region.height;
+                     ++y) {
+                    for (int x = input_region.x0;
+                         x < input_region.x0 + input_region.width; ++x) {
+                        current.set(f, x, y,
+                                    field_frames[static_cast<std::size_t>(f)]->sample(
+                                        x, y, options.boundary));
+                    }
+                }
+            }
+            result.stats.offchip_elements_read +=
+                input_region.element_count() * fields_total;
+
+            // --- run the levels deep-first ---------------------------------------
+            for (std::size_t k = 0; k < level_count; ++k) {
+                const int depth = instance.level_depths[k];
+                const Cone& cone = library.cone(w, depth);
+                const Register_program& program = cone.program();
+                const Footprint out_halo = suffix[k + 1];
+                Window out_region{tx - out_halo.left, ty - out_halo.up,
+                                  w + out_halo.width_growth(),
+                                  w + out_halo.height_growth()};
+                Region_buffer next(out_region, fields_total);
+
+                // Constant fields survive level transitions: copy the slice
+                // the next levels may still read.
+                for (int f = 0; f < fields_total; ++f) {
+                    if (step.is_state_index(f)) continue;
+                    for (int y = out_region.y0; y < out_region.y0 + out_region.height;
+                         ++y) {
+                        for (int x = out_region.x0;
+                             x < out_region.x0 + out_region.width; ++x) {
+                            next.set(f, x, y, current.get(f, x, y));
+                        }
+                    }
+                }
+
+                const std::vector<int> sub_x = flush_origins(out_region.width, w);
+                const std::vector<int> sub_y = flush_origins(out_region.height, w);
+                std::vector<double> inputs(
+                    static_cast<std::size_t>(program.input_count()));
+                for (int oy : sub_y) {
+                    for (int ox : sub_x) {
+                        const int origin_x = out_region.x0 + ox;
+                        const int origin_y = out_region.y0 + oy;
+                        const auto& ports = program.input_ports();
+                        for (std::size_t i = 0; i < ports.size(); ++i) {
+                            inputs[i] = current.get(ports[i].field,
+                                                    origin_x + ports[i].dx,
+                                                    origin_y + ports[i].dy);
+                        }
+                        result.stats.onchip_elements_read +=
+                            static_cast<long long>(ports.size());
+                        result.stats.cone_executions += 1;
+                        result.stats.operations_executed += program.register_count();
+
+                        const std::vector<double> outs =
+                            options.fixed_point
+                                ? run_fixed(program, inputs, options.format)
+                                : program.run(inputs);
+                        for (int s = 0; s < state_count; ++s) {
+                            const int field =
+                                step.pool().find_field(step.state_fields()[static_cast<std::size_t>(s)]);
+                            for (int yy = 0; yy < w; ++yy) {
+                                for (int xx = 0; xx < w; ++xx) {
+                                    next.set(field, origin_x + xx, origin_y + yy,
+                                             outs[static_cast<std::size_t>(
+                                                 cone.output_index(s, xx, yy))]);
+                                }
+                            }
+                        }
+                    }
+                }
+                current = std::move(next);
+            }
+
+            // --- write the output window ---------------------------------------------
+            for (int s = 0; s < state_count; ++s) {
+                const int field = step.pool().find_field(
+                    step.state_fields()[static_cast<std::size_t>(s)]);
+                for (int yy = 0; yy < w && ty + yy < frame_h; ++yy) {
+                    for (int xx = 0; xx < w && tx + xx < frame_w; ++xx) {
+                        out_frames[static_cast<std::size_t>(s)]->at(tx + xx, ty + yy) =
+                            current.get(field, tx + xx, ty + yy);
+                    }
+                }
+            }
+            result.stats.offchip_elements_written +=
+                static_cast<long long>(std::min(w, frame_w - tx)) *
+                std::min(w, frame_h - ty) * state_count;
+        }
+    }
+    return result;
+}
+
+}  // namespace islhls

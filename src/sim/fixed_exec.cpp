@@ -1,0 +1,128 @@
+#include "sim/fixed_exec.hpp"
+
+#include "support/error.hpp"
+
+namespace islhls {
+
+std::int64_t wrap_to_bits(std::int64_t v, int bits) {
+    check_internal(bits >= 2 && bits <= 62, "wrap_to_bits supports 2..62 bits");
+    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+    std::uint64_t u = static_cast<std::uint64_t>(v) & mask;
+    const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
+    if (u & sign) u |= ~mask;  // sign-extend
+    return static_cast<std::int64_t>(u);
+}
+
+std::int64_t isqrt_floor(std::int64_t v) {
+    if (v <= 0) return 0;
+    std::int64_t x = v;
+    std::int64_t y = (x + 1) / 2;
+    while (y < x) {
+        x = y;
+        y = (x + v / x) / 2;
+    }
+    return x;
+}
+
+std::vector<std::int64_t> run_fixed_raw(const Register_program& program,
+                                        const std::vector<std::int64_t>& inputs,
+                                        const Fixed_format& fmt) {
+    check_internal(inputs.size() == static_cast<std::size_t>(program.input_count()),
+                   "run_fixed_raw input arity mismatch");
+    const int bits = fmt.total_bits();
+    const int frac = fmt.frac_bits;
+    const std::int64_t fixed_one = to_raw(1.0, fmt);
+
+    const auto& instrs = program.instructions();
+    std::vector<std::int64_t> regs(instrs.size(), 0);
+    std::size_t next_input = 0;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        const Instruction& in = instrs[i];
+        auto op = [&](int k) {
+            return regs[static_cast<std::size_t>(in.operands[static_cast<std::size_t>(k)])];
+        };
+        std::int64_t v = 0;
+        switch (in.kind) {
+            case Op_kind::constant:
+                v = to_raw(in.value, fmt);
+                break;
+            case Op_kind::input:
+                v = wrap_to_bits(inputs[next_input++], bits);
+                break;
+            case Op_kind::add:
+                v = wrap_to_bits(op(0) + op(1), bits);
+                break;
+            case Op_kind::sub:
+                v = wrap_to_bits(op(0) - op(1), bits);
+                break;
+            case Op_kind::mul: {
+                // Full product then arithmetic right shift (floor), as in the
+                // emitted shift_right(a*b, FRAC).
+                const std::int64_t prod = op(0) * op(1);
+                v = wrap_to_bits(prod >> frac, bits);
+                break;
+            }
+            case Op_kind::div: {
+                const std::int64_t b = op(1);
+                if (b == 0) {
+                    v = 0;
+                } else {
+                    // VHDL '/': truncation toward zero, matching C++.
+                    v = wrap_to_bits((op(0) << frac) / b, bits);
+                }
+                break;
+            }
+            case Op_kind::sqrt_op: {
+                const std::int64_t a = op(0);
+                v = a <= 0 ? 0 : wrap_to_bits(isqrt_floor(a << frac), bits);
+                break;
+            }
+            case Op_kind::min_op:
+                v = op(0) < op(1) ? op(0) : op(1);
+                break;
+            case Op_kind::max_op:
+                v = op(0) > op(1) ? op(0) : op(1);
+                break;
+            case Op_kind::neg:
+                v = wrap_to_bits(-op(0), bits);
+                break;
+            case Op_kind::abs_op:
+                v = wrap_to_bits(op(0) < 0 ? -op(0) : op(0), bits);
+                break;
+            case Op_kind::lt:
+                v = op(0) < op(1) ? fixed_one : 0;
+                break;
+            case Op_kind::le:
+                v = op(0) <= op(1) ? fixed_one : 0;
+                break;
+            case Op_kind::eq:
+                v = op(0) == op(1) ? fixed_one : 0;
+                break;
+            case Op_kind::select:
+                v = op(0) != 0 ? op(1) : op(2);
+                break;
+        }
+        regs[i] = v;
+    }
+    std::vector<std::int64_t> out;
+    out.reserve(program.outputs().size());
+    for (std::int32_t r : program.outputs()) {
+        out.push_back(regs[static_cast<std::size_t>(r)]);
+    }
+    return out;
+}
+
+std::vector<double> run_fixed(const Register_program& program,
+                              const std::vector<double>& inputs,
+                              const Fixed_format& fmt) {
+    std::vector<std::int64_t> raw;
+    raw.reserve(inputs.size());
+    for (double v : inputs) raw.push_back(to_raw(v, fmt));
+    const std::vector<std::int64_t> out_raw = run_fixed_raw(program, raw, fmt);
+    std::vector<double> out;
+    out.reserve(out_raw.size());
+    for (std::int64_t r : out_raw) out.push_back(from_raw(r, fmt));
+    return out;
+}
+
+}  // namespace islhls

@@ -1,0 +1,33 @@
+// Bit-accurate fixed-point execution of register programs.
+//
+// Mirrors the generated VHDL operator for operator (wrap-around resize,
+// truncating multiply shift, VHDL '/' truncation toward zero, floor integer
+// square root), so an expected-output vector computed here is exactly what
+// the emitted entity produces — the self-checking testbenches rely on it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "backend/fixed_point.hpp"
+#include "ir/program.hpp"
+
+namespace islhls {
+
+// Runs the program on raw two's-complement words (already in Qm.f).
+std::vector<std::int64_t> run_fixed_raw(const Register_program& program,
+                                        const std::vector<std::int64_t>& inputs,
+                                        const Fixed_format& fmt);
+
+// Convenience: quantizes `inputs`, runs, returns real-valued outputs.
+std::vector<double> run_fixed(const Register_program& program,
+                              const std::vector<double>& inputs,
+                              const Fixed_format& fmt);
+
+// Wraps `v` into the two's-complement range of `bits` (VHDL resize semantics).
+std::int64_t wrap_to_bits(std::int64_t v, int bits);
+
+// Floor integer square root of a non-negative value.
+std::int64_t isqrt_floor(std::int64_t v);
+
+}  // namespace islhls

@@ -1,0 +1,114 @@
+#include "sim/golden.hpp"
+
+#include "ir/program.hpp"
+#include "support/error.hpp"
+
+namespace islhls {
+
+Frame_set run_step_ir(const Stencil_step& step, const Frame_set& current, Boundary b) {
+    const Register_program program = build_program(step.pool(), step.updates());
+    Frame_set next(current.width(), current.height());
+    std::vector<Frame*> out_fields;
+    for (const std::string& name : step.state_fields()) {
+        out_fields.push_back(&next.add_field(name));
+    }
+    std::vector<double> inputs(static_cast<std::size_t>(program.input_count()));
+    for (int y = 0; y < current.height(); ++y) {
+        for (int x = 0; x < current.width(); ++x) {
+            const auto& ports = program.input_ports();
+            for (std::size_t i = 0; i < ports.size(); ++i) {
+                const Frame& f = current.field(step.pool().field_name(ports[i].field));
+                inputs[i] = f.sample(x + ports[i].dx, y + ports[i].dy, b);
+            }
+            const std::vector<double> outs = program.run(inputs);
+            for (std::size_t s = 0; s < out_fields.size(); ++s) {
+                out_fields[s]->at(x, y) = outs[s];
+            }
+        }
+    }
+    // Constant fields pass through unchanged.
+    for (const std::string& name : step.const_fields()) {
+        next.add_field(name, current.field(name));
+    }
+    return next;
+}
+
+Frame_set run_ir(const Stencil_step& step, const Frame_set& initial, int iterations,
+                 Boundary b) {
+    Frame_set current = initial;
+    for (int i = 0; i < iterations; ++i) current = run_step_ir(step, current, b);
+    return current;
+}
+
+Frame pad_frame(const Frame& frame, int left, int right, int up, int down, Boundary b) {
+    Frame padded(frame.width() + left + right, frame.height() + up + down);
+    for (int y = 0; y < padded.height(); ++y) {
+        for (int x = 0; x < padded.width(); ++x) {
+            padded.at(x, y) = frame.sample(x - left, y - up, b);
+        }
+    }
+    return padded;
+}
+
+Frame crop_frame(const Frame& frame, int left, int right, int up, int down) {
+    check_internal(frame.width() > left + right && frame.height() > up + down,
+                   "crop_frame margins exceed frame");
+    Frame cropped(frame.width() - left - right, frame.height() - up - down);
+    for (int y = 0; y < cropped.height(); ++y) {
+        for (int x = 0; x < cropped.width(); ++x) {
+            cropped.at(x, y) = frame.at(x + left, y + up);
+        }
+    }
+    return cropped;
+}
+
+namespace {
+
+// Pads every field of the set by the N-iteration halo.
+Frame_set pad_set(const Frame_set& fs, const Footprint& halo, Boundary b) {
+    Frame_set padded(fs.width() + halo.width_growth(), fs.height() + halo.height_growth());
+    for (const std::string& name : fs.names()) {
+        padded.add_field(name,
+                         pad_frame(fs.field(name), halo.left, halo.right, halo.up,
+                                   halo.down, b));
+    }
+    return padded;
+}
+
+Frame_set crop_set(const Frame_set& fs, const Footprint& halo,
+                   const std::vector<std::string>& keep) {
+    Frame_set cropped(fs.width() - halo.width_growth(),
+                      fs.height() - halo.height_growth());
+    for (const std::string& name : keep) {
+        cropped.add_field(name, crop_frame(fs.field(name), halo.left, halo.right,
+                                           halo.up, halo.down));
+    }
+    return cropped;
+}
+
+}  // namespace
+
+Frame_set run_ghost_ir(const Stencil_step& step, const Frame_set& initial,
+                       int iterations, Boundary b) {
+    const Footprint halo = repeat(step.footprint(), iterations);
+    Frame_set padded = pad_set(initial, halo, b);
+    padded = run_ir(step, padded, iterations, b);
+    std::vector<std::string> keep = step.state_fields();
+    for (const std::string& c : step.const_fields()) keep.push_back(c);
+    return crop_set(padded, halo, keep);
+}
+
+Frame_set run_ghost_native(const Kernel_def& kernel, const Frame_set& initial,
+                           int iterations) {
+    // The native step's footprint is not directly known; conservatively use
+    // reach 2 per iteration and direction (all built-in kernels are within).
+    const Footprint halo{2 * iterations, 2 * iterations, 2 * iterations,
+                         2 * iterations};
+    Frame_set padded = pad_set(initial, halo, kernel.boundary);
+    for (int i = 0; i < iterations; ++i) {
+        padded = kernel.native_step(padded, kernel.boundary);
+    }
+    return crop_set(padded, halo, initial.names());
+}
+
+}  // namespace islhls

@@ -1,0 +1,42 @@
+// Golden reference execution of ISL algorithms.
+//
+// Two semantics exist and tests use both:
+//   - run_step_ir / run_native: apply one step over the frame, resolving
+//     out-of-range reads with the boundary policy *at every iteration* (what
+//     a software implementation does);
+//   - ghost semantics (run_ghost_*): extend the initial frame once by the
+//     total halo, then iterate without further boundary involvement. This is
+//     what the cone architecture computes (every intermediate value derives
+//     from the initial window), so the architecture simulator is compared
+//     against the ghost golden — and the two goldens agree on the interior.
+#pragma once
+
+#include "grid/frame_set.hpp"
+#include "kernels/kernels.hpp"
+#include "symexec/stencil_step.hpp"
+
+namespace islhls {
+
+// One step, evaluating the stencil's extracted IR at every point. This is
+// also the reference for user kernels that have no native implementation.
+Frame_set run_step_ir(const Stencil_step& step, const Frame_set& current, Boundary b);
+
+// `iterations` IR steps with per-iteration boundary resolution.
+Frame_set run_ir(const Stencil_step& step, const Frame_set& initial, int iterations,
+                 Boundary b);
+
+// Pads `frame` by the margins, filling the apron via the boundary policy.
+Frame pad_frame(const Frame& frame, int left, int right, int up, int down, Boundary b);
+
+// Removes the apron again.
+Frame crop_frame(const Frame& frame, int left, int right, int up, int down);
+
+// Ghost-zone golden using the extracted IR step.
+Frame_set run_ghost_ir(const Stencil_step& step, const Frame_set& initial,
+                       int iterations, Boundary b);
+
+// Ghost-zone golden using a kernel's native step.
+Frame_set run_ghost_native(const Kernel_def& kernel, const Frame_set& initial,
+                           int iterations);
+
+}  // namespace islhls

@@ -1,0 +1,80 @@
+// Error hierarchy for the ISL-HLS flow.
+//
+// Every failure in the flow is reported by throwing one of these exception
+// types; they all derive from islhls::Error so callers can catch the whole
+// family at the API boundary. Constructors take a human-readable message;
+// frontend errors additionally carry a source location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace islhls {
+
+// Root of all exceptions thrown by this library.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Lexer/parser failure; carries a 1-based line/column into the C source.
+class Parse_error : public Error {
+public:
+    Parse_error(const std::string& what, int line, int column)
+        : Error("parse error at " + std::to_string(line) + ":" +
+                std::to_string(column) + ": " + what),
+          line_(line),
+          column_(column) {}
+
+    int line() const { return line_; }
+    int column() const { return column_; }
+
+private:
+    int line_ = 0;
+    int column_ = 0;
+};
+
+// Semantic analysis failure: the input is valid C but not a recognizable /
+// synthesizable iterative stencil loop (e.g. non-affine subscripts).
+class Sema_error : public Error {
+public:
+    using Error::Error;
+};
+
+// Symbolic execution failure (unsupported construct reached at run time).
+class Symexec_error : public Error {
+public:
+    using Error::Error;
+};
+
+// Virtual synthesis failure (e.g. design does not fit any device variant).
+class Synthesis_error : public Error {
+public:
+    using Error::Error;
+};
+
+// Design space exploration failure (e.g. empty feasible set).
+class Dse_error : public Error {
+public:
+    using Error::Error;
+};
+
+// File / stream I/O failure.
+class Io_error : public Error {
+public:
+    using Error::Error;
+};
+
+// Internal invariant violation: indicates a bug in the library itself.
+class Internal_error : public Error {
+public:
+    using Error::Error;
+};
+
+// Throws Internal_error when `condition` is false. Used for internal
+// invariants that should hold regardless of user input.
+inline void check_internal(bool condition, const std::string& what) {
+    if (!condition) throw Internal_error("internal invariant violated: " + what);
+}
+
+}  // namespace islhls

@@ -1,0 +1,36 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace islhls {
+
+namespace {
+std::atomic<Log_level>& threshold_storage() {
+    static std::atomic<Log_level> level{Log_level::warn};
+    return level;
+}
+
+const char* level_tag(Log_level level) {
+    switch (level) {
+        case Log_level::debug: return "debug";
+        case Log_level::info: return "info ";
+        case Log_level::warn: return "warn ";
+        case Log_level::error: return "error";
+        case Log_level::off: return "off  ";
+    }
+    return "?";
+}
+}  // namespace
+
+Log_level log_threshold() { return threshold_storage().load(); }
+
+void set_log_threshold(Log_level level) { threshold_storage().store(level); }
+
+void log_message(Log_level level, const std::string& message) {
+    if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
+    if (level == Log_level::off) return;
+    std::cerr << "[islhls:" << level_tag(level) << "] " << message << '\n';
+}
+
+}  // namespace islhls

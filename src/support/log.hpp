@@ -1,0 +1,25 @@
+// Minimal leveled logging to stderr.
+//
+// The flow is a batch tool; logging exists mainly so long explorations can
+// report progress. Default level is `warn` so tests and benches stay quiet.
+#pragma once
+
+#include <string>
+
+namespace islhls {
+
+enum class Log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+// Process-wide minimum level that is actually emitted.
+Log_level log_threshold();
+void set_log_threshold(Log_level level);
+
+// Emits `message` on stderr with a level tag when `level >= threshold`.
+void log_message(Log_level level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log_message(Log_level::debug, m); }
+inline void log_info(const std::string& m) { log_message(Log_level::info, m); }
+inline void log_warn(const std::string& m) { log_message(Log_level::warn, m); }
+inline void log_error(const std::string& m) { log_message(Log_level::error, m); }
+
+}  // namespace islhls

@@ -1,0 +1,63 @@
+#include "support/prng.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/numeric.hpp"
+
+namespace islhls {
+
+namespace {
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Prng::Prng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four state words, as
+    // recommended by the xoshiro authors.
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+        s += 0x9e3779b97f4a7c15ULL;
+        word = hash_mix(s);
+    }
+}
+
+std::uint64_t Prng::next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Prng::next_unit() { return hash_to_unit(next_u64()); }
+
+double Prng::next_in(double lo, double hi) { return lo + (hi - lo) * next_unit(); }
+
+int Prng::next_int(int lo, int hi) {
+    check_internal(lo <= hi, "Prng::next_int requires lo <= hi");
+    const std::uint64_t range = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return lo + static_cast<int>(next_u64() % range);
+}
+
+double Prng::next_gaussian() {
+    if (have_cached_gaussian_) {
+        have_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = next_unit();
+    } while (u1 <= 1e-12);
+    const double u2 = next_unit();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * 3.14159265358979323846 * u2;
+    cached_gaussian_ = radius * std::sin(angle);
+    have_cached_gaussian_ = true;
+    return radius * std::cos(angle);
+}
+
+}  // namespace islhls

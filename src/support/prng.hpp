@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized inputs in the library (workload generators, property tests)
+// go through this wrapper so that every run is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace islhls {
+
+// xoshiro256** by Blackman & Vigna — small, fast, high quality, and fully
+// deterministic across platforms (unlike std::mt19937 distributions).
+class Prng {
+public:
+    explicit Prng(std::uint64_t seed);
+
+    // Next raw 64-bit value.
+    std::uint64_t next_u64();
+
+    // Uniform double in [0, 1).
+    double next_unit();
+
+    // Uniform double in [lo, hi).
+    double next_in(double lo, double hi);
+
+    // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+    int next_int(int lo, int hi);
+
+    // Standard normal via Box-Muller (deterministic given the stream).
+    double next_gaussian();
+
+private:
+    std::uint64_t state_[4];
+    bool have_cached_gaussian_ = false;
+    double cached_gaussian_ = 0.0;
+};
+
+}  // namespace islhls

@@ -1,0 +1,113 @@
+#include "support/text.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+
+namespace islhls {
+
+std::string format_fixed(double value, int decimals) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string format_sci(double value, int decimals) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string format_grouped(long long value) {
+    const bool negative = value < 0;
+    std::string digits = std::to_string(negative ? -value : value);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count != 0 && count % 3 == 0) out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    if (negative) out.push_back('-');
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+    std::vector<std::string> parts;
+    std::string current;
+    for (char c : s) {
+        if (c == sep) {
+            parts.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    parts.push_back(current);
+    return parts;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string trim(const std::string& s) {
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+    return s.substr(begin, end - begin);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+    return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+    if (s.size() >= width) return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+    if (s.size() >= width) return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::string to_lower(const std::string& s) {
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return out;
+}
+
+std::string replace_all(std::string s, const std::string& from, const std::string& to) {
+    if (from.empty()) return s;
+    std::size_t pos = 0;
+    while ((pos = s.find(from, pos)) != std::string::npos) {
+        s.replace(pos, from.size(), to);
+        pos += to.size();
+    }
+    return s;
+}
+
+bool is_identifier(const std::string& name) {
+    if (name.empty()) return false;
+    const unsigned char first = static_cast<unsigned char>(name.front());
+    if (!std::isalpha(first) && name.front() != '_') return false;
+    return std::all_of(name.begin() + 1, name.end(), [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    });
+}
+
+}  // namespace islhls

@@ -1,0 +1,56 @@
+// Small string formatting helpers used across the library.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace islhls {
+
+// Concatenates all arguments through an ostringstream.
+// Example: cat("cone w=", 4, " d=", 2) == "cone w=4 d=2".
+template <typename... Args>
+std::string cat(const Args&... args) {
+    std::ostringstream os;
+    ((os << args), ...);
+    return os.str();
+}
+
+// Fixed-precision decimal rendering, e.g. format_fixed(3.14159, 2) == "3.14".
+std::string format_fixed(double value, int decimals);
+
+// Scientific rendering with `decimals` digits after the point.
+std::string format_sci(double value, int decimals);
+
+// Formats `value` with thousands separators: 1234567 -> "1,234,567".
+std::string format_grouped(long long value);
+
+// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(const std::string& s, char sep);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+// Strips ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+// True if `s` starts with `prefix` / ends with `suffix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+bool ends_with(const std::string& s, const std::string& suffix);
+
+// Returns `s` left-padded (right-aligned) to `width` with spaces.
+std::string pad_left(const std::string& s, std::size_t width);
+
+// Returns `s` right-padded (left-aligned) to `width` with spaces.
+std::string pad_right(const std::string& s, std::size_t width);
+
+// Lowercases ASCII letters.
+std::string to_lower(const std::string& s);
+
+// Replaces every occurrence of `from` (non-empty) in `s` with `to`.
+std::string replace_all(std::string s, const std::string& from, const std::string& to);
+
+// True if `name` is a valid C identifier ([A-Za-z_][A-Za-z0-9_]*).
+bool is_identifier(const std::string& name);
+
+}  // namespace islhls

@@ -1,0 +1,760 @@
+#include "symexec/executor.hpp"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "frontend/parser.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace islhls {
+
+namespace {
+
+// --- symbolic values ----------------------------------------------------------
+
+// Integer affine value: `offset` when var < 0, or `loopvar + offset` where
+// var 0 is the row (outer) counter and var 1 the column (inner) counter.
+struct Affine {
+    int var = -1;
+    long long offset = 0;
+    bool concrete() const { return var < 0; }
+};
+
+struct Sym_value {
+    enum class Tag { affine, numeric };
+    Tag tag = Tag::affine;
+    Affine affine;
+    Expr_id expr = no_expr;
+
+    static Sym_value make_affine(int var, long long offset) {
+        Sym_value v;
+        v.tag = Tag::affine;
+        v.affine = {var, offset};
+        return v;
+    }
+    static Sym_value make_numeric(Expr_id e) {
+        Sym_value v;
+        v.tag = Tag::numeric;
+        v.expr = e;
+        return v;
+    }
+    bool operator==(const Sym_value& o) const {
+        if (tag != o.tag) return false;
+        if (tag == Tag::affine) {
+            return affine.var == o.affine.var && affine.offset == o.affine.offset;
+        }
+        return expr == o.expr;
+    }
+};
+
+// A named scalar binding; `is_int` fixes the coercion discipline.
+struct Binding {
+    Sym_value value;
+    bool is_int = false;
+    bool is_const = false;
+};
+
+// A local float array (possibly mutable), row-major.
+struct Array_binding {
+    std::vector<int> dims;
+    std::vector<Sym_value> elems;  // all numeric
+    bool is_const = false;
+};
+
+struct Env {
+    std::map<std::string, Binding> scalars;
+    std::map<std::string, Array_binding> arrays;
+    // Recorded next-iteration expressions, keyed by *state field* name.
+    std::map<std::string, Expr_id> outputs;
+};
+
+[[noreturn]] void fail(const Source_loc& loc, const std::string& what) {
+    throw Symexec_error(cat("symbolic execution at ", loc.line, ":", loc.column, ": ",
+                            what));
+}
+
+// Pre-scan: does the first out-field write subscript with [row][col] or
+// [col][row]? Decides which subscript position maps to the vertical axis.
+const Expr_ast* find_first_out_write(const Stmt_ast& s,
+                                     const std::vector<std::string>& out_params) {
+    switch (s.kind) {
+        case Stmt_ast_kind::assign:
+            if (s.target->kind == Expr_ast_kind::array_access) {
+                for (const std::string& p : out_params) {
+                    if (s.target->name == p) return s.target.get();
+                }
+            }
+            return nullptr;
+        case Stmt_ast_kind::block:
+            for (const auto& sub : s.stmts) {
+                if (const Expr_ast* hit = find_first_out_write(*sub, out_params)) {
+                    return hit;
+                }
+            }
+            return nullptr;
+        case Stmt_ast_kind::for_loop:
+            return s.body ? find_first_out_write(*s.body, out_params) : nullptr;
+        case Stmt_ast_kind::if_stmt: {
+            if (const Expr_ast* hit = find_first_out_write(*s.body, out_params)) return hit;
+            return s.else_body ? find_first_out_write(*s.else_body, out_params) : nullptr;
+        }
+        case Stmt_ast_kind::decl:
+            return nullptr;
+    }
+    return nullptr;
+}
+
+class Executor {
+public:
+    Executor(const Function_ast& fn, const Kernel_info& info,
+             const Symexec_options& options)
+        : fn_(fn), info_(info), options_(options) {}
+
+    Stencil_step run() {
+        // Register fields in declaration order so pool indices are stable.
+        for (const Field_info& f : info_.fields) {
+            if (f.is_state) {
+                step_.add_state_field(f.name);
+            } else {
+                step_.add_const_field(f.name);
+            }
+        }
+
+        decide_axis_mapping();
+
+        Env env;
+        // Spatial counters: row var is affine var 0, col var is affine var 1.
+        env.scalars[info_.row_var] = {Sym_value::make_affine(0, 0), true, true};
+        env.scalars[info_.col_var] = {Sym_value::make_affine(1, 0), true, true};
+
+        for (const Stmt_ast* decl : info_.preamble) exec_decl(*decl, env);
+        exec_stmt(*info_.kernel_body, env);
+
+        for (const std::string& field : info_.state_field_names()) {
+            const auto it = env.outputs.find(field);
+            if (it == env.outputs.end()) {
+                throw Symexec_error(cat("kernel never writes '", field, "_out'"));
+            }
+            step_.set_update(field, it->second);
+        }
+
+        const int reach = step_.max_reach();
+        if (reach > options_.max_reach) {
+            throw Symexec_error(cat("stencil reach ", reach,
+                                    " exceeds the domain-narrowness bound ",
+                                    options_.max_reach));
+        }
+        return std::move(step_);
+    }
+
+private:
+    Expr_pool& pool() { return step_.pool(); }
+
+    void decide_axis_mapping() {
+        std::vector<std::string> out_params;
+        for (const Field_info& f : info_.fields) {
+            if (f.is_state) out_params.push_back(f.out_param);
+        }
+        row_is_first_subscript_ = true;
+        if (const Expr_ast* w = find_first_out_write(*info_.kernel_body, out_params)) {
+            if (!w->args.empty() && w->args[0]->kind == Expr_ast_kind::var &&
+                w->args[0]->name == info_.col_var) {
+                row_is_first_subscript_ = false;
+            }
+        }
+    }
+
+    // --- coercions ---------------------------------------------------------------
+
+    Expr_id to_numeric(const Sym_value& v, const Source_loc& loc) {
+        if (v.tag == Sym_value::Tag::numeric) return v.expr;
+        if (!v.affine.concrete()) {
+            fail(loc, "a spatial loop index cannot be used as a value (the kernel "
+                      "would not be translation invariant)");
+        }
+        return pool().constant(static_cast<double>(v.affine.offset));
+    }
+
+    Affine to_affine(const Sym_value& v, const Source_loc& loc, const char* what) {
+        if (v.tag == Sym_value::Tag::affine) return v.affine;
+        const Expr_node& n = pool().node(v.expr);
+        if (n.kind == Op_kind::constant && n.value == static_cast<long long>(n.value)) {
+            return Affine{-1, static_cast<long long>(n.value)};
+        }
+        fail(loc, cat(what, " must be an integer expression of the form "
+                            "loop_variable +/- constant"));
+    }
+
+    // --- expression evaluation -----------------------------------------------------
+
+    Sym_value eval(const Expr_ast& e, Env& env) {
+        switch (e.kind) {
+            case Expr_ast_kind::number:
+                if (e.is_integer) {
+                    return Sym_value::make_affine(-1, static_cast<long long>(e.number));
+                }
+                return Sym_value::make_numeric(pool().constant(e.number));
+            case Expr_ast_kind::var:
+                return eval_var(e, env);
+            case Expr_ast_kind::array_access:
+                return eval_access(e, env);
+            case Expr_ast_kind::call:
+                return eval_call(e, env);
+            case Expr_ast_kind::unary:
+                return eval_unary(e, env);
+            case Expr_ast_kind::binary:
+                return eval_binary(e, env);
+            case Expr_ast_kind::ternary:
+                return eval_ternary(e, env);
+        }
+        fail(e.loc, "unsupported expression");
+    }
+
+    Sym_value eval_var(const Expr_ast& e, Env& env) {
+        const auto it = env.scalars.find(e.name);
+        if (it != env.scalars.end()) return it->second.value;
+        if (env.arrays.count(e.name) != 0 || step_.field_index(e.name) >= 0) {
+            fail(e.loc, cat("array '", e.name, "' must be subscripted"));
+        }
+        fail(e.loc, cat("use of undeclared variable '", e.name, "'"));
+    }
+
+    Sym_value eval_access(const Expr_ast& e, Env& env) {
+        // Local array?
+        const auto arr = env.arrays.find(e.name);
+        if (arr != env.arrays.end()) {
+            return arr->second.elems[local_array_index(e, arr->second, env)];
+        }
+        // Field read -> input leaf.
+        const int field = step_.field_index(e.name);
+        if (field < 0) fail(e.loc, cat("use of undeclared array '", e.name, "'"));
+        if (e.args.size() != 2) fail(e.loc, "fields require exactly two subscripts");
+        const auto [dx, dy] = field_offsets(e, env);
+        return Sym_value::make_numeric(pool().input(field, dx, dy));
+    }
+
+    // Resolves the two subscripts of a field access into (dx, dy) relative
+    // offsets, enforcing the affine form and axis consistency.
+    std::pair<int, int> field_offsets(const Expr_ast& e, Env& env) {
+        const Affine i0 = to_affine(eval(*e.args[0], env), e.args[0]->loc, "a subscript");
+        const Affine i1 = to_affine(eval(*e.args[1], env), e.args[1]->loc, "a subscript");
+        const int row_axis = row_is_first_subscript_ ? 0 : 1;
+        const Affine& row_idx = row_is_first_subscript_ ? i0 : i1;
+        const Affine& col_idx = row_is_first_subscript_ ? i1 : i0;
+        (void)row_axis;
+        if (row_idx.var != 0) {
+            fail(e.loc, cat("subscript of '", e.name,
+                            "' must be the row loop variable plus a constant"));
+        }
+        if (col_idx.var != 1) {
+            fail(e.loc, cat("subscript of '", e.name,
+                            "' must be the column loop variable plus a constant"));
+        }
+        return {static_cast<int>(col_idx.offset), static_cast<int>(row_idx.offset)};
+    }
+
+    std::size_t local_array_index(const Expr_ast& e, const Array_binding& arr, Env& env) {
+        if (e.args.size() != arr.dims.size()) {
+            fail(e.loc, cat("array '", e.name, "' expects ", arr.dims.size(),
+                            " subscripts"));
+        }
+        long long flat = 0;
+        for (std::size_t d = 0; d < arr.dims.size(); ++d) {
+            const Affine idx =
+                to_affine(eval(*e.args[d], env), e.args[d]->loc, "a local array subscript");
+            if (!idx.concrete()) {
+                fail(e.args[d]->loc,
+                     "local array subscripts must be compile-time constants after "
+                     "loop unrolling");
+            }
+            if (idx.offset < 0 || idx.offset >= arr.dims[d]) {
+                fail(e.args[d]->loc, cat("local array subscript ", idx.offset,
+                                         " is out of bounds [0,", arr.dims[d], ")"));
+            }
+            flat = flat * arr.dims[d] + idx.offset;
+        }
+        return static_cast<std::size_t>(flat);
+    }
+
+    Sym_value eval_call(const Expr_ast& e, Env& env) {
+        auto arg = [&](std::size_t i) {
+            return to_numeric(eval(*e.args[i], env), e.args[i]->loc);
+        };
+        const std::string& f = e.name;
+        auto expect_args = [&](std::size_t n) {
+            if (e.args.size() != n) {
+                fail(e.loc, cat("'", f, "' expects ", n, " argument(s)"));
+            }
+        };
+        if (f == "fabs" || f == "fabsf") {
+            expect_args(1);
+            return Sym_value::make_numeric(pool().abs_of(arg(0)));
+        }
+        if (f == "sqrt" || f == "sqrtf") {
+            expect_args(1);
+            return Sym_value::make_numeric(pool().sqrt_of(arg(0)));
+        }
+        if (f == "fmin" || f == "fminf") {
+            expect_args(2);
+            return Sym_value::make_numeric(pool().min_of(arg(0), arg(1)));
+        }
+        if (f == "fmax" || f == "fmaxf") {
+            expect_args(2);
+            return Sym_value::make_numeric(pool().max_of(arg(0), arg(1)));
+        }
+        if (f == "hypot" || f == "hypotf") {
+            expect_args(2);
+            const Expr_id a = arg(0);
+            const Expr_id b = arg(1);
+            return Sym_value::make_numeric(
+                pool().sqrt_of(pool().add(pool().mul(a, a), pool().mul(b, b))));
+        }
+        fail(e.loc, cat("unsupported function '", f,
+                        "' (supported: fabs, sqrt, fmin, fmax, hypot and f-suffixed "
+                        "variants)"));
+    }
+
+    Sym_value eval_unary(const Expr_ast& e, Env& env) {
+        const Sym_value v = eval(*e.args[0], env);
+        if (e.op == "+") return v;
+        if (e.op == "-") {
+            if (v.tag == Sym_value::Tag::affine && v.affine.concrete()) {
+                return Sym_value::make_affine(-1, -v.affine.offset);
+            }
+            return Sym_value::make_numeric(pool().neg(to_numeric(v, e.loc)));
+        }
+        if (e.op == "!") {
+            if (v.tag == Sym_value::Tag::affine && v.affine.concrete()) {
+                return Sym_value::make_affine(-1, v.affine.offset == 0 ? 1 : 0);
+            }
+            return Sym_value::make_numeric(
+                pool().equal(to_numeric(v, e.loc), pool().constant(0.0)));
+        }
+        fail(e.loc, cat("unsupported unary operator '", e.op, "'"));
+    }
+
+    Sym_value eval_binary(const Expr_ast& e, Env& env) {
+        const Sym_value a = eval(*e.args[0], env);
+        const Sym_value b = eval(*e.args[1], env);
+        const std::string& op = e.op;
+        const bool both_affine =
+            a.tag == Sym_value::Tag::affine && b.tag == Sym_value::Tag::affine;
+
+        if (both_affine) {
+            if (auto r = try_affine_op(op, a.affine, b.affine, e.loc)) return *r;
+        }
+        // Numeric path.
+        const Expr_id na = to_numeric(a, e.args[0]->loc);
+        const Expr_id nb = to_numeric(b, e.args[1]->loc);
+        Expr_pool& p = pool();
+        if (op == "+") return Sym_value::make_numeric(p.add(na, nb));
+        if (op == "-") return Sym_value::make_numeric(p.sub(na, nb));
+        if (op == "*") return Sym_value::make_numeric(p.mul(na, nb));
+        if (op == "/") return Sym_value::make_numeric(p.div(na, nb));
+        if (op == "<") return Sym_value::make_numeric(p.less(na, nb));
+        if (op == "<=") return Sym_value::make_numeric(p.less_equal(na, nb));
+        if (op == ">") return Sym_value::make_numeric(p.less(nb, na));
+        if (op == ">=") return Sym_value::make_numeric(p.less_equal(nb, na));
+        if (op == "==") return Sym_value::make_numeric(p.equal(na, nb));
+        if (op == "!=") {
+            return Sym_value::make_numeric(p.sub(p.constant(1.0), p.equal(na, nb)));
+        }
+        if (op == "&&") {
+            return Sym_value::make_numeric(p.mul(boolean_of(na), boolean_of(nb)));
+        }
+        if (op == "||") {
+            return Sym_value::make_numeric(p.max_of(boolean_of(na), boolean_of(nb)));
+        }
+        if (op == "%") fail(e.loc, "'%' requires integer operands");
+        fail(e.loc, cat("unsupported binary operator '", op, "'"));
+    }
+
+    Expr_id boolean_of(Expr_id x) {
+        Expr_pool& p = pool();
+        return p.sub(p.constant(1.0), p.equal(x, p.constant(0.0)));
+    }
+
+    // Affine arithmetic; nullopt when the operation leaves the affine domain
+    // (falls through to the numeric path, which may then report an error).
+    std::optional<Sym_value> try_affine_op(const std::string& op, const Affine& a,
+                                           const Affine& b, const Source_loc& loc) {
+        if (op == "+") {
+            if (a.var >= 0 && b.var >= 0) {
+                fail(loc, "subscript arithmetic cannot add two loop variables");
+            }
+            const int var = a.var >= 0 ? a.var : b.var;
+            return Sym_value::make_affine(var, a.offset + b.offset);
+        }
+        if (op == "-") {
+            if (b.var < 0) return Sym_value::make_affine(a.var, a.offset - b.offset);
+            if (a.var == b.var) return Sym_value::make_affine(-1, a.offset - b.offset);
+            fail(loc, "subscript arithmetic cannot negate a loop variable");
+        }
+        if (op == "*") {
+            if (a.concrete() && b.concrete()) {
+                return Sym_value::make_affine(-1, a.offset * b.offset);
+            }
+            fail(loc, "subscripts must have unit coefficients (no k*index terms)");
+        }
+        if (op == "/" || op == "%") {
+            if (a.concrete() && b.concrete()) {
+                if (b.offset == 0) fail(loc, "integer division by zero");
+                return Sym_value::make_affine(
+                    -1, op == "/" ? a.offset / b.offset : a.offset % b.offset);
+            }
+            fail(loc, "integer division requires constant operands");
+        }
+        // Comparisons need both sides concrete to stay in the affine domain.
+        if (op == "<" || op == "<=" || op == ">" || op == ">=" || op == "==" ||
+            op == "!=") {
+            if (a.var == b.var) {
+                // Same symbol (or both concrete): offsets decide.
+                const long long x = a.offset;
+                const long long y = b.offset;
+                bool r = false;
+                if (op == "<") r = x < y;
+                else if (op == "<=") r = x <= y;
+                else if (op == ">") r = x > y;
+                else if (op == ">=") r = x >= y;
+                else if (op == "==") r = x == y;
+                else r = x != y;
+                return Sym_value::make_affine(-1, r ? 1 : 0);
+            }
+            return std::nullopt;  // mixed symbolic comparison -> numeric path
+        }
+        if (op == "&&" || op == "||") {
+            if (a.concrete() && b.concrete()) {
+                const bool r = op == "&&" ? (a.offset != 0 && b.offset != 0)
+                                          : (a.offset != 0 || b.offset != 0);
+                return Sym_value::make_affine(-1, r ? 1 : 0);
+            }
+            return std::nullopt;
+        }
+        return std::nullopt;
+    }
+
+    Sym_value eval_ternary(const Expr_ast& e, Env& env) {
+        const Sym_value cond = eval(*e.args[0], env);
+        if (cond.tag == Sym_value::Tag::affine) {
+            if (!cond.affine.concrete()) {
+                fail(e.loc, "control flow cannot depend directly on a spatial index");
+            }
+            return eval(cond.affine.offset != 0 ? *e.args[1] : *e.args[2], env);
+        }
+        const Expr_node& n = pool().node(cond.expr);
+        if (n.kind == Op_kind::constant) {
+            return eval(n.value != 0.0 ? *e.args[1] : *e.args[2], env);
+        }
+        const Expr_id t = to_numeric(eval(*e.args[1], env), e.args[1]->loc);
+        const Expr_id f = to_numeric(eval(*e.args[2], env), e.args[2]->loc);
+        return Sym_value::make_numeric(pool().select(cond.expr, t, f));
+    }
+
+    // --- statement execution ---------------------------------------------------------
+
+    void exec_stmt(const Stmt_ast& s, Env& env) {
+        switch (s.kind) {
+            case Stmt_ast_kind::block: {
+                std::vector<std::string> declared;
+                for (const auto& sub : s.stmts) {
+                    if (sub->kind == Stmt_ast_kind::decl) declared.push_back(sub->name);
+                    exec_stmt(*sub, env);
+                }
+                for (const std::string& name : declared) {
+                    env.scalars.erase(name);
+                    env.arrays.erase(name);
+                }
+                break;
+            }
+            case Stmt_ast_kind::decl:
+                exec_decl(s, env);
+                break;
+            case Stmt_ast_kind::assign:
+                exec_assign(s, env);
+                break;
+            case Stmt_ast_kind::for_loop:
+                exec_for(s, env);
+                break;
+            case Stmt_ast_kind::if_stmt:
+                exec_if(s, env);
+                break;
+        }
+    }
+
+    void exec_decl(const Stmt_ast& s, Env& env) {
+        if (env.scalars.count(s.name) != 0 || env.arrays.count(s.name) != 0 ||
+            step_.field_index(s.name) >= 0) {
+            fail(s.loc, cat("redeclaration of '", s.name, "'"));
+        }
+        if (!s.array_dims.empty()) {
+            if (s.type_name == "int") {
+                fail(s.loc, "local arrays must be float or double");
+            }
+            Array_binding arr;
+            arr.dims = s.array_dims;
+            arr.is_const = s.is_const;
+            long long total = 1;
+            for (int d : s.array_dims) {
+                if (d <= 0) fail(s.loc, "array dimensions must be positive");
+                total *= d;
+            }
+            if (static_cast<long long>(s.init_list.size()) > total) {
+                fail(s.loc, "too many initializers");
+            }
+            arr.elems.assign(static_cast<std::size_t>(total),
+                             Sym_value::make_numeric(pool().constant(0.0)));
+            for (std::size_t i = 0; i < s.init_list.size(); ++i) {
+                arr.elems[i] = Sym_value::make_numeric(
+                    to_numeric(eval(*s.init_list[i], env), s.init_list[i]->loc));
+            }
+            env.arrays.emplace(s.name, std::move(arr));
+            return;
+        }
+        Binding b;
+        b.is_int = s.type_name == "int";
+        b.is_const = s.is_const;
+        if (s.init != nullptr) {
+            b.value = coerce_to(eval(*s.init, env), b.is_int, s.init->loc);
+        } else {
+            if (s.is_const) fail(s.loc, "const variable requires an initializer");
+            b.value = b.is_int ? Sym_value::make_affine(-1, 0)
+                               : Sym_value::make_numeric(pool().constant(0.0));
+        }
+        env.scalars.emplace(s.name, std::move(b));
+    }
+
+    Sym_value coerce_to(const Sym_value& v, bool is_int, const Source_loc& loc) {
+        if (is_int) {
+            const Affine a = to_affine(v, loc, "an int value");
+            return Sym_value::make_affine(a.var, a.offset);
+        }
+        return Sym_value::make_numeric(to_numeric(v, loc));
+    }
+
+    void exec_assign(const Stmt_ast& s, Env& env) {
+        const Expr_ast& target = *s.target;
+        if (target.kind == Expr_ast_kind::var) {
+            const auto it = env.scalars.find(target.name);
+            if (it == env.scalars.end()) {
+                fail(s.loc, cat("assignment to undeclared variable '", target.name, "'"));
+            }
+            Binding& b = it->second;
+            if (b.is_const) fail(s.loc, cat("assignment to const '", target.name, "'"));
+            Sym_value rhs = eval(*s.value, env);
+            if (s.assign_op != "=") {
+                rhs = combine_compound(s.assign_op, b.value, rhs, s.loc);
+            }
+            b.value = coerce_to(rhs, b.is_int, s.loc);
+            return;
+        }
+        check_internal(target.kind == Expr_ast_kind::array_access,
+                       "assign target must be var or array access");
+        // Out-field write?
+        for (const Field_info& f : info_.fields) {
+            if (f.is_state && f.out_param == target.name) {
+                exec_out_write(s, f, env);
+                return;
+            }
+        }
+        // Local array element write.
+        const auto arr = env.arrays.find(target.name);
+        if (arr == env.arrays.end()) {
+            fail(s.loc, cat("assignment to unknown array '", target.name, "'"));
+        }
+        if (arr->second.is_const) {
+            fail(s.loc, cat("assignment to const array '", target.name, "'"));
+        }
+        const std::size_t idx = local_array_index(target, arr->second, env);
+        Sym_value rhs = eval(*s.value, env);
+        if (s.assign_op != "=") {
+            rhs = combine_compound(s.assign_op, arr->second.elems[idx], rhs, s.loc);
+        }
+        arr->second.elems[idx] =
+            Sym_value::make_numeric(to_numeric(rhs, s.value->loc));
+    }
+
+    Sym_value combine_compound(const std::string& op, const Sym_value& old_v,
+                               const Sym_value& rhs, const Source_loc& loc) {
+        const bool both_affine = old_v.tag == Sym_value::Tag::affine &&
+                                 rhs.tag == Sym_value::Tag::affine;
+        const std::string base = op.substr(0, 1);  // "+=" -> "+"
+        if (both_affine) {
+            if (auto r = try_affine_op(base, old_v.affine, rhs.affine, loc)) return *r;
+        }
+        Expr_pool& p = pool();
+        const Expr_id a = to_numeric(old_v, loc);
+        const Expr_id b = to_numeric(rhs, loc);
+        if (base == "+") return Sym_value::make_numeric(p.add(a, b));
+        if (base == "-") return Sym_value::make_numeric(p.sub(a, b));
+        if (base == "*") return Sym_value::make_numeric(p.mul(a, b));
+        if (base == "/") return Sym_value::make_numeric(p.div(a, b));
+        fail(loc, cat("unsupported compound assignment '", op, "'"));
+    }
+
+    void exec_out_write(const Stmt_ast& s, const Field_info& field, Env& env) {
+        if (s.assign_op != "=") {
+            fail(s.loc, cat("output '", field.out_param,
+                            "' must be written with plain '=' assignment"));
+        }
+        const Expr_ast& target = *s.target;
+        if (target.args.size() != 2) {
+            fail(s.loc, "output writes require exactly two subscripts");
+        }
+        const auto [dx, dy] = field_offsets(target, env);
+        if (dx != 0 || dy != 0) {
+            fail(s.loc, cat("output '", field.out_param,
+                            "' must be written at offset [0][0] (got dy=", dy,
+                            ", dx=", dx, "); shift the reads instead"));
+        }
+        env.outputs[field.name] = to_numeric(eval(*s.value, env), s.value->loc);
+    }
+
+    void exec_for(const Stmt_ast& s, Env& env) {
+        // The kernel body may contain fixed-trip-count loops (e.g. iterating
+        // a 3x3 coefficient table); they are fully unrolled here.
+        bool counter_declared = false;
+        std::string counter;
+        if (s.for_init != nullptr) {
+            if (s.for_init->kind == Stmt_ast_kind::decl) {
+                exec_decl(*s.for_init, env);
+                counter_declared = true;
+                counter = s.for_init->name;
+            } else {
+                exec_stmt(*s.for_init, env);
+            }
+        }
+        if (s.cond == nullptr) fail(s.loc, "inner loops must have a bound");
+        int trips = 0;
+        for (;;) {
+            const Sym_value c = eval(*s.cond, env);
+            const Affine ca = to_affine(c, s.cond->loc, "an inner loop bound");
+            if (!ca.concrete()) {
+                fail(s.cond->loc,
+                     "inner loop bounds must be compile-time constants (only the two "
+                     "spatial loops may scan the frame)");
+            }
+            if (ca.offset == 0) break;
+            exec_stmt(*s.body, env);
+            if (s.for_step != nullptr) exec_stmt(*s.for_step, env);
+            unroll_budget_ += 1;
+            trips += 1;
+            if (unroll_budget_ > options_.max_unroll) {
+                fail(s.loc, cat("inner loop unrolling exceeded ", options_.max_unroll,
+                                " total trips"));
+            }
+        }
+        (void)trips;
+        if (counter_declared) env.scalars.erase(counter);
+    }
+
+    void exec_if(const Stmt_ast& s, Env& env) {
+        const Sym_value cond = eval(*s.cond, env);
+        if (cond.tag == Sym_value::Tag::affine) {
+            if (!cond.affine.concrete()) {
+                fail(s.loc, "control flow cannot depend directly on a spatial index");
+            }
+            if (cond.affine.offset != 0) {
+                exec_stmt(*s.body, env);
+            } else if (s.else_body != nullptr) {
+                exec_stmt(*s.else_body, env);
+            }
+            return;
+        }
+        const Expr_node& n = pool().node(cond.expr);
+        if (n.kind == Op_kind::constant) {
+            if (n.value != 0.0) {
+                exec_stmt(*s.body, env);
+            } else if (s.else_body != nullptr) {
+                exec_stmt(*s.else_body, env);
+            }
+            return;
+        }
+        // Data-dependent branch: execute both arms on copies and merge with
+        // select() — hardware evaluates both sides anyway.
+        Env then_env = env;
+        exec_stmt(*s.body, then_env);
+        Env else_env = env;
+        if (s.else_body != nullptr) exec_stmt(*s.else_body, else_env);
+        merge_envs(env, then_env, else_env, cond.expr, s.loc);
+    }
+
+    void merge_envs(Env& env, const Env& then_env, const Env& else_env, Expr_id cond,
+                    const Source_loc& loc) {
+        Expr_pool& p = pool();
+        // Scalars visible before the branch.
+        for (auto& [name, binding] : env.scalars) {
+            const Binding& tv = then_env.scalars.at(name);
+            const Binding& ev = else_env.scalars.at(name);
+            if (tv.value == ev.value) {
+                binding.value = tv.value;
+                continue;
+            }
+            if (binding.is_int) {
+                fail(loc, cat("integer variable '", name,
+                              "' takes different values on a data-dependent branch"));
+            }
+            binding.value = Sym_value::make_numeric(
+                p.select(cond, to_numeric(tv.value, loc), to_numeric(ev.value, loc)));
+        }
+        // Local arrays, element-wise.
+        for (auto& [name, arr] : env.arrays) {
+            const Array_binding& ta = then_env.arrays.at(name);
+            const Array_binding& ea = else_env.arrays.at(name);
+            for (std::size_t i = 0; i < arr.elems.size(); ++i) {
+                if (ta.elems[i] == ea.elems[i]) {
+                    arr.elems[i] = ta.elems[i];
+                } else {
+                    arr.elems[i] = Sym_value::make_numeric(
+                        p.select(cond, to_numeric(ta.elems[i], loc),
+                                 to_numeric(ea.elems[i], loc)));
+                }
+            }
+        }
+        // Outputs: a write on one arm must be merged with the other arm's
+        // value (or rejected when the other arm never defines it).
+        std::map<std::string, Expr_id> merged;
+        for (const Field_info& f : info_.fields) {
+            if (!f.is_state) continue;
+            const auto t = then_env.outputs.find(f.name);
+            const auto e = else_env.outputs.find(f.name);
+            const bool in_then = t != then_env.outputs.end();
+            const bool in_else = e != else_env.outputs.end();
+            if (!in_then && !in_else) continue;
+            if (in_then && in_else) {
+                merged[f.name] = t->second == e->second
+                                     ? t->second
+                                     : p.select(cond, t->second, e->second);
+            } else {
+                fail(loc, cat("output '", f.out_param,
+                              "' is written on only one arm of a data-dependent "
+                              "branch"));
+            }
+        }
+        env.outputs = std::move(merged);
+    }
+
+    const Function_ast& fn_;
+    const Kernel_info& info_;
+    Symexec_options options_;
+    Stencil_step step_;
+    bool row_is_first_subscript_ = true;
+    int unroll_budget_ = 0;
+};
+
+}  // namespace
+
+Stencil_step execute_symbolically(const Function_ast& fn, const Kernel_info& info,
+                                  const Symexec_options& options) {
+    return Executor(fn, info, options).run();
+}
+
+Stencil_step extract_stencil(const std::string& c_source,
+                             const Symexec_options& options) {
+    const Function_ast fn = parse_single_function(c_source);
+    const Kernel_info info = analyze_kernel(fn);
+    return execute_symbolically(fn, info, options);
+}
+
+}  // namespace islhls

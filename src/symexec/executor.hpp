@@ -1,0 +1,38 @@
+// Symbolic execution of the kernel body (Sec. 3.2 of the paper).
+//
+// The executor runs the validated kernel body once, at a symbolic origin
+// (row, col): integer-typed values are tracked in a tiny affine domain
+// `loopvar + constant` so array subscripts resolve to relative offsets, and
+// float-typed values become expression DAG nodes. Inner fixed-trip-count
+// loops are fully unrolled; `if` statements with data-dependent conditions
+// execute both arms and merge the environments through select() (classic
+// symbolic execution with path merging). Exponential symbol growth is
+// avoided by the pool's hash-consing — the register-reuse argument of the
+// paper.
+//
+// Options bound the analysis: `max_unroll` caps total unrolled inner-loop
+// trips, `max_reach` enforces domain narrowness on the resulting footprint.
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "frontend/sema.hpp"
+#include "symexec/stencil_step.hpp"
+
+namespace islhls {
+
+struct Symexec_options {
+    int max_unroll = 4096;  // total inner-loop trips before giving up
+    int max_reach = 8;      // domain-narrowness bound on any single extent
+};
+
+// Extracts the single-iteration dependency structure from a validated kernel.
+// Throws Symexec_error on unsupported constructs (non-affine subscripts,
+// spatial indices escaping into value arithmetic, unbounded loops, ...).
+Stencil_step execute_symbolically(const Function_ast& fn, const Kernel_info& info,
+                                  const Symexec_options& options = {});
+
+// Convenience: parse + analyze + execute in one call.
+Stencil_step extract_stencil(const std::string& c_source,
+                             const Symexec_options& options = {});
+
+}  // namespace islhls

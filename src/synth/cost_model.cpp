@@ -1,0 +1,157 @@
+#include "synth/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace islhls {
+
+namespace {
+
+// Number of non-zero digits in the canonic signed digit representation of
+// |raw|; approximated by popcount (upper bound, good enough for costing).
+int csd_digits(std::int64_t raw) {
+    std::uint64_t v = static_cast<std::uint64_t>(raw < 0 ? -raw : raw);
+    int count = 0;
+    while (v != 0) {
+        count += static_cast<int>(v & 1u);
+        v >>= 1;
+    }
+    return std::max(1, count);
+}
+
+// Constant operand of a binary instruction, if any: returns the raw
+// fixed-point value and which side it is on.
+struct Const_operand {
+    bool present = false;
+    std::int64_t raw = 0;
+};
+
+Const_operand find_const_operand(const Register_program& prog, const Instruction& in,
+                                 const Fixed_format& fmt) {
+    Const_operand result;
+    for (int i = 0; i < in.operand_count; ++i) {
+        const Instruction& op =
+            prog.instructions()[static_cast<std::size_t>(in.operands[static_cast<std::size_t>(i)])];
+        if (op.kind == Op_kind::constant) {
+            result.present = true;
+            result.raw = to_raw(op.value, fmt);
+            return result;
+        }
+    }
+    return result;
+}
+
+}  // namespace
+
+Op_cost cost_of_instruction(const Register_program& prog, std::size_t index,
+                            const Cost_options& options) {
+    const Instruction& in = prog.instructions()[index];
+    const int w = options.format.total_bits();
+    Op_cost cost;
+
+    switch (in.kind) {
+        case Op_kind::constant:
+            return cost;  // folded into the consuming operator
+        case Op_kind::input:
+            // Held in the input register bank; no logic of its own.
+            cost.ff_bits = w;
+            cost.latency_stages = 0;
+            cost.delay_ns = 0.0;
+            return cost;
+        case Op_kind::add:
+        case Op_kind::sub:
+            cost.luts = w;
+            cost.delay_ns = 1.8 + 0.06 * w;
+            break;
+        case Op_kind::mul: {
+            const Const_operand k = find_const_operand(prog, in, options.format);
+            if (k.present) {
+                // CSD shift-add network: one adder row per extra digit.
+                const int digits = csd_digits(k.raw);
+                cost.luts = w * std::max(1, digits - 1) * 0.9 + 0.25 * w;
+                cost.delay_ns = 2.0 + 0.05 * w + 0.5 * digits;
+            } else if (options.use_dsp && w <= 18) {
+                cost.dsps = 1;
+                cost.luts = 10.0;  // alignment / rounding glue
+                cost.delay_ns = 5.6;
+            } else {
+                cost.luts = 0.55 * w * w;
+                cost.delay_ns = 4.0 + 0.12 * w;
+            }
+            break;
+        }
+        case Op_kind::div: {
+            const Const_operand k = find_const_operand(prog, in, options.format);
+            const Instruction& rhs = prog.instructions()[static_cast<std::size_t>(
+                in.operands[1])];
+            if (k.present && rhs.kind == Op_kind::constant) {
+                // Division by a constant = multiplication by the reciprocal.
+                cost.luts = w * 2.2;
+                cost.delay_ns = 2.4 + 0.06 * w;
+            } else {
+                // Pipelined non-restoring array divider.
+                cost.luts = 1.1 * w * w;
+                cost.delay_ns = 4.2;
+                cost.latency_stages = std::max(2, w / 2);
+            }
+            break;
+        }
+        case Op_kind::sqrt_op:
+            cost.luts = 0.7 * w * w;
+            cost.delay_ns = 4.2;
+            cost.latency_stages = std::max(2, w / 2);
+            break;
+        case Op_kind::min_op:
+        case Op_kind::max_op:
+            cost.luts = 1.5 * w;  // comparator + mux
+            cost.delay_ns = 2.4 + 0.04 * w;
+            break;
+        case Op_kind::neg:
+        case Op_kind::abs_op:
+            cost.luts = w;
+            cost.delay_ns = 1.6 + 0.04 * w;
+            break;
+        case Op_kind::lt:
+        case Op_kind::le:
+        case Op_kind::eq:
+            cost.luts = 0.7 * w;
+            cost.delay_ns = 1.8 + 0.035 * w;
+            break;
+        case Op_kind::select:
+            cost.luts = 0.5 * w + 2;
+            cost.delay_ns = 1.4 + 0.02 * w;
+            break;
+    }
+    cost.ff_bits = w;  // every operation result lands in a pipeline register
+    return cost;
+}
+
+Program_cost cost_of_program(const Register_program& prog, const Cost_options& options) {
+    Program_cost total;
+    const auto& instrs = prog.instructions();
+    // Weighted critical path: per-instruction depth measured in pipeline
+    // stages (dividers/square roots contribute several).
+    std::vector<int> stage_depth(instrs.size(), 0);
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        const Op_cost c = cost_of_instruction(prog, i, options);
+        total.luts += c.luts;
+        total.dsps += c.dsps;
+        total.ff_bits += c.ff_bits;
+        total.max_stage_delay_ns = std::max(total.max_stage_delay_ns, c.delay_ns);
+        const Instruction& in = instrs[i];
+        int operand_depth = 0;
+        for (int a = 0; a < in.operand_count; ++a) {
+            operand_depth = std::max(
+                operand_depth,
+                stage_depth[static_cast<std::size_t>(in.operands[static_cast<std::size_t>(a)])]);
+        }
+        stage_depth[i] = operand_depth + (is_operation(in.kind) ? c.latency_stages : 0);
+        total.latency_stages = std::max(total.latency_stages, stage_depth[i]);
+    }
+    return total;
+}
+
+}  // namespace islhls

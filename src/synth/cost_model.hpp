@@ -1,0 +1,47 @@
+// Technology-mapping cost model: per-operation LUT / DSP / timing costs.
+//
+// This is the virtual synthesizer's view of how a Virtex-class tool maps
+// fixed-point operators: adders on carry chains, constant multipliers as
+// CSD shift-add networks, variable multipliers on DSP blocks (or LUT arrays
+// when the blocks run out), dividers and square roots as pipelined digit
+// recurrences. Delays are post-route estimates (logic + local routing).
+#pragma once
+
+#include "backend/fixed_point.hpp"
+#include "ir/program.hpp"
+
+namespace islhls {
+
+struct Op_cost {
+    double luts = 0.0;
+    int dsps = 0;
+    double ff_bits = 0.0;       // pipeline register bits for the result
+    double delay_ns = 0.0;      // combinational delay of one stage
+    int latency_stages = 1;     // internal pipeline stages (div/sqrt > 1)
+};
+
+struct Cost_options {
+    Fixed_format format;
+    // Map variable multipliers to DSP blocks. Off by default: LUT-mapped
+    // multipliers keep the area-vs-registers relation linear across the
+    // whole design space (DSP exhaustion on big cones would otherwise put a
+    // cliff into the Eq. 1 calibration); enable to study DSP-rich mappings.
+    bool use_dsp = false;
+};
+
+// Cost of one instruction within its program (operand kinds decide, e.g.,
+// multiplication by a constant is a shift-add network, not a DSP).
+Op_cost cost_of_instruction(const Register_program& prog, std::size_t index,
+                            const Cost_options& options);
+
+// Aggregate over a whole program.
+struct Program_cost {
+    double luts = 0.0;
+    int dsps = 0;
+    double ff_bits = 0.0;
+    double max_stage_delay_ns = 0.0;
+    int latency_stages = 0;  // weighted critical path (stages, not ops)
+};
+Program_cost cost_of_program(const Register_program& prog, const Cost_options& options);
+
+}  // namespace islhls

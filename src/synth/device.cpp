@@ -1,0 +1,84 @@
+#include "synth/device.hpp"
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace islhls {
+
+namespace {
+std::vector<Fpga_device> build_devices() {
+    std::vector<Fpga_device> devices;
+
+    // Paper's main evaluation part (Figs. 7 and 10).
+    Fpga_device v6;
+    v6.name = "xc6vlx760";
+    v6.family = "Virtex-6";
+    v6.lut_count = 474240;
+    v6.ff_count = 948480;
+    v6.dsp_count = 864;
+    v6.bram_kbits = 25920;
+    v6.speed_factor = 1.0;
+    v6.max_clock_mhz = 250.0;
+    v6.usable_fraction = 0.75;
+    v6.offchip_elems_per_cycle = 8.0;
+    devices.push_back(v6);
+
+    // Part used by [16] (Cope) for the convolution comparison in Sec. 4.1.
+    Fpga_device v2p;
+    v2p.name = "xc2vp30";
+    v2p.family = "Virtex-II Pro";
+    v2p.lut_count = 27392;
+    v2p.ff_count = 27392;
+    v2p.dsp_count = 136;  // MULT18x18 blocks
+    v2p.bram_kbits = 2448;
+    v2p.speed_factor = 2.2;  // older process, slower logic
+    v2p.max_clock_mhz = 120.0;
+    v2p.usable_fraction = 0.8;
+    v2p.offchip_elems_per_cycle = 4.0;
+    devices.push_back(v2p);
+
+    // A contemporary larger part (extension experiments).
+    Fpga_device v7;
+    v7.name = "xc7vx485t";
+    v7.family = "Virtex-7";
+    v7.lut_count = 303600;
+    v7.ff_count = 607200;
+    v7.dsp_count = 2800;
+    v7.bram_kbits = 37080;
+    v7.speed_factor = 0.85;
+    v7.max_clock_mhz = 350.0;
+    v7.usable_fraction = 0.75;
+    v7.offchip_elems_per_cycle = 16.0;
+    devices.push_back(v7);
+
+    // Small generic part for fast unit tests.
+    Fpga_device small;
+    small.name = "generic_small";
+    small.family = "Generic";
+    small.lut_count = 20000;
+    small.ff_count = 40000;
+    small.dsp_count = 40;
+    small.bram_kbits = 1000;
+    small.speed_factor = 1.5;
+    small.max_clock_mhz = 200.0;
+    small.usable_fraction = 0.8;
+    small.offchip_elems_per_cycle = 4.0;
+    devices.push_back(small);
+
+    return devices;
+}
+}  // namespace
+
+const std::vector<Fpga_device>& all_devices() {
+    static const std::vector<Fpga_device> devices = build_devices();
+    return devices;
+}
+
+const Fpga_device& device_by_name(const std::string& name) {
+    for (const Fpga_device& d : all_devices()) {
+        if (d.name == name) return d;
+    }
+    throw Error(cat("unknown device '", name, "'"));
+}
+
+}  // namespace islhls

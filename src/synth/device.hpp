@@ -1,0 +1,42 @@
+// FPGA device database.
+//
+// The virtual synthesizer and the throughput model read device capacities and
+// timing factors from here. The two parts the paper evaluates on (Virtex-6
+// XC6VLX760 for the headline numbers, Virtex-II Pro for the literature
+// comparison) are included alongside a Virtex-7 and a small generic part used
+// by tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace islhls {
+
+struct Fpga_device {
+    std::string name;    // registry key, e.g. "xc6vlx760"
+    std::string family;  // e.g. "Virtex-6"
+    long long lut_count = 0;
+    long long ff_count = 0;
+    int dsp_count = 0;           // hardware multiplier blocks
+    long long bram_kbits = 0;    // on-chip block RAM
+    double speed_factor = 1.0;   // multiplies op delays (1.0 = Virtex-6 class)
+    double max_clock_mhz = 400;  // hard cap on the achievable clock
+    // Fraction of LUTs usable before routing congestion makes designs
+    // unroutable; the explorer never allocates beyond it.
+    double usable_fraction = 0.75;
+    // Off-chip memory bandwidth, elements per clock cycle at the design clock
+    // (element = one fixed-point word, DMA burst assumed).
+    double offchip_elems_per_cycle = 8.0;
+
+    long long usable_luts() const {
+        return static_cast<long long>(static_cast<double>(lut_count) * usable_fraction);
+    }
+};
+
+// Parts in a stable order; names: xc6vlx760, xc2vp30, xc7vx485t, generic_small.
+const std::vector<Fpga_device>& all_devices();
+
+// Lookup by name; throws Error when unknown.
+const Fpga_device& device_by_name(const std::string& name);
+
+}  // namespace islhls

@@ -1,0 +1,112 @@
+// Baselines: the two-frame-buffer architecture, the generic commercial-HLS
+// model with its failure modes (paper Sec. 4.3), and the literature table.
+#include <gtest/gtest.h>
+
+#include "baseline/frame_buffer.hpp"
+#include "baseline/generic_hls.hpp"
+#include "baseline/literature.hpp"
+#include "kernels/kernels.hpp"
+#include "support/error.hpp"
+#include "symexec/executor.hpp"
+
+namespace islhls {
+namespace {
+
+class Baseline_fixture : public ::testing::Test {
+protected:
+    Stencil_step igf = extract_stencil(kernel_by_name("igf").c_source);
+    const Fpga_device& v6 = device_by_name("xc6vlx760");
+};
+
+TEST_F(Baseline_fixture, large_frames_do_not_fit_onchip) {
+    const Frame_buffer_estimate est =
+        estimate_frame_buffer(igf, 10, 1024, 768, v6);
+    EXPECT_FALSE(est.frame_fits_onchip);
+    EXPECT_GT(est.onchip_kbits_needed, static_cast<double>(v6.bram_kbits));
+    // Transfer-bound: every element access is external.
+    EXPECT_GT(est.cycles_per_element, 10.0);
+    EXPECT_LT(est.fps, 5.0);
+}
+
+TEST_F(Baseline_fixture, small_frames_fit_and_run_faster) {
+    const Frame_buffer_estimate small =
+        estimate_frame_buffer(igf, 10, 64, 64, v6);
+    EXPECT_TRUE(small.frame_fits_onchip);
+    const Frame_buffer_estimate large =
+        estimate_frame_buffer(igf, 10, 1024, 768, v6);
+    EXPECT_GT(small.fps, large.fps);
+    EXPECT_LT(small.cycles_per_element, large.cycles_per_element);
+}
+
+TEST_F(Baseline_fixture, loop_merge_rejected_for_isl) {
+    const Generic_hls_result r =
+        run_generic_hls(igf, 10, 1024, 768, v6, Hls_directive::loop_merge);
+    EXPECT_FALSE(r.succeeded);
+    EXPECT_NE(r.failure.find("dependency"), std::string::npos);
+}
+
+TEST_F(Baseline_fixture, flatten_pipeline_runs_out_of_memory_on_real_frames) {
+    const Generic_hls_result r = run_generic_hls(igf, 10, 1024, 768, v6,
+                                                 Hls_directive::flatten_and_pipeline);
+    EXPECT_FALSE(r.succeeded);
+    EXPECT_NE(r.failure.find("out of memory"), std::string::npos);
+    // On a toy frame the same directive schedules fine.
+    const Generic_hls_result tiny =
+        run_generic_hls(igf, 2, 32, 32, v6, Hls_directive::flatten_and_pipeline);
+    EXPECT_TRUE(tiny.succeeded);
+}
+
+TEST_F(Baseline_fixture, menu_best_is_subrealtime_on_igf) {
+    const auto menu = run_generic_hls_menu(igf, 10, 1024, 768, v6);
+    EXPECT_EQ(menu.size(), 7u);
+    int failures = 0;
+    for (const auto& r : menu) {
+        if (!r.succeeded) ++failures;
+    }
+    EXPECT_EQ(failures, 2);  // loop_merge + flatten_and_pipeline
+    const Generic_hls_result& best = best_of(menu);
+    // The paper reports 0.14 fps for Vivado HLS on this workload; our model
+    // must stay in that sub-real-time regime (way below 30 fps).
+    EXPECT_LT(best.fps, 3.0);
+    EXPECT_GT(best.fps, 0.01);
+}
+
+TEST_F(Baseline_fixture, directives_never_beat_partitioned_pipeline) {
+    const auto menu = run_generic_hls_menu(igf, 10, 1024, 768, v6);
+    double none_fps = 0.0;
+    double best_fps = 0.0;
+    for (const auto& r : menu) {
+        if (r.directive == Hls_directive::none) none_fps = r.fps;
+        if (r.succeeded) best_fps = std::max(best_fps, r.fps);
+    }
+    EXPECT_GT(none_fps, 0.0);
+    EXPECT_GE(best_fps, none_fps);
+    EXPECT_LT(best_fps / none_fps, 20.0);  // no magic speedups without restructuring
+}
+
+TEST(Literature, table_contains_the_papers_references) {
+    const auto& points = literature_points();
+    EXPECT_GE(points.size(), 6u);
+    const auto conv = literature_for("convolution");
+    ASSERT_EQ(conv.size(), 2u);
+    EXPECT_DOUBLE_EQ(conv[0].fps, 13.5);
+    const auto chamb = literature_for("chambolle");
+    EXPECT_GE(chamb.size(), 4u);
+    bool found_akin = false;
+    for (const auto& p : chamb) {
+        if (p.citation.find("Akin") != std::string::npos && p.fps == 38.0) {
+            found_akin = true;
+            EXPECT_TRUE(p.real_time);
+        }
+    }
+    EXPECT_TRUE(found_akin);
+}
+
+TEST(Literature, directive_names_round_trip) {
+    EXPECT_EQ(to_string(Hls_directive::loop_merge), "loop_merge");
+    EXPECT_EQ(to_string(Hls_directive::partition_and_pipeline),
+              "partition_and_pipeline");
+}
+
+}  // namespace
+}  // namespace islhls

@@ -1,0 +1,113 @@
+// Cross-product integration sweeps: every kernel under every boundary
+// policy, and the explorer across kernels and devices. These catch
+// interactions the single-module tests cannot (e.g. a kernel whose
+// asymmetric footprint breaks a boundary path, or a device whose limits make
+// the allocator misbehave for some op mix).
+#include <gtest/gtest.h>
+
+#include "dse/explorer.hpp"
+#include "grid/frame_ops.hpp"
+#include "sim/arch_sim.hpp"
+#include "sim/golden.hpp"
+#include "symexec/executor.hpp"
+#include "kernels/kernels.hpp"
+
+namespace islhls {
+namespace {
+
+// --- kernel x boundary: the IR step must track the native step under any
+// boundary policy (both use the same policy, so they must agree exactly). ---
+
+class Kernel_boundary
+    : public ::testing::TestWithParam<std::tuple<std::string, Boundary>> {};
+
+TEST_P(Kernel_boundary, ir_matches_native_under_policy) {
+    const auto [kernel_name, boundary] = GetParam();
+    const Kernel_def& kernel = kernel_by_name(kernel_name);
+    const Stencil_step step = extract_stencil(kernel.c_source);
+    const Frame content = make_noise(14, 11, 0xB0B, 0.0, 255.0);
+    Frame_set state = kernel.make_initial(content);
+    Frame_set native = state;
+    for (int i = 0; i < 2; ++i) {
+        state = run_step_ir(step, state, boundary);
+        native = kernel.native_step(native, boundary);
+    }
+    for (const std::string& field : kernel.state_fields) {
+        EXPECT_EQ(max_abs_diff(state.field(field), native.field(field)), 0.0)
+            << field << " under " << to_string(boundary);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Kernel_boundary,
+    ::testing::Combine(::testing::ValuesIn(kernel_names()),
+                       ::testing::Values(Boundary::clamp, Boundary::zero,
+                                         Boundary::mirror, Boundary::periodic)),
+    [](const auto& info) {
+        return std::get<0>(info.param) + "_" + to_string(std::get<1>(info.param));
+    });
+
+// --- kernel x architecture: the simulator equals the ghost golden under the
+// kernel's own boundary for a mixed-depth instance. -----------------------------
+
+class Kernel_arch : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Kernel_arch, mixed_depth_architecture_is_exact) {
+    const Kernel_def& kernel = kernel_by_name(GetParam());
+    Cone_library library(extract_stencil(kernel.c_source), kernel.name);
+    Arch_instance instance;
+    instance.window = 3;
+    instance.level_depths = {2, 1, 1};  // mixed classes, uneven coverage
+    const Frame content = make_synthetic_scene(17, 13, 123);
+    const Frame_set initial = kernel.make_initial(content);
+    Arch_sim_options options;
+    options.boundary = kernel.boundary;
+    const Arch_sim_result sim =
+        simulate_architecture(library, instance, initial, options);
+    const Frame_set golden = run_ghost_ir(library.step(), initial, 4, kernel.boundary);
+    for (const std::string& field : kernel.state_fields) {
+        EXPECT_EQ(max_abs_diff(sim.final_state.field(field), golden.field(field)), 0.0)
+            << field;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, Kernel_arch, ::testing::ValuesIn(kernel_names()),
+                         [](const auto& info) { return info.param; });
+
+// --- kernel x device: the explorer always finds a feasible fit on every
+// device large enough, and the result respects the budget. ----------------------
+
+class Kernel_device
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(Kernel_device, fit_is_feasible_and_within_budget) {
+    const auto [kernel_name, device_name] = GetParam();
+    const Kernel_def& kernel = kernel_by_name(kernel_name);
+    Cone_library library(extract_stencil(kernel.c_source), kernel.name);
+    Evaluator_options evaluator_options;
+    evaluator_options.frame_width = 320;
+    evaluator_options.frame_height = 240;
+    Space_options space;
+    space.iterations = 4;
+    space.max_window = 4;
+    space.max_depth = 2;
+    const Fpga_device& device = device_by_name(device_name);
+    Explorer explorer(library, device, evaluator_options, space);
+    const auto fit = explorer.fit_device();
+    ASSERT_TRUE(fit.has_best) << kernel_name << " on " << device_name;
+    EXPECT_LE(fit.best.estimated_area_luts, static_cast<double>(device.usable_luts()));
+    EXPECT_GT(fit.best.throughput.fps, 0.0);
+    EXPECT_TRUE(fit.best.feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Kernel_device,
+    ::testing::Combine(::testing::Values("igf", "chambolle", "erosion", "shock",
+                                         "life"),
+                       ::testing::Values("xc6vlx760", "xc7vx485t", "generic_small")),
+    [](const auto& info) {
+        return std::get<0>(info.param) + "_on_" + std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace islhls

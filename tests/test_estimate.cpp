@@ -1,0 +1,157 @@
+// Area model (Eq. 1), throughput model and memory planner.
+#include <gtest/gtest.h>
+
+#include "estimate/area_model.hpp"
+#include "estimate/memory_model.hpp"
+#include "estimate/throughput_model.hpp"
+#include "support/error.hpp"
+
+namespace islhls {
+namespace {
+
+TEST(Area_model, two_samples_reduce_to_direct_ratio) {
+    Area_model model(16.0);
+    model.add_sample({100, 5000.0});
+    model.add_sample({200, 9000.0});
+    model.calibrate();
+    // alpha = (9000-5000) / ((200-100)*16)
+    EXPECT_NEAR(model.alpha(), 4000.0 / 1600.0, 1e-12);
+    // Estimation is exact at the calibration points.
+    EXPECT_NEAR(model.estimate(100), 5000.0, 1e-9);
+    EXPECT_NEAR(model.estimate(200), 9000.0, 1e-9);
+    // And linear beyond.
+    EXPECT_NEAR(model.estimate(300), 13000.0, 1e-9);
+}
+
+TEST(Area_model, perfectly_linear_data_estimated_exactly) {
+    Area_model model(8.0);
+    for (int regs : {10, 50, 90}) {
+        model.add_sample({regs, 500.0 + 3.0 * 8.0 * regs});
+    }
+    model.calibrate();
+    EXPECT_NEAR(model.alpha(), 3.0, 1e-12);
+    EXPECT_NEAR(model.estimate(70), 500.0 + 3.0 * 8.0 * 70, 1e-9);
+}
+
+TEST(Area_model, requires_two_distinct_samples) {
+    Area_model model(16.0);
+    EXPECT_THROW(model.calibrate(), Dse_error);
+    model.add_sample({100, 5000.0});
+    EXPECT_THROW(model.calibrate(), Dse_error);
+    model.add_sample({100, 5100.0});
+    EXPECT_THROW(model.calibrate(), Dse_error);  // same register count
+    model.add_sample({150, 7000.0});
+    model.calibrate();
+    EXPECT_TRUE(model.calibrated());
+}
+
+TEST(Area_model, guards_use_before_calibration) {
+    Area_model model(16.0);
+    model.add_sample({100, 5000.0});
+    EXPECT_THROW(model.estimate(50), Internal_error);
+    EXPECT_THROW(model.alpha(), Internal_error);
+}
+
+// --- throughput model ---------------------------------------------------------
+
+Level_load make_level(int depth, long long execs, long long inputs) {
+    Level_load l;
+    l.depth = depth;
+    l.executions = execs;
+    l.cone_inputs = inputs;
+    l.latency_cycles = 10;
+    return l;
+}
+
+TEST(Throughput, core_bound_scales_with_cores) {
+    Throughput_params params;
+    params.class_switch_cycles = 0.0;
+    const std::vector<Level_load> levels{make_level(2, 8, 64)};
+    const auto one = estimate_throughput(levels, {{2, 1}}, 1000, 10.0, 100.0, 8.0,
+                                         params);
+    const auto four = estimate_throughput(levels, {{2, 4}}, 1000, 10.0, 100.0, 8.0,
+                                          params);
+    EXPECT_EQ(one.bottleneck, "core");
+    EXPECT_NEAR(one.core_bound_cycles / 4.0, four.core_bound_cycles, 1e-9);
+    EXPECT_GT(four.fps, one.fps);
+}
+
+TEST(Throughput, same_class_levels_share_cores) {
+    Throughput_params params;
+    params.class_switch_cycles = 0.0;
+    const std::vector<Level_load> two_levels{make_level(5, 4, 64), make_level(5, 1, 64)};
+    const auto est = estimate_throughput(two_levels, {{5, 1}}, 100, 1.0, 100.0, 8.0,
+                                         params);
+    // occupancy = 64/8 = 8 cycles per exec; 5 execs on one core = 40.
+    EXPECT_NEAR(est.core_bound_cycles, 40.0, 1e-9);
+}
+
+TEST(Throughput, class_switch_penalizes_mixed_depths) {
+    Throughput_params params;
+    params.class_switch_cycles = 50.0;
+    const std::vector<Level_load> single{make_level(5, 2, 64)};
+    const std::vector<Level_load> mixed{make_level(3, 2, 64), make_level(1, 1, 16)};
+    const auto s = estimate_throughput(single, {{5, 1}}, 100, 1.0, 100.0, 8.0, params);
+    const auto m = estimate_throughput(mixed, {{3, 1}, {1, 1}}, 100, 1.0, 100.0, 8.0,
+                                       params);
+    // single: 2*8 = 16; mixed: 2*8 + 1*2 + 50 = 68.
+    EXPECT_NEAR(s.core_bound_cycles, 16.0, 1e-9);
+    EXPECT_NEAR(m.core_bound_cycles, 68.0, 1e-9);
+}
+
+TEST(Throughput, onchip_bandwidth_bound) {
+    Throughput_params params;
+    params.global_read_ports = 4.0;
+    // 10 execs x 100 inputs with plenty of cores: reads dominate.
+    const std::vector<Level_load> levels{make_level(1, 10, 100)};
+    const auto est =
+        estimate_throughput(levels, {{1, 64}}, 100, 1.0, 100.0, 8.0, params);
+    EXPECT_EQ(est.bottleneck, "onchip");
+    EXPECT_NEAR(est.onchip_bound_cycles, 250.0, 1e-9);
+}
+
+TEST(Throughput, offchip_bound_and_fps_arithmetic) {
+    Throughput_params params;
+    const std::vector<Level_load> levels{make_level(1, 1, 8)};
+    const auto est = estimate_throughput(levels, {{1, 8}}, 1000, 800.0, 100.0, 8.0,
+                                         params);
+    EXPECT_EQ(est.bottleneck, "offchip");
+    EXPECT_NEAR(est.offchip_bound_cycles, 100.0, 1e-9);
+    // 1000 windows * 100 cycles at 100 MHz = 1 ms.
+    EXPECT_NEAR(est.seconds_per_frame, 1e-3, 1e-12);
+    EXPECT_NEAR(est.fps, 1000.0, 1e-6);
+}
+
+TEST(Throughput, missing_core_allocation_is_an_error) {
+    const std::vector<Level_load> levels{make_level(3, 1, 8)};
+    EXPECT_THROW(estimate_throughput(levels, {{5, 1}}, 10, 1.0, 100.0, 8.0),
+                 Internal_error);
+}
+
+// --- memory model ----------------------------------------------------------------
+
+TEST(Memory, window_buffers_tiny_versus_whole_frame) {
+    // Coverage chain for a w=4, N=10, r=1 architecture: 24 -> 14 -> 4.
+    const Memory_budget b = plan_memory({24, 14, 4}, 1, 1024, 768, 16.0);
+    EXPECT_GT(b.total_kbits, 0.0);
+    EXPECT_NEAR(b.whole_frame_kbits, 2.0 * 1024 * 768 * 16 / 1024.0, 1e-6);
+    // The paper's claim: on-chip needs are independent of frame size and
+    // orders of magnitude below the two-frame-buffer approach.
+    EXPECT_GT(b.saving_factor, 100.0);
+}
+
+TEST(Memory, fields_multiply_buffers) {
+    const Memory_budget one = plan_memory({10, 5}, 1, 100, 100, 16.0);
+    const Memory_budget three = plan_memory({10, 5}, 3, 100, 100, 16.0);
+    EXPECT_NEAR(three.total_kbits, 3.0 * one.total_kbits, 1e-9);
+}
+
+TEST(Memory, intermediate_levels_counted_once) {
+    const Memory_budget no_mid = plan_memory({8, 4}, 1, 64, 64, 16.0);
+    const Memory_budget with_mid = plan_memory({8, 6, 4}, 1, 64, 64, 16.0);
+    EXPECT_NEAR(with_mid.intermediate_kbits, 6.0 * 6.0 * 16.0 / 1024.0, 1e-9);
+    EXPECT_GT(with_mid.total_kbits, no_mid.total_kbits);
+}
+
+}  // namespace
+}  // namespace islhls

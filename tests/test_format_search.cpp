@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimate/format_search.hpp"
+#include "grid/frame_ops.hpp"
+#include "kernels/kernels.hpp"
+#include "symexec/executor.hpp"
+
+namespace islhls {
+namespace {
+
+class Format_search_fixture : public ::testing::Test {
+protected:
+    Format_search_fixture()
+        : step(extract_stencil(kernel_by_name("igf").c_source)),
+          cone(step, Cone_spec{3, 3, 2}) {
+        content = Frame_set(32, 24);
+        content.add_field("u", make_synthetic_scene(32, 24, 8));
+    }
+    Stencil_step step;
+    Cone cone;
+    Frame_set content;
+};
+
+TEST_F(Format_search_fixture, integer_bits_cover_the_dynamic_range) {
+    const Format_search_result r =
+        search_fixed_format(cone, content, Boundary::clamp);
+    ASSERT_TRUE(r.satisfiable);
+    // IGF intermediates reach data*16 before scaling: max_abs in the
+    // thousands, so at least 13 integer bits (sign + magnitude + guard).
+    EXPECT_GT(r.max_abs_value, 255.0);
+    EXPECT_GE(r.format.integer_bits,
+              2 + static_cast<int>(std::ceil(std::log2(r.max_abs_value))));
+    // The returned format really achieves the target.
+    EXPECT_GE(r.psnr_db, 50.0);
+}
+
+TEST_F(Format_search_fixture, tighter_target_needs_more_fraction_bits) {
+    Format_search_options relaxed;
+    relaxed.target_psnr_db = 30.0;
+    Format_search_options strict;
+    strict.target_psnr_db = 95.0;
+    const auto fmt_relaxed = search_fixed_format(cone, content, Boundary::clamp,
+                                                 relaxed);
+    const auto fmt_strict = search_fixed_format(cone, content, Boundary::clamp,
+                                                strict);
+    ASSERT_TRUE(fmt_relaxed.satisfiable);
+    ASSERT_TRUE(fmt_strict.satisfiable);
+    EXPECT_GT(fmt_strict.format.frac_bits, fmt_relaxed.format.frac_bits);
+    EXPECT_LE(fmt_relaxed.format.total_bits(), fmt_strict.format.total_bits());
+}
+
+TEST_F(Format_search_fixture, unreachable_target_reports_unsatisfiable) {
+    Format_search_options impossible;
+    impossible.target_psnr_db = 300.0;  // beyond any fixed point within 32 bits
+    impossible.max_total_bits = 20;
+    const auto r = search_fixed_format(cone, content, Boundary::clamp, impossible);
+    EXPECT_FALSE(r.satisfiable);
+    EXPECT_GT(r.formats_tried, 1);
+}
+
+TEST(Format_search, boolean_kernel_needs_almost_no_fraction) {
+    // Game of Life values are exactly 0/1: a couple of fraction bits give a
+    // bit-exact result, so the search should stop immediately.
+    Stencil_step step = extract_stencil(kernel_by_name("life").c_source);
+    const Cone cone(step, Cone_spec{2, 2, 1});
+    Frame_set content(24, 24);
+    content.add_field("u", make_checkerboard(24, 24, 1, 0.0, 1.0));
+    Format_search_options options;
+    options.target_psnr_db = 80.0;
+    options.peak_value = 1.0;
+    const auto r = search_fixed_format(cone, content, Boundary::zero, options);
+    ASSERT_TRUE(r.satisfiable);
+    EXPECT_LE(r.format.frac_bits, 2);
+    EXPECT_LE(r.max_abs_value, 16.0);
+}
+
+TEST(Format_search, chambolle_small_range_small_integer_bits) {
+    // Dual fields live in [-1, 1]; with g scaled by 1/8 the intermediates
+    // stay small, so the integer bits must be far below IGF's.
+    Stencil_step step = extract_stencil(kernel_by_name("chambolle").c_source);
+    const Cone cone(step, Cone_spec{2, 2, 1});
+    const Kernel_def& kernel = kernel_by_name("chambolle");
+    const Frame_set content = kernel.make_initial(make_synthetic_scene(24, 24, 9));
+    Format_search_options options;
+    options.target_psnr_db = 45.0;
+    const auto r = search_fixed_format(cone, content, kernel.boundary, options);
+    ASSERT_TRUE(r.satisfiable);
+    // The input registers hold g (up to 255), so 10 integer bits; still far
+    // below IGF's ~14 (whose intermediates reach data*16).
+    EXPECT_LE(r.format.integer_bits, 10);
+}
+
+}  // namespace
+}  // namespace islhls

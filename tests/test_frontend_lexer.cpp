@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+#include "support/error.hpp"
+
+namespace islhls {
+namespace {
+
+std::vector<Token> lex(const std::string& src) { return tokenize(src); }
+
+TEST(Lexer, identifiers_keywords_numbers) {
+    const auto tokens = lex("void f(float x) { int y1 = 42; }");
+    ASSERT_GE(tokens.size(), 5u);
+    EXPECT_TRUE(tokens[0].is(Token_kind::keyword, "void"));
+    EXPECT_TRUE(tokens[1].is(Token_kind::identifier, "f"));
+    bool saw_42 = false;
+    for (const Token& t : tokens) {
+        if (t.kind == Token_kind::number && t.number_value == 42.0) {
+            EXPECT_TRUE(t.is_integer);
+            saw_42 = true;
+        }
+    }
+    EXPECT_TRUE(saw_42);
+    EXPECT_TRUE(tokens.back().is(Token_kind::end_of_input));
+}
+
+TEST(Lexer, float_literals_with_suffix_and_exponent) {
+    const auto tokens = lex("0.25f 1e3 2.5E-2 .5 7f");
+    ASSERT_GE(tokens.size(), 5u);
+    EXPECT_DOUBLE_EQ(tokens[0].number_value, 0.25);
+    EXPECT_FALSE(tokens[0].is_integer);
+    EXPECT_DOUBLE_EQ(tokens[1].number_value, 1000.0);
+    EXPECT_FALSE(tokens[1].is_integer);
+    EXPECT_DOUBLE_EQ(tokens[2].number_value, 0.025);
+    EXPECT_DOUBLE_EQ(tokens[3].number_value, 0.5);
+    // "7f" lexes as 7 with the float suffix.
+    EXPECT_DOUBLE_EQ(tokens[4].number_value, 7.0);
+    EXPECT_FALSE(tokens[4].is_integer);
+}
+
+TEST(Lexer, two_char_operators) {
+    const auto tokens = lex("<= >= == != && || += -= *= /= ++ --");
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        EXPECT_EQ(tokens[i].kind, Token_kind::op) << i;
+        EXPECT_EQ(tokens[i].text.size(), 2u) << i;
+    }
+}
+
+TEST(Lexer, comments_are_skipped) {
+    const auto tokens = lex("a // line comment\n b /* block\n comment */ c");
+    ASSERT_EQ(tokens.size(), 4u);  // a b c eof
+    EXPECT_EQ(tokens[0].text, "a");
+    EXPECT_EQ(tokens[1].text, "b");
+    EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(Lexer, locations_are_tracked) {
+    const auto tokens = lex("a\n  b");
+    EXPECT_EQ(tokens[0].loc.line, 1);
+    EXPECT_EQ(tokens[0].loc.column, 1);
+    EXPECT_EQ(tokens[1].loc.line, 2);
+    EXPECT_EQ(tokens[1].loc.column, 3);
+}
+
+TEST(Lexer, define_substitutes_numeric_literal) {
+    const auto tokens = lex("#define TAU 0.25\nx = TAU;");
+    bool found = false;
+    for (const Token& t : tokens) {
+        if (t.kind == Token_kind::number) {
+            EXPECT_DOUBLE_EQ(t.number_value, 0.25);
+            found = true;
+        }
+        EXPECT_NE(t.text, "TAU");
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Lexer, rejects_bad_input) {
+    EXPECT_THROW(lex("a @ b"), Parse_error);
+    EXPECT_THROW(lex("/* unterminated"), Parse_error);
+    EXPECT_THROW(lex("1e+"), Parse_error);
+    EXPECT_THROW(lex("#include <x>"), Parse_error);
+    EXPECT_THROW(lex("#define X y"), Parse_error);  // non-numeric value
+}
+
+TEST(Lexer, error_carries_location) {
+    try {
+        lex("ok\n   @");
+        FAIL() << "expected Parse_error";
+    } catch (const Parse_error& e) {
+        EXPECT_EQ(e.line(), 2);
+        EXPECT_EQ(e.column(), 4);
+    }
+}
+
+}  // namespace
+}  // namespace islhls

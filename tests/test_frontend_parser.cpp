@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "support/error.hpp"
+
+namespace islhls {
+namespace {
+
+const char* minimal_kernel = R"(
+void step(float u_out[H][W], const float u[H][W]) {
+    for (int y = 0; y < H; y++) {
+        for (int x = 0; x < W; x++) {
+            u_out[y][x] = u[y][x];
+        }
+    }
+}
+)";
+
+TEST(Parser, parses_minimal_kernel_structure) {
+    const Function_ast fn = parse_single_function(minimal_kernel);
+    EXPECT_EQ(fn.return_type, "void");
+    EXPECT_EQ(fn.name, "step");
+    ASSERT_EQ(fn.params.size(), 2u);
+    EXPECT_EQ(fn.params[0].name, "u_out");
+    EXPECT_FALSE(fn.params[0].is_const);
+    EXPECT_EQ(fn.params[0].dims, (std::vector<std::string>{"H", "W"}));
+    EXPECT_TRUE(fn.params[1].is_const);
+    ASSERT_EQ(fn.body->kind, Stmt_ast_kind::block);
+    ASSERT_EQ(fn.body->stmts.size(), 1u);
+    EXPECT_EQ(fn.body->stmts[0]->kind, Stmt_ast_kind::for_loop);
+}
+
+TEST(Parser, precedence_mul_over_add) {
+    const Function_ast fn = parse_single_function(R"(
+void step(float u_out[H][W], const float u[H][W]) {
+    for (int y = 0; y < H; y++)
+        for (int x = 0; x < W; x++)
+            u_out[y][x] = u[y][x] + u[y][x-1] * 2.0f;
+}
+)");
+    const Stmt_ast* assign = fn.body->stmts[0]->body->body.get();
+    ASSERT_EQ(assign->kind, Stmt_ast_kind::assign);
+    const Expr_ast& value = *assign->value;
+    ASSERT_EQ(value.kind, Expr_ast_kind::binary);
+    EXPECT_EQ(value.op, "+");
+    EXPECT_EQ(value.args[1]->kind, Expr_ast_kind::binary);
+    EXPECT_EQ(value.args[1]->op, "*");
+}
+
+TEST(Parser, ternary_and_comparison) {
+    const Function_ast fn = parse_single_function(R"(
+void step(float u_out[H][W], const float u[H][W]) {
+    for (int y = 0; y < H; y++)
+        for (int x = 0; x < W; x++)
+            u_out[y][x] = u[y][x] > 0.0f ? u[y][x] : -u[y][x];
+}
+)");
+    const Stmt_ast* assign = fn.body->stmts[0]->body->body.get();
+    ASSERT_EQ(assign->value->kind, Expr_ast_kind::ternary);
+    EXPECT_EQ(assign->value->args[0]->op, ">");
+    EXPECT_EQ(assign->value->args[2]->kind, Expr_ast_kind::unary);
+}
+
+TEST(Parser, local_declarations_and_calls) {
+    const Function_ast fn = parse_single_function(R"(
+void step(float u_out[H][W], const float u[H][W]) {
+    for (int y = 0; y < H; y++) {
+        for (int x = 0; x < W; x++) {
+            float t = fminf(u[y][x], 1.0f);
+            u_out[y][x] = sqrtf(t);
+        }
+    }
+}
+)");
+    const Stmt_ast* outer_block = fn.body->stmts[0]->body.get();
+    ASSERT_EQ(outer_block->kind, Stmt_ast_kind::block);
+    const Stmt_ast* body = outer_block->stmts[0]->body.get();
+    ASSERT_EQ(body->kind, Stmt_ast_kind::block);
+    ASSERT_EQ(body->stmts.size(), 2u);
+    EXPECT_EQ(body->stmts[0]->kind, Stmt_ast_kind::decl);
+    EXPECT_EQ(body->stmts[0]->type_name, "float");
+    ASSERT_EQ(body->stmts[0]->init->kind, Expr_ast_kind::call);
+    EXPECT_EQ(body->stmts[0]->init->name, "fminf");
+    EXPECT_EQ(body->stmts[0]->init->args.size(), 2u);
+}
+
+TEST(Parser, const_array_with_nested_braces) {
+    const Function_ast fn = parse_single_function(R"(
+void step(float u_out[H][W], const float u[H][W]) {
+    const float k[2][2] = {{1.0f, 2.0f}, {3.0f, 4.0f}};
+    for (int y = 0; y < H; y++)
+        for (int x = 0; x < W; x++)
+            u_out[y][x] = u[y][x] * k[0][1];
+}
+)");
+    const Stmt_ast& decl = *fn.body->stmts[0];
+    ASSERT_EQ(decl.kind, Stmt_ast_kind::decl);
+    EXPECT_TRUE(decl.is_const);
+    EXPECT_EQ(decl.array_dims, (std::vector<int>{2, 2}));
+    ASSERT_EQ(decl.init_list.size(), 4u);
+    EXPECT_DOUBLE_EQ(decl.init_list[3]->number, 4.0);
+}
+
+TEST(Parser, increment_forms_normalize_to_compound_assign) {
+    const Function_ast fn = parse_single_function(R"(
+void step(float u_out[H][W], const float u[H][W]) {
+    for (int y = 0; y < H; ++y)
+        for (int x = 0; x < W; x += 1)
+            u_out[y][x] = u[y][x];
+}
+)");
+    const Stmt_ast& outer = *fn.body->stmts[0];
+    EXPECT_EQ(outer.for_step->assign_op, "+=");
+    EXPECT_DOUBLE_EQ(outer.for_step->value->number, 1.0);
+    EXPECT_EQ(outer.body->for_step->assign_op, "+=");
+}
+
+TEST(Parser, if_else_chains) {
+    const Function_ast fn = parse_single_function(R"(
+void step(float u_out[H][W], const float u[H][W]) {
+    for (int y = 0; y < H; y++)
+        for (int x = 0; x < W; x++) {
+            float v = 0.0f;
+            if (u[y][x] > 1.0f) { v = 1.0f; } else if (u[y][x] < -1.0f) { v = -1.0f; }
+            u_out[y][x] = v;
+        }
+}
+)");
+    const Stmt_ast* body = fn.body->stmts[0]->body->body.get();
+    ASSERT_EQ(body->stmts[1]->kind, Stmt_ast_kind::if_stmt);
+    ASSERT_NE(body->stmts[1]->else_body, nullptr);
+    EXPECT_EQ(body->stmts[1]->else_body->kind, Stmt_ast_kind::if_stmt);
+}
+
+TEST(Parser, multiple_functions_in_unit) {
+    const Translation_unit_ast unit = parse_translation_unit(R"(
+void a(float x_out[H][W], const float x[H][W]) { for(int y=0;y<H;y++) for(int c=0;c<W;c++) x_out[y][c] = x[y][c]; }
+void b(float z_out[H][W], const float z[H][W]) { for(int y=0;y<H;y++) for(int c=0;c<W;c++) z_out[y][c] = z[y][c]; }
+)");
+    ASSERT_EQ(unit.functions.size(), 2u);
+    EXPECT_EQ(unit.functions[0].name, "a");
+    EXPECT_EQ(unit.functions[1].name, "b");
+    EXPECT_THROW(parse_single_function("void a(float x[H][W]) {} void b(float y[H][W]) {}"),
+                 Parse_error);
+}
+
+// Parameterized rejection sweep: each snippet must fail with Parse_error.
+class Parser_rejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Parser_rejects, throws_parse_error) {
+    EXPECT_THROW(parse_translation_unit(GetParam()), Parse_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, Parser_rejects,
+    ::testing::Values(
+        "",                                                  // no function
+        "void f( { }",                                       // broken params
+        "int f(float a[H][W]) { return 1; }",                // return statement
+        "void f(float a[H][W]) { while (1) {} }",            // while loop
+        "void f(float a[H][W]) { do {} while(1); }",         // do loop
+        "void f(float a[H][W]) { for (int i = 0; i < 3; i++) }",  // missing body
+        "void f(float a[H][W]) { a[0][0] = ; }",             // missing expr
+        "void f(float a[H][W]) { int v[N]; }",               // symbolic local dim
+        "void f(void v) {}",                                 // void param
+        "void f(float a[H][W]) { 3 = 4; }",                  // bad lvalue
+        "void f(float a[H][W]) { a[0][0] == 1.0f; }",        // expr statement
+        "void f(float a[H][W]) { float x = (1.0f; }"));      // unbalanced paren
+
+}  // namespace
+}  // namespace islhls

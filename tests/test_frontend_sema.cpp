@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+#include "kernels/kernels.hpp"
+#include "support/error.hpp"
+
+namespace islhls {
+namespace {
+
+Kernel_info analyze(const std::string& src) {
+    static std::vector<std::unique_ptr<Function_ast>> keep_alive;
+    keep_alive.push_back(std::make_unique<Function_ast>(parse_single_function(src)));
+    return analyze_kernel(*keep_alive.back());
+}
+
+TEST(Sema, classifies_state_and_const_fields) {
+    const Kernel_info info = analyze(kernel_by_name("chambolle").c_source);
+    EXPECT_EQ(info.kernel_name, "chambolle_step");
+    EXPECT_EQ(info.state_field_names(), (std::vector<std::string>{"p1", "p2"}));
+    EXPECT_EQ(info.const_field_names(), (std::vector<std::string>{"g"}));
+    ASSERT_NE(info.find_field("p1"), nullptr);
+    EXPECT_TRUE(info.find_field("p1")->is_state);
+    EXPECT_EQ(info.find_field("p1")->out_param, "p1_out");
+    EXPECT_FALSE(info.find_field("g")->is_state);
+    EXPECT_EQ(info.dim_names, (std::vector<std::string>{"H", "W"}));
+}
+
+TEST(Sema, finds_spatial_loop_variables) {
+    const Kernel_info info = analyze(kernel_by_name("igf").c_source);
+    EXPECT_EQ(info.row_var, "y");
+    EXPECT_EQ(info.col_var, "x");
+    ASSERT_NE(info.kernel_body, nullptr);
+}
+
+TEST(Sema, accepts_preamble_constants) {
+    const Kernel_info info = analyze(R"(
+void f(float u_out[H][W], const float u[H][W]) {
+    const float k = 0.5f;
+    for (int y = 0; y < H; y++) {
+        const float k2 = k * 2.0f;
+        for (int x = 0; x < W; x++) {
+            u_out[y][x] = u[y][x] * k2;
+        }
+    }
+}
+)");
+    EXPECT_EQ(info.preamble.size(), 2u);
+}
+
+TEST(Sema, all_builtin_kernels_analyze) {
+    for (const Kernel_def& k : all_kernels()) {
+        SCOPED_TRACE(k.name);
+        const Kernel_info info = analyze(k.c_source);
+        EXPECT_EQ(info.state_field_names(), k.state_fields);
+        EXPECT_EQ(info.const_field_names(), k.const_fields);
+    }
+}
+
+struct Sema_case {
+    const char* description;
+    const char* source;
+};
+
+class Sema_rejects : public ::testing::TestWithParam<Sema_case> {};
+
+TEST_P(Sema_rejects, throws_sema_error) {
+    SCOPED_TRACE(GetParam().description);
+    EXPECT_THROW(analyze(GetParam().source), Sema_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadKernels, Sema_rejects,
+    ::testing::Values(
+        Sema_case{"non-void return",
+                  "int f(float u_out[H][W], const float u[H][W]) "
+                  "{ for(int y=0;y<H;y++) for(int x=0;x<W;x++) u_out[y][x]=u[y][x]; }"},
+        Sema_case{"no outputs",
+                  "void f(const float u[H][W]) "
+                  "{ for(int y=0;y<H;y++) for(int x=0;x<W;x++) { float t = u[y][x]; t = t; } }"},
+        Sema_case{"output without input pair",
+                  "void f(float v_out[H][W], const float u[H][W]) "
+                  "{ for(int y=0;y<H;y++) for(int x=0;x<W;x++) v_out[y][x]=u[y][x]; }"},
+        Sema_case{"non-const unpaired input",
+                  "void f(float u_out[H][W], float u[H][W], float g[H][W]) "
+                  "{ for(int y=0;y<H;y++) for(int x=0;x<W;x++) u_out[y][x]=u[y][x]+g[y][x]; }"},
+        Sema_case{"const output",
+                  "void f(const float u_out[H][W], const float u[H][W]) "
+                  "{ for(int y=0;y<H;y++) for(int x=0;x<W;x++) { float t=u[y][x]; t=t; } }"},
+        Sema_case{"1-D parameter",
+                  "void f(float u_out[W], const float u[W]) "
+                  "{ for(int y=0;y<H;y++) for(int x=0;x<W;x++) u_out[x]=u[x]; }"},
+        Sema_case{"int field",
+                  "void f(int u_out[H][W], const int u[H][W]) "
+                  "{ for(int y=0;y<H;y++) for(int x=0;x<W;x++) u_out[y][x]=u[y][x]; }"},
+        Sema_case{"mismatched dims",
+                  "void f(float u_out[H][W], const float u[W][H]) "
+                  "{ for(int y=0;y<H;y++) for(int x=0;x<W;x++) u_out[y][x]=u[y][x]; }"},
+        Sema_case{"missing inner loop",
+                  "void f(float u_out[H][W], const float u[H][W]) "
+                  "{ for(int y=0;y<H;y++) u_out[y][0]=u[y][0]; }"},
+        Sema_case{"two loop nests",
+                  "void f(float u_out[H][W], const float u[H][W]) "
+                  "{ for(int y=0;y<H;y++) for(int x=0;x<W;x++) u_out[y][x]=u[y][x]; "
+                  "  for(int y=0;y<H;y++) for(int x=0;x<W;x++) u_out[y][x]=u[y][x]; }"},
+        Sema_case{"non-unit outer step",
+                  "void f(float u_out[H][W], const float u[H][W]) "
+                  "{ for(int y=0;y<H;y+=2) for(int x=0;x<W;x++) u_out[y][x]=u[y][x]; }"},
+        Sema_case{"same counter twice",
+                  "void f(float u_out[H][W], const float u[H][W]) "
+                  "{ for(int y=0;y<H;y++) for(y=0;y<W;y++) u_out[y][y]=u[y][y]; }"},
+        Sema_case{"reads its own output",
+                  "void f(float u_out[H][W], const float u[H][W]) "
+                  "{ for(int y=0;y<H;y++) for(int x=0;x<W;x++) u_out[y][x]=u_out[y][x]; }"},
+        Sema_case{"writes an input field",
+                  "void f(float u_out[H][W], const float u[H][W]) "
+                  "{ for(int y=0;y<H;y++) for(int x=0;x<W;x++) { u[y][x] = 1.0f; "
+                  "u_out[y][x]=u[y][x]; } }"},
+        Sema_case{"non-const preamble variable",
+                  "void f(float u_out[H][W], const float u[H][W]) "
+                  "{ float k = 0.5f; for(int y=0;y<H;y++) for(int x=0;x<W;x++) "
+                  "u_out[y][x]=u[y][x]*k; }"},
+        Sema_case{"statement between loops",
+                  "void f(float u_out[H][W], const float u[H][W]) "
+                  "{ for(int y=0;y<H;y++) { u_out[y][0] = 0.0f; for(int x=0;x<W;x++) "
+                  "u_out[y][x]=u[y][x]; } }"}));
+
+}  // namespace
+}  // namespace islhls

@@ -1,0 +1,174 @@
+// Hash-consing and the simplifying constructors — the foundation of the
+// register-reuse property.
+#include <gtest/gtest.h>
+
+#include "ir/expr.hpp"
+#include "ir/print.hpp"
+#include "support/error.hpp"
+
+namespace islhls {
+namespace {
+
+class Expr_fixture : public ::testing::Test {
+protected:
+    Expr_pool pool;
+    int u = -1;
+    Expr_id a = no_expr, b = no_expr, c = no_expr;
+
+    void SetUp() override {
+        u = pool.intern_field("u");
+        a = pool.input(u, -1, 0);
+        b = pool.input(u, 1, 0);
+        c = pool.input(u, 0, 1);
+    }
+};
+
+TEST_F(Expr_fixture, hash_consing_dedupes_structurally_equal_nodes) {
+    const Expr_id s1 = pool.add(a, b);
+    const Expr_id s2 = pool.add(a, b);
+    EXPECT_EQ(s1, s2);
+    const Expr_id t1 = pool.mul(s1, c);
+    const Expr_id t2 = pool.mul(pool.add(a, b), c);
+    EXPECT_EQ(t1, t2);
+}
+
+TEST_F(Expr_fixture, commutative_canonicalization_shares_registers) {
+    EXPECT_EQ(pool.add(a, b), pool.add(b, a));
+    EXPECT_EQ(pool.mul(a, b), pool.mul(b, a));
+    EXPECT_EQ(pool.min_of(a, b), pool.min_of(b, a));
+    EXPECT_EQ(pool.max_of(a, b), pool.max_of(b, a));
+    // sub and div are not commutative.
+    EXPECT_NE(pool.sub(a, b), pool.sub(b, a));
+    EXPECT_NE(pool.div(a, b), pool.div(b, a));
+}
+
+TEST_F(Expr_fixture, constant_folding) {
+    const Expr_id two = pool.constant(2.0);
+    const Expr_id three = pool.constant(3.0);
+    EXPECT_EQ(pool.add(two, three), pool.constant(5.0));
+    EXPECT_EQ(pool.sub(two, three), pool.constant(-1.0));
+    EXPECT_EQ(pool.mul(two, three), pool.constant(6.0));
+    EXPECT_EQ(pool.div(three, two), pool.constant(1.5));
+    EXPECT_EQ(pool.min_of(two, three), two);
+    EXPECT_EQ(pool.max_of(two, three), three);
+    EXPECT_EQ(pool.sqrt_of(pool.constant(9.0)), pool.constant(3.0));
+    EXPECT_EQ(pool.abs_of(pool.constant(-4.0)), pool.constant(4.0));
+    EXPECT_EQ(pool.neg(pool.constant(4.0)), pool.constant(-4.0));
+    EXPECT_EQ(pool.less(two, three), pool.constant(1.0));
+    EXPECT_EQ(pool.less_equal(three, two), pool.constant(0.0));
+    EXPECT_EQ(pool.equal(two, two), pool.constant(1.0));
+}
+
+TEST_F(Expr_fixture, identity_simplifications) {
+    const Expr_id zero = pool.constant(0.0);
+    const Expr_id one = pool.constant(1.0);
+    EXPECT_EQ(pool.add(a, zero), a);
+    EXPECT_EQ(pool.add(zero, a), a);
+    EXPECT_EQ(pool.sub(a, zero), a);
+    EXPECT_EQ(pool.sub(a, a), zero);
+    EXPECT_EQ(pool.mul(a, one), a);
+    EXPECT_EQ(pool.mul(one, a), a);
+    EXPECT_EQ(pool.mul(a, zero), zero);
+    EXPECT_EQ(pool.div(a, one), a);
+    EXPECT_EQ(pool.div(zero, a), zero);
+    EXPECT_EQ(pool.min_of(a, a), a);
+    EXPECT_EQ(pool.max_of(a, a), a);
+    EXPECT_EQ(pool.neg(pool.neg(a)), a);
+    EXPECT_EQ(pool.abs_of(pool.abs_of(a)), pool.abs_of(a));
+    EXPECT_EQ(pool.abs_of(pool.neg(a)), pool.abs_of(a));
+    EXPECT_EQ(pool.sub(zero, a), pool.neg(a));
+}
+
+TEST_F(Expr_fixture, select_simplifications) {
+    const Expr_id cond = pool.less(a, b);
+    EXPECT_EQ(pool.select(pool.constant(1.0), a, b), a);
+    EXPECT_EQ(pool.select(pool.constant(0.0), a, b), b);
+    EXPECT_EQ(pool.select(cond, a, a), a);
+    const Expr_id sel = pool.select(cond, a, b);
+    EXPECT_EQ(pool.node(sel).kind, Op_kind::select);
+}
+
+TEST_F(Expr_fixture, comparisons_of_identical_operands_fold) {
+    EXPECT_EQ(pool.less(a, a), pool.constant(0.0));
+    EXPECT_EQ(pool.less_equal(a, a), pool.constant(1.0));
+    EXPECT_EQ(pool.equal(a, a), pool.constant(1.0));
+}
+
+TEST_F(Expr_fixture, negative_zero_constants_stay_distinct) {
+    // The pool distinguishes the two zero bit patterns...
+    EXPECT_NE(pool.constant(0.0), pool.constant(-0.0));
+    // ...but x + (-0.0) == x holds bit-exactly in IEEE-754 for every x
+    // (including both zeros), so the identity fold still applies.
+    EXPECT_EQ(pool.add(a, pool.constant(-0.0)), a);
+}
+
+TEST_F(Expr_fixture, field_interning) {
+    EXPECT_EQ(pool.find_field("u"), u);
+    EXPECT_EQ(pool.find_field("nope"), -1);
+    const int g = pool.intern_field("g");
+    EXPECT_NE(g, u);
+    EXPECT_EQ(pool.intern_field("g"), g);
+    EXPECT_EQ(pool.field_name(g), "g");
+    EXPECT_EQ(pool.field_count(), 2);
+}
+
+TEST_F(Expr_fixture, input_leaves_distinct_by_offset_and_field) {
+    EXPECT_NE(a, b);
+    EXPECT_NE(pool.input(u, 0, 0), pool.input(u, 0, 1));
+    const int g = pool.intern_field("g");
+    EXPECT_NE(pool.input(u, 0, 0), pool.input(g, 0, 0));
+    EXPECT_EQ(pool.input(u, -1, 0), a);
+}
+
+TEST_F(Expr_fixture, generic_dispatch_simplifies_like_named_ctors) {
+    const Expr_id zero = pool.constant(0.0);
+    EXPECT_EQ(pool.binary(Op_kind::add, a, zero), a);
+    EXPECT_EQ(pool.unary(Op_kind::neg, pool.neg(a)), a);
+    EXPECT_THROW(pool.binary(Op_kind::neg, a, b), Internal_error);
+    EXPECT_THROW(pool.unary(Op_kind::add, a), Internal_error);
+}
+
+TEST_F(Expr_fixture, arity_and_kind_metadata) {
+    EXPECT_EQ(arity(Op_kind::constant), 0);
+    EXPECT_EQ(arity(Op_kind::neg), 1);
+    EXPECT_EQ(arity(Op_kind::add), 2);
+    EXPECT_EQ(arity(Op_kind::select), 3);
+    EXPECT_TRUE(is_operation(Op_kind::sqrt_op));
+    EXPECT_FALSE(is_operation(Op_kind::input));
+    EXPECT_TRUE(is_commutative(Op_kind::mul));
+    EXPECT_FALSE(is_commutative(Op_kind::sub));
+    EXPECT_EQ(to_string(Op_kind::min_op), "min");
+}
+
+TEST_F(Expr_fixture, printer_renders_infix_and_sexpr) {
+    const Expr_id e = pool.mul(pool.add(a, b), pool.constant(0.5));
+    const std::string infix = to_infix(pool, e);
+    EXPECT_NE(infix.find("u[-1,0]"), std::string::npos);
+    EXPECT_NE(infix.find("+"), std::string::npos);
+    const std::string sexpr = to_sexpr(pool, e);
+    EXPECT_EQ(sexpr.find("(mul"), 0u);
+}
+
+TEST_F(Expr_fixture, transform_inputs_substitutes_and_resimplifies) {
+    // (a + 0-const-leaf-replacement) collapses when leaves map to constants.
+    const Expr_id e = pool.add(pool.mul(a, pool.constant(2.0)), b);
+    const Expr_id r = transform_inputs(pool, e, [&](const Expr_node& leaf) {
+        return pool.constant(leaf.dx == -1 ? 3.0 : 4.0);
+    });
+    EXPECT_EQ(r, pool.constant(10.0));
+}
+
+TEST_F(Expr_fixture, transform_inputs_preserves_sharing) {
+    const Expr_id shared = pool.add(a, b);
+    const Expr_id e = pool.mul(shared, pool.add(shared, c));
+    const std::size_t before = pool.size();
+    // Identity transform: nothing new should be created.
+    const Expr_id r = transform_inputs(pool, e, [&](const Expr_node& leaf) {
+        return pool.input(leaf.field, leaf.dx, leaf.dy);
+    });
+    EXPECT_EQ(r, e);
+    EXPECT_EQ(pool.size(), before);
+}
+
+}  // namespace
+}  // namespace islhls

@@ -1,0 +1,247 @@
+// Simulation substrate: golden runners, ghost semantics, the bit-accurate
+// fixed-point executor and the full architecture simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "grid/frame_ops.hpp"
+#include "sim/arch_sim.hpp"
+#include "sim/fixed_exec.hpp"
+#include "sim/golden.hpp"
+#include "support/prng.hpp"
+#include "symexec/executor.hpp"
+#include "kernels/kernels.hpp"
+
+namespace islhls {
+namespace {
+
+TEST(Golden, pad_and_crop_are_inverse) {
+    const Frame f = make_noise(7, 5, 3);
+    const Frame padded = pad_frame(f, 2, 3, 1, 4, Boundary::clamp);
+    EXPECT_EQ(padded.width(), 12);
+    EXPECT_EQ(padded.height(), 10);
+    EXPECT_EQ(crop_frame(padded, 2, 3, 1, 4), f);
+    // Apron values follow the boundary policy.
+    EXPECT_EQ(padded.at(0, 1), f.at(0, 0));
+}
+
+TEST(Golden, ghost_equals_periteration_on_interior) {
+    const Kernel_def& kernel = kernel_by_name("igf");
+    const Stencil_step step = extract_stencil(kernel.c_source);
+    const Frame content = make_synthetic_scene(24, 18, 11);
+    const Frame_set initial = kernel.make_initial(content);
+    const int iterations = 3;
+    const Frame_set ghost = run_ghost_ir(step, initial, iterations, kernel.boundary);
+    const Frame_set direct = run_ir(step, initial, iterations, kernel.boundary);
+    // Interior elements (further than N*reach from the border) agree exactly.
+    const int margin = iterations * step.max_reach();
+    const Frame& a = ghost.field("u");
+    const Frame& b = direct.field("u");
+    for (int y = margin; y < 18 - margin; ++y) {
+        for (int x = margin; x < 24 - margin; ++x) {
+            EXPECT_EQ(a.at(x, y), b.at(x, y)) << x << "," << y;
+        }
+    }
+}
+
+TEST(Golden, ghost_native_matches_ghost_ir) {
+    const Kernel_def& kernel = kernel_by_name("chambolle");
+    const Stencil_step step = extract_stencil(kernel.c_source);
+    const Frame content = make_noise(16, 12, 21, 0.0, 255.0);
+    const Frame_set initial = kernel.make_initial(content);
+    const Frame_set a = run_ghost_ir(step, initial, 2, kernel.boundary);
+    const Frame_set b = run_ghost_native(kernel, initial, 2);
+    for (const std::string& field : kernel.state_fields) {
+        EXPECT_EQ(max_abs_diff(a.field(field), b.field(field)), 0.0) << field;
+    }
+}
+
+// --- fixed-point executor ----------------------------------------------------------
+
+TEST(Fixed_exec, wrap_matches_vhdl_resize) {
+    EXPECT_EQ(wrap_to_bits(5, 8), 5);
+    EXPECT_EQ(wrap_to_bits(127, 8), 127);
+    EXPECT_EQ(wrap_to_bits(128, 8), -128);  // overflow wraps
+    EXPECT_EQ(wrap_to_bits(-129, 8), 127);
+    EXPECT_EQ(wrap_to_bits(256, 8), 0);
+    EXPECT_EQ(wrap_to_bits(-1, 8), -1);
+}
+
+TEST(Fixed_exec, isqrt_floor_values) {
+    EXPECT_EQ(isqrt_floor(0), 0);
+    EXPECT_EQ(isqrt_floor(1), 1);
+    EXPECT_EQ(isqrt_floor(3), 1);
+    EXPECT_EQ(isqrt_floor(4), 2);
+    EXPECT_EQ(isqrt_floor(99), 9);
+    EXPECT_EQ(isqrt_floor(100), 10);
+    EXPECT_EQ(isqrt_floor(-5), 0);
+    EXPECT_EQ(isqrt_floor(1LL << 40), 1LL << 20);
+}
+
+// Property: isqrt_floor(v)^2 <= v < (isqrt_floor(v)+1)^2.
+class Isqrt_property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Isqrt_property, floor_property_holds) {
+    Prng rng(static_cast<std::uint64_t>(GetParam()));
+    for (int i = 0; i < 500; ++i) {
+        const std::int64_t v = static_cast<std::int64_t>(rng.next_u64() % (1ULL << 40));
+        const std::int64_t r = isqrt_floor(v);
+        EXPECT_LE(r * r, v);
+        EXPECT_GT((r + 1) * (r + 1), v);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Isqrt_property, ::testing::Range(1, 5));
+
+TEST(Fixed_exec, tracks_double_execution_within_tolerance) {
+    const Kernel_def& kernel = kernel_by_name("igf");
+    Stencil_step step = extract_stencil(kernel.c_source);
+    const Cone cone(step, Cone_spec{2, 2, 2});
+    const Register_program& prog = cone.program();
+    // Guard bits cover the unscaled binomial sums (up to 255*16).
+    const Fixed_format fmt{14, 6};
+    Prng rng(5);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<double> inputs;
+        for (int i = 0; i < prog.input_count(); ++i) {
+            inputs.push_back(quantize(rng.next_in(0.0, 255.0), fmt));
+        }
+        const auto exact = prog.run(inputs);
+        const auto fixed = run_fixed(prog, inputs, fmt);
+        for (std::size_t o = 0; o < exact.size(); ++o) {
+            // Binomial filter of depth 2: error accumulates over ~2 levels of
+            // truncating multiplies; stay within a generous bound.
+            EXPECT_NEAR(fixed[o], exact[o], 0.25) << trial;
+        }
+    }
+}
+
+TEST(Fixed_exec, division_by_zero_yields_zero_like_the_hardware) {
+    Expr_pool pool;
+    const int u = pool.intern_field("u");
+    const Expr_id q = pool.div(pool.input(u, 0, 0), pool.input(u, 1, 0));
+    const Register_program prog = build_program(pool, {q});
+    const Fixed_format fmt{10, 6};
+    const auto out = run_fixed(prog, {5.0, 0.0}, fmt);
+    EXPECT_EQ(out[0], 0.0);
+}
+
+// --- architecture simulator -----------------------------------------------------------
+
+// The end-to-end property: the architecture computes exactly the ghost golden
+// for every kernel and several instances.
+struct Arch_case {
+    const char* kernel;
+    int window;
+    std::vector<int> levels;
+};
+
+class Arch_equivalence : public ::testing::TestWithParam<Arch_case> {};
+
+TEST_P(Arch_equivalence, architecture_equals_ghost_golden) {
+    const Arch_case& c = GetParam();
+    const Kernel_def& kernel = kernel_by_name(c.kernel);
+    Cone_library library(extract_stencil(kernel.c_source), kernel.name);
+    const int iterations =
+        std::accumulate(c.levels.begin(), c.levels.end(), 0);
+
+    const Frame content = make_synthetic_scene(26, 19, 7);
+    const Frame_set initial = kernel.make_initial(content);
+    const Frame_set golden =
+        run_ghost_ir(library.step(), initial, iterations, kernel.boundary);
+
+    Arch_instance instance;
+    instance.window = c.window;
+    instance.level_depths = c.levels;
+    Arch_sim_options options;
+    options.boundary = kernel.boundary;
+    const Arch_sim_result result =
+        simulate_architecture(library, instance, initial, options);
+
+    for (const std::string& field : kernel.state_fields) {
+        SCOPED_TRACE(field);
+        EXPECT_EQ(max_abs_diff(result.final_state.field(field), golden.field(field)),
+                  0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Arch_equivalence,
+    ::testing::Values(Arch_case{"igf", 4, {2, 2}}, Arch_case{"igf", 3, {3, 1}},
+                      Arch_case{"igf", 5, {1, 1, 1}}, Arch_case{"igf", 7, {4}},
+                      Arch_case{"chambolle", 4, {2, 1}},
+                      Arch_case{"chambolle", 3, {1, 1, 1}},
+                      Arch_case{"jacobi", 6, {3, 2, 1}},
+                      Arch_case{"heat", 4, {2, 2, 2}}, Arch_case{"mean", 2, {2}},
+                      Arch_case{"erosion", 5, {2, 2}},
+                      Arch_case{"perona_malik", 3, {2, 1}},
+                      Arch_case{"shock", 4, {1, 2}},
+                      Arch_case{"life", 3, {2, 1}}),
+    [](const auto& info) {
+        std::string name = info.param.kernel;
+        name += "_w" + std::to_string(info.param.window);
+        for (int d : info.param.levels) name += "_" + std::to_string(d);
+        return name;
+    });
+
+TEST(Arch_sim, transfer_stats_match_geometry) {
+    const Kernel_def& kernel = kernel_by_name("jacobi");
+    Cone_library library(extract_stencil(kernel.c_source), kernel.name);
+    Arch_instance instance;
+    instance.window = 4;
+    instance.level_depths = {2};
+    const Frame content = make_gradient(16, 8);
+    const Frame_set initial = kernel.make_initial(content);
+    const Arch_sim_result r = simulate_architecture(library, instance, initial, {});
+    // 16x8 frame, 4x4 windows -> 4*2 = 8 windows.
+    EXPECT_EQ(r.stats.output_windows, 8);
+    // Each window reads its (4+2*2)^2 input coverage once.
+    EXPECT_EQ(r.stats.offchip_elements_read, 8 * 8 * 8);
+    EXPECT_EQ(r.stats.offchip_elements_written, 16 * 8);
+    EXPECT_GT(r.stats.cone_executions, 0);
+    EXPECT_GT(r.stats.operations_executed, 0);
+    EXPECT_GT(r.stats.ops_per_output_element(16 * 8), 0.0);
+}
+
+TEST(Arch_sim, fixed_point_mode_close_to_double) {
+    const Kernel_def& kernel = kernel_by_name("igf");
+    Cone_library library(extract_stencil(kernel.c_source), kernel.name);
+    Arch_instance instance;
+    instance.window = 4;
+    instance.level_depths = {2};
+    const Frame content = make_synthetic_scene(16, 12, 3);
+    const Frame_set initial = kernel.make_initial(content);
+
+    const Arch_sim_result exact = simulate_architecture(library, instance, initial, {});
+    Arch_sim_options fx;
+    fx.fixed_point = true;
+    // The binomial sum reaches 255*16 before the final scaling, so the
+    // format needs integer guard bits beyond the 8-bit data range.
+    fx.format = Fixed_format{14, 6};
+    const Arch_sim_result quantized =
+        simulate_architecture(library, instance, initial, fx);
+    const double err = max_abs_diff(exact.final_state.field("u"),
+                                    quantized.final_state.field("u"));
+    EXPECT_GT(err, 0.0);   // quantization is visible...
+    EXPECT_LT(err, 1.0);   // ...but bounded (Q10.6 on 8-bit data, depth 2)
+    EXPECT_GT(psnr(exact.final_state.field("u"), quantized.final_state.field("u")),
+              45.0);
+}
+
+TEST(Arch_sim, window_larger_than_frame_is_handled) {
+    const Kernel_def& kernel = kernel_by_name("jacobi");
+    Cone_library library(extract_stencil(kernel.c_source), kernel.name);
+    Arch_instance instance;
+    instance.window = 8;
+    instance.level_depths = {1};
+    const Frame content = make_gradient(5, 3);
+    const Frame_set initial = kernel.make_initial(content);
+    const Arch_sim_result r = simulate_architecture(library, instance, initial, {});
+    const Frame_set golden = run_ghost_ir(library.step(), initial, 1, kernel.boundary);
+    EXPECT_EQ(max_abs_diff(r.final_state.field("u"), golden.field("u")), 0.0);
+    EXPECT_EQ(r.stats.output_windows, 1);
+}
+
+}  // namespace
+}  // namespace islhls

@@ -1,0 +1,113 @@
+// Table rendering, PRNG determinism and the logging threshold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/prng.hpp"
+#include "support/table.hpp"
+
+namespace islhls {
+namespace {
+
+TEST(Table, renders_aligned_columns) {
+    Table t({"a", "long_header"});
+    t.add(1, "x");
+    t.add(22, "yy");
+    const std::string text = t.to_text();
+    EXPECT_NE(text.find("a  long_header"), std::string::npos);
+    EXPECT_NE(text.find("1            x"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+    EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(Table, rejects_wrong_arity_rows) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only one"}), Internal_error);
+    EXPECT_THROW(t.add(1, 2, 3), Internal_error);
+}
+
+TEST(Table, csv_escapes_delimiters_and_quotes) {
+    Table t({"name", "value"});
+    t.add("with,comma", "say \"hi\"");
+    const std::string csv = t.to_csv();
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, csv_round_numbers_plain) {
+    Table t({"v"});
+    t.add(42);
+    EXPECT_EQ(t.to_csv(), "v\n42\n");
+}
+
+TEST(Prng, same_seed_same_stream) {
+    Prng a(7);
+    Prng b(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, different_seeds_differ) {
+    Prng a(7);
+    Prng b(8);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Prng, unit_range_and_mean) {
+    Prng rng(123);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.next_unit();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Prng, int_range_inclusive) {
+    Prng rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int v = rng.next_int(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+    EXPECT_THROW(rng.next_int(3, 2), Internal_error);
+}
+
+TEST(Prng, gaussian_moments) {
+    Prng rng(77);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.next_gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Log, threshold_round_trip) {
+    const Log_level before = log_threshold();
+    set_log_threshold(Log_level::error);
+    EXPECT_EQ(log_threshold(), Log_level::error);
+    log_debug("suppressed");  // must not crash; nothing asserted on output
+    set_log_threshold(before);
+}
+
+}  // namespace
+}  // namespace islhls

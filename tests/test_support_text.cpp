@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "support/text.hpp"
+
+namespace islhls {
+namespace {
+
+TEST(Text, cat_concatenates_mixed_types) {
+    EXPECT_EQ(cat("w=", 4, " d=", 2.5), "w=4 d=2.5");
+    EXPECT_EQ(cat(), "");
+    EXPECT_EQ(cat("only"), "only");
+}
+
+TEST(Text, format_fixed_rounds) {
+    EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(format_fixed(2.675, 0), "3");
+    EXPECT_EQ(format_fixed(-1.005, 1), "-1.0");
+}
+
+TEST(Text, format_sci_uses_exponent) {
+    EXPECT_EQ(format_sci(12345.678, 2), "1.23e+04");
+}
+
+TEST(Text, format_grouped_inserts_separators) {
+    EXPECT_EQ(format_grouped(0), "0");
+    EXPECT_EQ(format_grouped(999), "999");
+    EXPECT_EQ(format_grouped(1000), "1,000");
+    EXPECT_EQ(format_grouped(1234567), "1,234,567");
+    EXPECT_EQ(format_grouped(-1234567), "-1,234,567");
+}
+
+TEST(Text, split_keeps_empty_fields) {
+    EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Text, join_is_inverse_of_split) {
+    const std::vector<std::string> parts{"x", "y", "z"};
+    EXPECT_EQ(join(parts, ","), "x,y,z");
+    EXPECT_EQ(split(join(parts, ","), ','), parts);
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Text, trim_strips_both_ends) {
+    EXPECT_EQ(trim("  hello \t\n"), "hello");
+    EXPECT_EQ(trim("nothing"), "nothing");
+    EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(Text, starts_ends_with) {
+    EXPECT_TRUE(starts_with("islhls_cone", "islhls"));
+    EXPECT_FALSE(starts_with("is", "islhls"));
+    EXPECT_TRUE(ends_with("u_out", "_out"));
+    EXPECT_FALSE(ends_with("out", "_out"));
+}
+
+TEST(Text, padding_aligns) {
+    EXPECT_EQ(pad_left("7", 3), "  7");
+    EXPECT_EQ(pad_right("7", 3), "7  ");
+    EXPECT_EQ(pad_left("long", 2), "long");
+}
+
+TEST(Text, replace_all_handles_overlaps) {
+    EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+    EXPECT_EQ(replace_all("x", "", "y"), "x");
+    EXPECT_EQ(replace_all("WIDTH-1 WIDTH", "WIDTH", "16"), "16-1 16");
+}
+
+TEST(Text, identifier_validation) {
+    EXPECT_TRUE(is_identifier("u_out"));
+    EXPECT_TRUE(is_identifier("_tmp1"));
+    EXPECT_FALSE(is_identifier("1abc"));
+    EXPECT_FALSE(is_identifier(""));
+    EXPECT_FALSE(is_identifier("a-b"));
+}
+
+TEST(Text, to_lower_ascii) {
+    EXPECT_EQ(to_lower("Virtex-6 LX760"), "virtex-6 lx760");
+}
+
+}  // namespace
+}  // namespace islhls

@@ -1,0 +1,93 @@
+// Top-level architecture emitter: structural invariants.
+#include <gtest/gtest.h>
+
+#include "backend/vhdl_toplevel.hpp"
+#include "kernels/kernels.hpp"
+#include "support/error.hpp"
+#include "symexec/executor.hpp"
+
+namespace islhls {
+namespace {
+
+class Toplevel_fixture : public ::testing::Test {
+protected:
+    Toplevel_fixture()
+        : library(extract_stencil(kernel_by_name("igf").c_source), "igf") {}
+    Cone_library library;
+};
+
+TEST_F(Toplevel_fixture, entity_name_encodes_geometry) {
+    Arch_instance instance;
+    instance.window = 4;
+    instance.level_depths = {2, 5};
+    EXPECT_EQ(toplevel_entity_name("igf", instance), "islhls_igf_top_w4_l2x5");
+}
+
+TEST_F(Toplevel_fixture, one_cone_instance_per_depth_class) {
+    Arch_instance instance;
+    instance.window = 3;
+    instance.level_depths = {3, 3, 3, 1};  // classes {3, 1}
+    const std::string vhdl = emit_architecture_toplevel(library, instance);
+    const Toplevel_structure s = analyze_toplevel(vhdl);
+    EXPECT_EQ(s.cone_instances, 2);
+    // Single-class architecture -> one instance.
+    Arch_instance uniform;
+    uniform.window = 3;
+    uniform.level_depths = {2, 2};
+    EXPECT_EQ(analyze_toplevel(emit_architecture_toplevel(library, uniform))
+                  .cone_instances,
+              1);
+}
+
+TEST_F(Toplevel_fixture, has_buffers_fsm_and_streams) {
+    Arch_instance instance;
+    instance.window = 4;
+    instance.level_depths = {2, 2};
+    const std::string vhdl = emit_architecture_toplevel(library, instance);
+    const Toplevel_structure s = analyze_toplevel(vhdl);
+    EXPECT_EQ(s.buffer_declarations, 3);  // current / next / output staging
+    EXPECT_EQ(s.fsm_states, 6);           // idle load exec drain store done
+    EXPECT_TRUE(s.has_stream_in);
+    EXPECT_TRUE(s.has_stream_out);
+    // References the cone entity by its canonical name.
+    EXPECT_NE(vhdl.find("entity work.islhls_igf_w4x4_d2"), std::string::npos);
+    // Documents the level schedule.
+    EXPECT_NE(vhdl.find("level 1: depth-2 cone"), std::string::npos);
+    EXPECT_NE(vhdl.find("level 2: depth-2 cone"), std::string::npos);
+}
+
+TEST_F(Toplevel_fixture, word_counts_match_coverage_geometry) {
+    Arch_instance instance;
+    instance.window = 4;
+    instance.level_depths = {5, 5};
+    const std::string vhdl = emit_architecture_toplevel(library, instance);
+    // Input coverage for w=4, N=10, r=1 is 24x24, one field.
+    EXPECT_NE(vhdl.find("input coverage 24x24 (576 words"), std::string::npos);
+    EXPECT_NE(vhdl.find("output 4x4 (16 words)"), std::string::npos);
+    EXPECT_NE(vhdl.find("COV_SIDE   : integer := 24"), std::string::npos);
+}
+
+TEST_F(Toplevel_fixture, multifield_kernels_size_fields) {
+    Cone_library chamb(extract_stencil(kernel_by_name("chambolle").c_source),
+                       "chambolle");
+    Arch_instance instance;
+    instance.window = 2;
+    instance.level_depths = {1};
+    const std::string vhdl = emit_architecture_toplevel(chamb, instance);
+    EXPECT_NE(vhdl.find("FIELDS     : integer := 3"), std::string::npos);
+    // Output words = 2x2 window * 2 state fields.
+    EXPECT_NE(vhdl.find("output 2x2 (8 words)"), std::string::npos);
+}
+
+TEST_F(Toplevel_fixture, rejects_malformed_instances) {
+    Arch_instance bad;
+    bad.window = 0;
+    bad.level_depths = {1};
+    EXPECT_THROW(emit_architecture_toplevel(library, bad), Internal_error);
+    bad.window = 2;
+    bad.level_depths = {};
+    EXPECT_THROW(emit_architecture_toplevel(library, bad), Internal_error);
+}
+
+}  // namespace
+}  // namespace islhls

@@ -1,0 +1,230 @@
+// islhls — command-line driver for the ISL HLS flow.
+//
+// Usage:
+//   islhls <kernel.c> [options]
+//
+// Options:
+//   --iterations N      ISL iteration count (default 10)
+//   --frame WxH         frame size (default 1024x768)
+//   --device NAME       target FPGA (default xc6vlx760; see --list-devices)
+//   --format Qm.f       fixed-point format (default Q10.6)
+//   --describe          print the dependency analysis and exit
+//   --pareto            print the Pareto set (default action)
+//   --fit               print the best design for the device
+//   --emit-vhdl DIR     write support package + cone + top-level VHDL for
+//                       the best device fit into DIR
+//   --list-kernels      list built-in kernels (pass builtin:NAME as input)
+//   --list-devices      list known devices
+//
+// Examples:
+//   islhls my_stencil.c --iterations 8 --fit
+//   islhls builtin:chambolle --device xc7vx485t --emit-vhdl out/
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "backend/vhdl_toplevel.hpp"
+#include "core/flow.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+namespace {
+
+using namespace islhls;
+
+[[noreturn]] void usage(int code) {
+    std::cout <<
+        R"(usage: islhls <kernel.c | builtin:NAME> [options]
+  --iterations N    ISL iteration count (default 10)
+  --frame WxH       frame size (default 1024x768)
+  --device NAME     target FPGA (default xc6vlx760)
+  --format Qm.f     fixed-point format (default Q10.6)
+  --describe        print the dependency analysis
+  --pareto          print the Pareto set (default)
+  --fit             print the best design for the device
+  --emit-vhdl DIR   write VHDL for the best fit into DIR
+  --list-kernels    list built-in kernels
+  --list-devices    list known devices
+)";
+    std::exit(code);
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw Io_error(cat("cannot open '", path, "'"));
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+Fixed_format parse_format(const std::string& text) {
+    // "Q10.6" -> {10, 6}
+    if (text.size() < 4 || (text[0] != 'Q' && text[0] != 'q')) {
+        throw Error(cat("bad format '", text, "', expected Qm.f"));
+    }
+    const auto dot = text.find('.');
+    if (dot == std::string::npos) throw Error(cat("bad format '", text, "'"));
+    Fixed_format fmt;
+    fmt.integer_bits = std::stoi(text.substr(1, dot - 1));
+    fmt.frac_bits = std::stoi(text.substr(dot + 1));
+    if (fmt.total_bits() < 2 || fmt.total_bits() > 62) {
+        throw Error(cat("format '", text, "' out of the 2..62 bit range"));
+    }
+    return fmt;
+}
+
+void print_pareto(Hls_flow& flow) {
+    const auto result = flow.pareto();
+    std::cout << "evaluated " << result.points.size() << " design points\n";
+    Table table({"kLUTs (est)", "ms/frame", "fps", "architecture"});
+    for (std::size_t idx : result.front) {
+        const auto& p = result.points[idx];
+        table.add(format_fixed(p.estimated_area_luts / 1e3, 1),
+                  format_fixed(p.throughput.seconds_per_frame * 1e3, 3),
+                  format_fixed(p.throughput.fps, 1), to_string(p.instance));
+    }
+    std::cout << table;
+}
+
+void print_fit(Hls_flow& flow) {
+    const auto fit = flow.device_fit();
+    if (!fit.has_best) {
+        std::cout << "no feasible design fits " << flow.device().name << "\n";
+        return;
+    }
+    const auto& best = fit.best;
+    std::cout << "best design for " << flow.device().name << ":\n  "
+              << to_string(best.instance) << "\n  "
+              << format_fixed(best.throughput.fps, 1) << " fps ("
+              << format_fixed(best.throughput.seconds_per_frame * 1e3, 2)
+              << " ms/frame), bottleneck: " << best.throughput.bottleneck << "\n  "
+              << format_fixed(best.estimated_area_luts / 1e3, 1)
+              << " kLUTs estimated (" << format_fixed(best.actual_area_luts / 1e3, 1)
+              << " actual), f_max " << format_fixed(best.f_max_mhz, 1) << " MHz\n  "
+              << "on-chip buffers " << format_fixed(best.memory.total_kbits, 1)
+              << " kbit (" << format_fixed(best.memory.saving_factor, 0)
+              << "x below whole-frame buffering)\n";
+}
+
+void emit_vhdl(Hls_flow& flow, const std::string& dir) {
+    namespace fs = std::filesystem;
+    fs::create_directories(dir);
+    const auto fit = flow.device_fit();
+    if (!fit.has_best) {
+        std::cout << "no feasible design; nothing emitted\n";
+        return;
+    }
+    const Arch_instance& instance = fit.best.instance;
+    Vhdl_options options;
+    options.format = flow.options().format;
+
+    const fs::path base(dir);
+    {
+        std::ofstream f(base / "islhls_support.vhdl");
+        f << emit_support_package(options);
+    }
+    std::vector<std::string> files{"islhls_support.vhdl"};
+    for (int d : instance.depth_classes()) {
+        const Cone& cone = flow.cones().cone(instance.window, d);
+        const std::string name =
+            cone_entity_name(flow.kernel_name(), cone.spec(), options) + ".vhdl";
+        std::ofstream f(base / name);
+        f << emit_cone(cone, flow.kernel_name(), options);
+        files.push_back(name);
+    }
+    {
+        const std::string name =
+            toplevel_entity_name(flow.kernel_name(), instance, options) + ".vhdl";
+        std::ofstream f(base / name);
+        f << emit_architecture_toplevel(flow.cones(), instance, options);
+        files.push_back(name);
+    }
+    std::cout << "wrote " << files.size() << " files to " << dir << ":\n";
+    for (const auto& f : files) std::cout << "  " << f << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        std::string input;
+        Flow_options options;
+        bool do_describe = false;
+        bool do_pareto = false;
+        bool do_fit = false;
+        std::string vhdl_dir;
+
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next_value = [&]() -> std::string {
+                if (i + 1 >= argc) usage(2);
+                return argv[++i];
+            };
+            if (arg == "--help" || arg == "-h") usage(0);
+            else if (arg == "--list-kernels") {
+                for (const Kernel_def& k : all_kernels()) {
+                    std::cout << pad_right(k.name, 14) << k.display_name << " — "
+                              << k.description << "\n";
+                }
+                return 0;
+            } else if (arg == "--list-devices") {
+                for (const Fpga_device& d : all_devices()) {
+                    std::cout << pad_right(d.name, 14) << d.family << ", "
+                              << format_grouped(d.lut_count) << " LUTs, "
+                              << format_grouped(d.bram_kbits) << " kbit BRAM\n";
+                }
+                return 0;
+            } else if (arg == "--iterations") {
+                options.iterations = std::stoi(next_value());
+            } else if (arg == "--frame") {
+                const std::string value = next_value();
+                const auto x = value.find('x');
+                if (x == std::string::npos) usage(2);
+                options.frame_width = std::stoi(value.substr(0, x));
+                options.frame_height = std::stoi(value.substr(x + 1));
+            } else if (arg == "--device") {
+                options.device = next_value();
+            } else if (arg == "--format") {
+                options.format = parse_format(next_value());
+            } else if (arg == "--describe") {
+                do_describe = true;
+            } else if (arg == "--pareto") {
+                do_pareto = true;
+            } else if (arg == "--fit") {
+                do_fit = true;
+            } else if (arg == "--emit-vhdl") {
+                vhdl_dir = next_value();
+            } else if (!arg.empty() && arg[0] == '-') {
+                std::cerr << "unknown option " << arg << "\n";
+                usage(2);
+            } else {
+                input = arg;
+            }
+        }
+        if (input.empty()) usage(2);
+
+        Hls_flow flow = [&] {
+            if (starts_with(input, "builtin:")) {
+                return Hls_flow::from_kernel(kernel_by_name(input.substr(8)), options);
+            }
+            return Hls_flow::from_source(read_file(input), options);
+        }();
+
+        std::cout << "kernel '" << flow.kernel_name() << "', " << options.iterations
+                  << " iterations, " << options.frame_width << "x"
+                  << options.frame_height << " frames, device " << options.device
+                  << ", format " << to_string(options.format) << "\n\n";
+
+        if (do_describe) std::cout << flow.describe() << "\n";
+        if (!do_describe && !do_fit && vhdl_dir.empty()) do_pareto = true;
+        if (do_pareto) print_pareto(flow);
+        if (do_fit) print_fit(flow);
+        if (!vhdl_dir.empty()) emit_vhdl(flow, vhdl_dir);
+        return 0;
+    } catch (const islhls::Error& e) {
+        std::cerr << "islhls: " << e.what() << "\n";
+        return 1;
+    }
+}
