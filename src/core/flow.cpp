@@ -3,6 +3,7 @@
 #include "frontend/parser.hpp"
 #include "frontend/sema.hpp"
 #include "ir/print.hpp"
+#include "support/error.hpp"
 #include "support/text.hpp"
 
 namespace islhls {
@@ -34,11 +35,15 @@ Hls_flow::Hls_flow(Stencil_step step, std::string kernel_name,
     evaluator_options.throughput = options_.throughput;
     evaluator_options.calibration_windows = options_.calibration_windows;
 
-    Space_options space = options_.space;
-    space.iterations = options_.iterations;
+    // Flow_options::iterations is the authoritative iteration count; the copy
+    // inside Space_options exists only so the Explorer reads one struct.
+    // Overwrite it in the stored options too, so the two can never diverge.
+    options_.space.iterations = options_.iterations;
 
     explorer_ = std::make_unique<Explorer>(*library_, device_by_name(options_.device),
-                                           evaluator_options, space);
+                                           evaluator_options, options_.space);
+    check_internal(explorer_->space().iterations == options_.iterations,
+                   "Space_options::iterations diverged from Flow_options::iterations");
 }
 
 const Fpga_device& Hls_flow::device() const { return device_by_name(options_.device); }

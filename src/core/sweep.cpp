@@ -1,0 +1,123 @@
+#include "core/sweep.hpp"
+
+#include <chrono>
+
+#include "dse/architecture.hpp"
+#include "kernels/kernels.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+#include "symexec/executor.hpp"
+#include "synth/device.hpp"
+
+namespace islhls {
+
+Sweep_session::Sweep_session(Sweep_config config) : config_(std::move(config)) {
+    // User-facing configuration errors, not internal invariants.
+    if (config_.kernels.empty()) throw Error("sweep needs at least one kernel");
+    if (config_.devices.empty()) throw Error("sweep needs at least one device");
+    if (config_.iteration_counts.empty()) {
+        throw Error("sweep needs at least one iteration count");
+    }
+    for (int n : config_.iteration_counts) {
+        if (n < 1) throw Error(cat("sweep iteration count ", n, " must be >= 1"));
+    }
+    if (config_.frame_width < 1 || config_.frame_height < 1) {
+        throw Error(cat("sweep frame ", config_.frame_width, "x",
+                        config_.frame_height, " must be positive"));
+    }
+}
+
+Cone_library& Sweep_session::library(const std::string& kernel) {
+    auto it = libraries_.find(kernel);
+    if (it == libraries_.end()) {
+        const Kernel_def& def = kernel_by_name(kernel);
+        Stencil_step step = extract_stencil(def.c_source);
+        auto built = std::make_unique<Cone_library>(std::move(step), def.name);
+        it = libraries_.emplace(kernel, std::move(built)).first;
+    }
+    return *it->second;
+}
+
+Sweep_report Sweep_session::run() {
+    const auto start = std::chrono::steady_clock::now();
+    Sweep_report report;
+    for (const std::string& kernel : config_.kernels) {
+        Cone_library& lib = library(kernel);
+        for (const std::string& device_name : config_.devices) {
+            const Fpga_device& device = device_by_name(device_name);
+            for (int iterations : config_.iteration_counts) {
+                Evaluator_options evaluator_options;
+                evaluator_options.frame_width = config_.frame_width;
+                evaluator_options.frame_height = config_.frame_height;
+                evaluator_options.format = config_.format;
+                evaluator_options.synth.format = config_.format;
+                evaluator_options.throughput = config_.throughput;
+                evaluator_options.calibration_windows = config_.calibration_windows;
+
+                Space_options space = config_.space;
+                space.iterations = iterations;
+
+                Explorer explorer(lib, device, evaluator_options, space);
+                Sweep_entry entry;
+                entry.kernel = kernel;
+                entry.device = device_name;
+                entry.iterations = iterations;
+                const Explorer::Fit_result fit = explorer.fit_device();
+                entry.fits = fit.has_best;
+                if (fit.has_best) entry.best = fit.best;
+                if (config_.with_pareto) {
+                    const Explorer::Pareto_result pareto = explorer.explore_pareto();
+                    entry.pareto_points = pareto.points.size();
+                    entry.pareto_front_size = pareto.front.size();
+                }
+                report.entries.push_back(std::move(entry));
+            }
+        }
+    }
+    // Totals over the distinct session caches — not per occurrence in
+    // config_.kernels, which may repeat a name.
+    for (const auto& [name, lib] : libraries_) {
+        report.cone_builds += lib->cone_builds();
+        report.cone_lookups += lib->cone_lookups();
+        report.synthesis_runs += lib->synthesis_runs();
+        report.synthesis_lookups += lib->synthesis_lookups();
+        report.synthesis_cpu_seconds += lib->synthesis_cpu_seconds();
+    }
+    report.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return report;
+}
+
+std::string to_string(const Sweep_report& report) {
+    Table table({"kernel", "device", "N", "fit", "architecture", "fps",
+                 "kLUTs (est)", "pareto"});
+    for (const Sweep_entry& e : report.entries) {
+        const std::string pareto =
+            e.pareto_points > 0
+                ? cat(e.pareto_front_size, "/", e.pareto_points)
+                : std::string("-");
+        if (e.fits) {
+            table.add(e.kernel, e.device, e.iterations, "yes",
+                      to_string(e.best.instance),
+                      format_fixed(e.best.throughput.fps, 1),
+                      format_fixed(e.best.estimated_area_luts / 1e3, 1), pareto);
+        } else {
+            table.add(e.kernel, e.device, e.iterations, "no", "-", "-", "-", pareto);
+        }
+    }
+    std::string out = table.to_text();
+    const long long cone_hits = report.cone_lookups - report.cone_builds;
+    const long long synth_hits = report.synthesis_lookups - report.synthesis_runs;
+    out += cat("\ncache: ", report.cone_builds, " cones built, ", cone_hits,
+               " cone hits; ", report.synthesis_runs, " syntheses run, ",
+               synth_hits, " synthesis hits\n");
+    out += cat("virtual synthesis time ",
+               format_fixed(report.synthesis_cpu_seconds / 3600.0, 2),
+               " tool-hours; sweep wall time ",
+               format_fixed(report.wall_seconds, 2), " s\n");
+    return out;
+}
+
+}  // namespace islhls

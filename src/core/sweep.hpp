@@ -1,0 +1,83 @@
+// Batch sweeps: many kernels × devices × iteration counts through one
+// session-wide cache.
+//
+// A Sweep_session keeps one Cone_library per kernel for its whole lifetime,
+// so cones are built once per (window, depth) no matter how many devices or
+// iteration counts ask for them, and virtual syntheses are shared across
+// iteration counts (they are keyed by device inside the library). Each
+// combination runs the full device fit — and optionally the Pareto sweep —
+// through a parallel Explorer (Space_options::threads). Combinations
+// themselves run in their nesting order so the report is deterministic; the
+// parallelism lives inside each exploration.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/fixed_point.hpp"
+#include "dse/explorer.hpp"
+#include "estimate/throughput_model.hpp"
+
+namespace islhls {
+
+struct Sweep_config {
+    std::vector<std::string> kernels;    // registry names, e.g. "igf"
+    std::vector<std::string> devices;    // device names, e.g. "xc6vlx760"
+    std::vector<int> iteration_counts;   // N values to sweep
+    int frame_width = 1024;
+    int frame_height = 768;
+    Fixed_format format;
+    // `iterations` is overridden per combination; `threads` sets the fan-out
+    // width of every exploration in the session.
+    Space_options space;
+    Throughput_params throughput;
+    std::vector<int> calibration_windows = {1, 2};
+    bool with_pareto = false;  // additionally run the Pareto sweep per combo
+};
+
+struct Sweep_entry {
+    std::string kernel;
+    std::string device;
+    int iterations = 0;
+    bool fits = false;               // a feasible device fit exists
+    Arch_evaluation best;            // valid when `fits`
+    std::size_t pareto_points = 0;   // filled when with_pareto
+    std::size_t pareto_front_size = 0;
+};
+
+struct Sweep_report {
+    std::vector<Sweep_entry> entries;  // kernel-major, then device, then N
+    // Shared-cache effectiveness over the whole session.
+    int cone_builds = 0;
+    long long cone_lookups = 0;
+    int synthesis_runs = 0;
+    long long synthesis_lookups = 0;
+    double synthesis_cpu_seconds = 0.0;  // simulated tool time actually spent
+    double wall_seconds = 0.0;           // host time for the whole run
+};
+
+class Sweep_session {
+public:
+    explicit Sweep_session(Sweep_config config);
+
+    // Runs every kernel × device × iteration-count combination.
+    Sweep_report run();
+
+    // The session cache for one kernel: frontend + symbolic execution happen
+    // on first use, after which every device and iteration count shares the
+    // same memoized cones and syntheses.
+    Cone_library& library(const std::string& kernel);
+
+    const Sweep_config& config() const { return config_; }
+
+private:
+    Sweep_config config_;
+    std::map<std::string, std::unique_ptr<Cone_library>> libraries_;
+};
+
+// Renders the per-combination results and the cache totals as text tables.
+std::string to_string(const Sweep_report& report);
+
+}  // namespace islhls

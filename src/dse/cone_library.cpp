@@ -1,5 +1,7 @@
 #include "dse/cone_library.hpp"
 
+#include <mutex>
+
 #include "support/error.hpp"
 
 namespace islhls {
@@ -9,7 +11,14 @@ Cone_library::Cone_library(Stencil_step step, std::string kernel_name)
 
 const Cone& Cone_library::cone(int window, int depth) {
     check_internal(window >= 1 && depth >= 1, "cone(window, depth) must be positive");
+    cone_lookups_.fetch_add(1, std::memory_order_relaxed);
     const auto key = std::make_pair(window, depth);
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = cones_.find(key);
+        if (it != cones_.end()) return *it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     auto it = cones_.find(key);
     if (it == cones_.end()) {
         auto built = std::make_unique<Cone>(step_, Cone_spec{window, window, depth});
@@ -25,16 +34,48 @@ const Cone_stats& Cone_library::stats(int window, int depth) {
 const Synthesis_report& Cone_library::synthesis(int window, int depth,
                                                 const Fpga_device& device,
                                                 const Synth_options& options) {
+    synthesis_lookups_.fetch_add(1, std::memory_order_relaxed);
     const auto key = std::make_tuple(window, depth, device.name);
-    auto it = syntheses_.find(key);
-    if (it == syntheses_.end()) {
-        const Synthesis_report report =
-            synthesize_cone(cone(window, depth), kernel_name_, device, options);
-        synthesis_runs_ += 1;
-        synthesis_cpu_seconds_ += report.synthesis_cpu_seconds;
-        it = syntheses_.emplace(key, report).first;
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = syntheses_.find(key);
+        if (it != syntheses_.end()) return it->second;
     }
-    return it->second;
+    // Synthesize outside the exclusive section: the synthesizer only reads
+    // the cone's own (immutable once built) register program, so distinct
+    // keys can synthesize concurrently. Racing threads may synthesize the
+    // same key twice; the synthesizer is deterministic, the first insert
+    // wins, and the meter counts cache entries, so nothing diverges.
+    const Cone& built_cone = cone(window, depth);
+    const Synthesis_report report =
+        synthesize_cone(built_cone, kernel_name_, device, options);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return syntheses_.emplace(key, report).first->second;
+}
+
+int Cone_library::synthesis_runs() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return static_cast<int>(syntheses_.size());
+}
+
+double Cone_library::synthesis_cpu_seconds() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    double total = 0.0;
+    for (const auto& [key, report] : syntheses_) total += report.synthesis_cpu_seconds;
+    return total;
+}
+
+std::vector<double> Cone_library::synthesis_costs() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    std::vector<double> costs;
+    costs.reserve(syntheses_.size());
+    for (const auto& [key, report] : syntheses_) costs.push_back(report.synthesis_cpu_seconds);
+    return costs;
+}
+
+int Cone_library::cone_builds() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return static_cast<int>(cones_.size());
 }
 
 }  // namespace islhls

@@ -5,11 +5,29 @@
 // and tracks the cumulative simulated synthesis CPU time, so the flow can
 // report how much the estimation-based exploration saves over synthesizing
 // every design point.
+//
+// The library is safe for concurrent callers: lookups take a shared lock;
+// cone cache misses build under the exclusive lock (building extends the
+// kernel's shared expression pool, so it must serialize), while synthesis
+// misses run the virtual synthesizer outside any lock (it only reads the
+// cone's immutable register program) and insert first-wins — racing threads
+// may duplicate a deterministic synthesis but never diverge. Returned
+// references stay valid for the library's lifetime (node-based storage).
+// The synthesis meter is derived from the memoization map in key order, so
+// its value is independent of the schedule that filled the cache.
+//
+// One caveat for callers holding references into step(): a cone cache miss
+// extends the shared expression pool, so unlocked pool reads (e.g.
+// Stencil_step::footprint()) must not race cone() misses — pre-build the
+// cone grid first, as Arch_evaluator::calibrate() does.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "cone/cone.hpp"
 #include "symexec/stencil_step.hpp"
@@ -36,17 +54,28 @@ public:
     const Synthesis_report& synthesis(int window, int depth, const Fpga_device& device,
                                       const Synth_options& options);
 
-    // Number of syntheses performed and their cumulative simulated CPU time.
-    int synthesis_runs() const { return synthesis_runs_; }
-    double synthesis_cpu_seconds() const { return synthesis_cpu_seconds_; }
+    // Number of distinct syntheses performed and their cumulative simulated
+    // CPU time (sum over the cache in key order — schedule-independent).
+    int synthesis_runs() const;
+    double synthesis_cpu_seconds() const;
+
+    // Simulated tool runtime of each cached synthesis, in key order. Feed to
+    // lpt_makespan() to report what a farm of synthesis workers would take.
+    std::vector<double> synthesis_costs() const;
+
+    // Cache effectiveness counters: total lookups (hits = lookups - builds).
+    long long cone_lookups() const { return cone_lookups_.load(); }
+    long long synthesis_lookups() const { return synthesis_lookups_.load(); }
+    int cone_builds() const;
 
 private:
     Stencil_step step_;
     std::string kernel_name_;
+    mutable std::shared_mutex mutex_;
     std::map<std::pair<int, int>, std::unique_ptr<Cone>> cones_;
     std::map<std::tuple<int, int, std::string>, Synthesis_report> syntheses_;
-    int synthesis_runs_ = 0;
-    double synthesis_cpu_seconds_ = 0.0;
+    std::atomic<long long> cone_lookups_{0};
+    std::atomic<long long> synthesis_lookups_{0};
 };
 
 }  // namespace islhls

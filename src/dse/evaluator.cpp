@@ -1,6 +1,7 @@
 #include "dse/evaluator.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "support/error.hpp"
 #include "support/numeric.hpp"
@@ -15,22 +16,43 @@ Arch_evaluator::Arch_evaluator(Cone_library& library, const Fpga_device& device,
                    "area calibration needs at least two windows");
 }
 
-const Area_model& Arch_evaluator::model_for_depth(int depth) {
-    auto it = area_models_.find(depth);
-    if (it == area_models_.end()) {
-        Area_model model(options_.format.total_bits());
-        for (int w : options_.calibration_windows) {
-            const Synthesis_report& report =
-                library_.synthesis(w, depth, device_, options_.synth);
-            model.add_sample({report.register_count, report.lut_count});
-        }
-        model.calibrate();
-        it = area_models_.emplace(depth, std::move(model)).first;
+const Area_model& Arch_evaluator::model_for_depth(int depth) const {
+    {
+        std::shared_lock<std::shared_mutex> lock(models_mutex_);
+        auto it = area_models_.find(depth);
+        if (it != area_models_.end()) return it->second;
     }
-    return it->second;
+    // Fit outside the exclusive section — the alpha syntheses go through the
+    // (thread-safe) cone library and are memoized there. Two racing threads
+    // fit identical models; the first insert wins.
+    Area_model model(options_.format.total_bits());
+    for (int w : options_.calibration_windows) {
+        const Synthesis_report& report =
+            library_.synthesis(w, depth, device_, options_.synth);
+        model.add_sample({report.register_count, report.lut_count});
+    }
+    model.calibrate();
+    std::unique_lock<std::shared_mutex> lock(models_mutex_);
+    return area_models_.emplace(depth, std::move(model)).first->second;
 }
 
-double Arch_evaluator::estimated_cone_area(int window, int depth) {
+void Arch_evaluator::calibrate(int max_window, int max_depth) {
+    check_internal(max_window >= 1 && max_depth >= 1,
+                   "calibrate() needs positive bounds");
+    for (int d = 1; d <= max_depth; ++d) {
+        model_for_depth(d);
+        // Building cones extends the shared expression pool; do all of it
+        // here, serially, so parallel evaluations only read.
+        for (int w = 1; w <= max_window; ++w) library_.cone(w, d);
+    }
+}
+
+bool Arch_evaluator::is_calibrated(int depth) const {
+    std::shared_lock<std::shared_mutex> lock(models_mutex_);
+    return area_models_.count(depth) != 0;
+}
+
+double Arch_evaluator::estimated_cone_area(int window, int depth) const {
     // Calibration designs were really synthesized — return their exact area
     // (the paper does the same: estimation kicks in beyond the alpha points).
     for (int w : options_.calibration_windows) {
@@ -42,11 +64,11 @@ double Arch_evaluator::estimated_cone_area(int window, int depth) {
     return model.estimate(library_.stats(window, depth).register_count);
 }
 
-double Arch_evaluator::actual_cone_area(int window, int depth) {
+double Arch_evaluator::actual_cone_area(int window, int depth) const {
     return library_.synthesis(window, depth, device_, options_.synth).lut_count;
 }
 
-Arch_evaluation Arch_evaluator::evaluate(const Arch_instance& instance) {
+Arch_evaluation Arch_evaluator::evaluate(const Arch_instance& instance) const {
     Arch_evaluation eval;
     eval.instance = instance;
 

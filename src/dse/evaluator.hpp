@@ -1,9 +1,17 @@
 // Evaluation of one architecture instance: area (estimated via the paper's
 // Eq. 1 model, with the virtual-synthesis "actual" kept alongside for
 // validation), throughput, memory budget and feasibility.
+//
+// Evaluation is split into two phases so the explorer can fan out safely:
+// calibrate() fits the per-depth area models once (each costs the two alpha
+// syntheses of the paper), after which evaluate() is pure — it only reads
+// the calibrated models and the memoized cone library, so any number of
+// threads may evaluate candidates concurrently. Lazy calibration on first
+// use is kept for one-off callers and is itself lock-protected.
 #pragma once
 
 #include <map>
+#include <shared_mutex>
 #include <string>
 
 #include "backend/fixed_point.hpp"
@@ -49,26 +57,37 @@ public:
     Arch_evaluator(Cone_library& library, const Fpga_device& device,
                    const Evaluator_options& options);
 
+    // One-time calibration: fits the area models for depths 1..max_depth
+    // (the alpha syntheses of Eq. 1) and pre-builds every cone of the
+    // (1..max_window, 1..max_depth) grid. Cone construction extends the
+    // kernel's shared expression pool, so it must not race the unlocked pool
+    // reads inside evaluate(); after calibrate(W, D), evaluating any
+    // instance with window <= W and depths <= D is pure — no model fitting,
+    // no pool mutation — and safe from many threads at once.
+    void calibrate(int max_window, int max_depth);
+    bool is_calibrated(int depth) const;
+
     // Full evaluation; never throws on infeasible instances (reports them).
-    Arch_evaluation evaluate(const Arch_instance& instance);
+    Arch_evaluation evaluate(const Arch_instance& instance) const;
 
     // Eq. 1 estimated LUTs of one cone type (calibrating the depth's model on
     // first use).
-    double estimated_cone_area(int window, int depth);
+    double estimated_cone_area(int window, int depth) const;
     // Virtual-synthesis LUTs of one cone type.
-    double actual_cone_area(int window, int depth);
+    double actual_cone_area(int window, int depth) const;
 
     const Fpga_device& device() const { return device_; }
-    Cone_library& library() { return library_; }
+    Cone_library& library() const { return library_; }
     const Evaluator_options& options() const { return options_; }
 
 private:
-    const Area_model& model_for_depth(int depth);
+    const Area_model& model_for_depth(int depth) const;
 
     Cone_library& library_;
     const Fpga_device& device_;
     Evaluator_options options_;
-    std::map<int, Area_model> area_models_;  // per depth class
+    mutable std::shared_mutex models_mutex_;
+    mutable std::map<int, Area_model> area_models_;  // per depth class
 };
 
 }  // namespace islhls

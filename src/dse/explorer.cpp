@@ -1,11 +1,14 @@
 #include "dse/explorer.hpp"
 
 #include <algorithm>
+#include <iomanip>
+#include <sstream>
 
 #include "dse/pareto.hpp"
 
 #include "support/error.hpp"
 #include "support/numeric.hpp"
+#include "support/parallel.hpp"
 #include "support/text.hpp"
 
 namespace islhls {
@@ -38,10 +41,20 @@ std::vector<int> Explorer::canonical_partition(int primary_depth) const {
     return levels;
 }
 
-Explorer::Grow_result Explorer::grow_allocation(Arch_instance instance,
-                                                double area_budget,
-                                                int max_total_cores,
-                                                std::vector<Arch_evaluation>* out) {
+void Explorer::run_parallel(std::size_t count,
+                            const std::function<void(std::size_t)>& body) {
+    if (count == 0) return;
+    if (resolve_thread_count(space_.threads) <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i) body(i);
+        return;
+    }
+    if (!pool_) pool_ = std::make_unique<Thread_pool>(space_.threads);
+    pool_->for_each_index(count, body);
+}
+
+Explorer::Grow_result Explorer::grow_allocation(
+    Arch_instance instance, double area_budget, int max_total_cores,
+    std::vector<Arch_evaluation>* out) const {
     Grow_result result;
     // Minimal allocation: one core per depth class (the paper's feasibility
     // requirement).
@@ -79,16 +92,35 @@ Explorer::Grow_result Explorer::grow_allocation(Arch_instance instance,
 }
 
 Explorer::Pareto_result Explorer::explore_pareto() {
-    Pareto_result result;
+    // One-time alpha calibration, then every candidate evaluation is pure.
+    evaluator_.calibrate(space_.max_window, space_.max_depth);
+
     const auto partitions = depth_partitions();
+    struct Candidate {
+        int window = 0;
+        const std::vector<int>* partition = nullptr;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(static_cast<std::size_t>(space_.max_window) * partitions.size());
     for (int w = 1; w <= space_.max_window; ++w) {
         for (const auto& partition : partitions) {
-            Arch_instance instance;
-            instance.window = w;
-            instance.level_depths = partition;
-            grow_allocation(instance, space_.pareto_area_cap_luts,
-                            space_.max_cores_per_sweep, &result.points);
+            candidates.push_back({w, &partition});
         }
+    }
+
+    std::vector<std::vector<Arch_evaluation>> steps(candidates.size());
+    run_parallel(candidates.size(), [&](std::size_t i) {
+        Arch_instance instance;
+        instance.window = candidates[i].window;
+        instance.level_depths = *candidates[i].partition;
+        grow_allocation(instance, space_.pareto_area_cap_luts,
+                        space_.max_cores_per_sweep, &steps[i]);
+    });
+
+    Pareto_result result;
+    for (const auto& candidate_steps : steps) {
+        result.points.insert(result.points.end(), candidate_steps.begin(),
+                             candidate_steps.end());
     }
     std::vector<Design_point> dps;
     dps.reserve(result.points.size());
@@ -101,60 +133,156 @@ Explorer::Pareto_result Explorer::explore_pareto() {
 }
 
 Explorer::Fit_result Explorer::fit_device() {
+    evaluator_.calibrate(space_.max_window, space_.max_depth);
+
     Fit_result result;
     const double budget =
         static_cast<double>(evaluator_.device().usable_luts());
-    for (int w = 1; w <= space_.max_window; ++w) {
-        for (int d = 1; d <= space_.max_depth; ++d) {
-            Fit_cell cell;
-            cell.window = w;
-            cell.primary_depth = d;
-            Arch_instance instance;
-            instance.window = w;
-            instance.level_depths = canonical_partition(d);
-            const Grow_result grown = grow_allocation(
-                instance, budget, space_.max_cores_per_sweep * 4, nullptr);
-            cell.valid = grown.any_feasible;
-            if (cell.valid) {
-                cell.eval = grown.best;
-                if (!result.has_best ||
-                    cell.eval.throughput.fps > result.best.throughput.fps) {
-                    result.best = cell.eval;
-                    result.has_best = true;
-                }
-            }
-            result.grid.push_back(std::move(cell));
+    const std::size_t cells =
+        static_cast<std::size_t>(space_.max_window) *
+        static_cast<std::size_t>(space_.max_depth);
+    result.grid.resize(cells);
+    run_parallel(cells, [&](std::size_t i) {
+        // Row-major (window, primary depth), matching the serial loop nest.
+        const int w = static_cast<int>(i) / space_.max_depth + 1;
+        const int d = static_cast<int>(i) % space_.max_depth + 1;
+        Fit_cell& cell = result.grid[i];
+        cell.window = w;
+        cell.primary_depth = d;
+        Arch_instance instance;
+        instance.window = w;
+        instance.level_depths = canonical_partition(d);
+        const Grow_result grown = grow_allocation(
+            instance, budget, space_.max_cores_per_sweep * 4, nullptr);
+        cell.valid = grown.any_feasible;
+        if (cell.valid) cell.eval = grown.best;
+    });
+    // Best cell: first strict fps maximum in grid order, as the serial scan
+    // picked it.
+    for (const Fit_cell& cell : result.grid) {
+        if (!cell.valid) continue;
+        if (!result.has_best ||
+            cell.eval.throughput.fps > result.best.throughput.fps) {
+            result.best = cell.eval;
+            result.has_best = true;
         }
     }
     return result;
 }
 
 Explorer::Area_validation Explorer::validate_area_model() {
+    evaluator_.calibrate(space_.max_window, space_.max_depth);
+
     Area_validation validation;
     const auto& calibration = evaluator_.options().calibration_windows;
+    const std::size_t cells =
+        static_cast<std::size_t>(space_.max_window) *
+        static_cast<std::size_t>(space_.max_depth);
+    validation.points.resize(cells);
+    run_parallel(cells, [&](std::size_t i) {
+        // Row-major (depth, window), matching the serial loop nest.
+        const int d = static_cast<int>(i) / space_.max_window + 1;
+        const int w = static_cast<int>(i) % space_.max_window + 1;
+        Area_point& p = validation.points[i];
+        p.window = w;
+        p.depth = d;
+        p.registers = evaluator_.library().stats(w, d).register_count;
+        p.estimated_luts = evaluator_.estimated_cone_area(w, d);
+        p.actual_luts = evaluator_.actual_cone_area(w, d);
+        p.is_calibration = std::find(calibration.begin(), calibration.end(), w) !=
+                           calibration.end();
+        p.rel_error = relative_error(p.estimated_luts, p.actual_luts);
+    });
     double err_sum = 0.0;
     int err_count = 0;
-    for (int d = 1; d <= space_.max_depth; ++d) {
-        for (int w = 1; w <= space_.max_window; ++w) {
-            Area_point p;
-            p.window = w;
-            p.depth = d;
-            p.registers = evaluator_.library().stats(w, d).register_count;
-            p.estimated_luts = evaluator_.estimated_cone_area(w, d);
-            p.actual_luts = evaluator_.actual_cone_area(w, d);
-            p.is_calibration = std::find(calibration.begin(), calibration.end(), w) !=
-                               calibration.end();
-            p.rel_error = relative_error(p.estimated_luts, p.actual_luts);
-            if (!p.is_calibration) {
-                validation.max_rel_error = std::max(validation.max_rel_error, p.rel_error);
-                err_sum += p.rel_error;
-                err_count += 1;
-            }
-            validation.points.push_back(p);
-        }
+    for (const Area_point& p : validation.points) {
+        if (p.is_calibration) continue;
+        validation.max_rel_error = std::max(validation.max_rel_error, p.rel_error);
+        err_sum += p.rel_error;
+        err_count += 1;
     }
     validation.avg_rel_error = err_count > 0 ? err_sum / err_count : 0.0;
     return validation;
+}
+
+// --- deterministic dumps ---------------------------------------------------------
+
+namespace {
+
+std::ostream& full_precision(std::ostream& os) {
+    os << std::setprecision(17);
+    return os;
+}
+
+void dump_evaluation(std::ostream& os, const Arch_evaluation& e) {
+    os << to_string(e.instance) << " feasible=" << e.feasible;
+    if (!e.feasible) os << " reason=" << e.infeasible_reason;
+    os << " est_luts=" << e.estimated_area_luts
+       << " act_luts=" << e.actual_area_luts << " f_max=" << e.f_max_mhz
+       << " wpf=" << e.windows_per_frame
+       << " cycles=" << e.throughput.cycles_per_window
+       << " bneck=" << e.throughput.bottleneck
+       << " spf=" << e.throughput.seconds_per_frame
+       << " fps=" << e.throughput.fps << " mem_kbits=" << e.memory.total_kbits;
+}
+
+}  // namespace
+
+std::string dump(const Arch_evaluation& eval) {
+    std::ostringstream os;
+    full_precision(os);
+    dump_evaluation(os, eval);
+    os << "\n";
+    return os.str();
+}
+
+std::string dump(const Explorer::Pareto_result& result) {
+    std::ostringstream os;
+    full_precision(os);
+    os << "points " << result.points.size() << "\n";
+    for (const Arch_evaluation& e : result.points) {
+        dump_evaluation(os, e);
+        os << "\n";
+    }
+    os << "front";
+    for (std::size_t i : result.front) os << " " << i;
+    os << "\n";
+    return os.str();
+}
+
+std::string dump(const Explorer::Fit_result& result) {
+    std::ostringstream os;
+    full_precision(os);
+    os << "grid " << result.grid.size() << "\n";
+    for (const Explorer::Fit_cell& cell : result.grid) {
+        os << "w" << cell.window << " d" << cell.primary_depth
+           << " valid=" << cell.valid;
+        if (cell.valid) {
+            os << " ";
+            dump_evaluation(os, cell.eval);
+        }
+        os << "\n";
+    }
+    os << "best " << result.has_best;
+    if (result.has_best) {
+        os << " ";
+        dump_evaluation(os, result.best);
+    }
+    os << "\n";
+    return os.str();
+}
+
+std::string dump(const Explorer::Area_validation& validation) {
+    std::ostringstream os;
+    full_precision(os);
+    for (const Explorer::Area_point& p : validation.points) {
+        os << "w" << p.window << " d" << p.depth << " regs=" << p.registers
+           << " est=" << p.estimated_luts << " act=" << p.actual_luts
+           << " cal=" << p.is_calibration << " err=" << p.rel_error << "\n";
+    }
+    os << "avg=" << validation.avg_rel_error << " max=" << validation.max_rel_error
+       << "\n";
+    return os.str();
 }
 
 }  // namespace islhls

@@ -7,11 +7,21 @@
 //     partitions and core allocations, Pareto set extraction (Figs. 6 and 9);
 //   - fit_device(): maximize throughput inside one device's budget, per
 //     (window, primary depth) cell (Figs. 7 and 10).
+//
+// All three fan independent (window, partition, allocation) candidates
+// across a thread pool (Space_options::threads) after a one-time area-model
+// calibration. Each candidate writes into its own pre-sized slot and the
+// cross-candidate aggregation (concatenation, Pareto extraction, best-cell
+// scan, error statistics) runs after the join in the serial candidate
+// order, so the results are byte-identical to a single-threaded run.
 #pragma once
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "dse/evaluator.hpp"
+#include "support/parallel.hpp"
 
 namespace islhls {
 
@@ -21,6 +31,7 @@ struct Space_options {
     int max_depth = 5;        // cone depths 1..max
     int max_cores_per_sweep = 16;       // Pareto sweep: total cores cap
     double pareto_area_cap_luts = 6e6;  // Pareto sweep: area cap
+    int threads = 1;          // DSE fan-out width; 0 = all hardware threads
 };
 
 class Explorer {
@@ -83,17 +94,32 @@ private:
     // bottleneck class) while the estimated area stays within `area_budget`;
     // records every step into `out` when `record_steps` is set. Returns the
     // best-fps evaluation found (unset optional when even the minimal
-    // allocation does not fit).
+    // allocation does not fit). Pure: safe to run for many candidates
+    // concurrently once the evaluator is calibrated.
     struct Grow_result {
         bool any_feasible = false;
         Arch_evaluation best;
     };
     Grow_result grow_allocation(Arch_instance instance, double area_budget,
                                 int max_total_cores,
-                                std::vector<Arch_evaluation>* out);
+                                std::vector<Arch_evaluation>* out) const;
+
+    // Fans body(0..count-1) across the explorer's pool (created on first use,
+    // reused by every subsequent exploration); inline when threads <= 1.
+    void run_parallel(std::size_t count,
+                      const std::function<void(std::size_t)>& body);
 
     Arch_evaluator evaluator_;
     Space_options space_;
+    std::unique_ptr<Thread_pool> pool_;
 };
+
+// Deterministic full-precision renderings, used to assert byte-identity
+// between serial and parallel explorations (tests, benches) and to diff
+// results across code changes.
+std::string dump(const Arch_evaluation& eval);
+std::string dump(const Explorer::Pareto_result& result);
+std::string dump(const Explorer::Fit_result& result);
+std::string dump(const Explorer::Area_validation& validation);
 
 }  // namespace islhls

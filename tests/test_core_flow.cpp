@@ -19,6 +19,23 @@ Flow_options small_options() {
     return options;
 }
 
+TEST(Flow, iterations_copied_into_space_options) {
+    // Flow_options::iterations is authoritative; a diverging value planted in
+    // the nested Space_options must be overwritten, not silently used.
+    Flow_options options = small_options();
+    options.iterations = 5;
+    options.space.iterations = 999;
+    Hls_flow flow = Hls_flow::from_kernel(kernel_by_name("jacobi"), options);
+    EXPECT_EQ(flow.options().iterations, 5);
+    EXPECT_EQ(flow.options().space.iterations, 5);
+    EXPECT_EQ(flow.explorer().space().iterations, 5);
+    for (int d = 1; d <= 2; ++d) {
+        int sum = 0;
+        for (int level : flow.explorer().canonical_partition(d)) sum += level;
+        EXPECT_EQ(sum, 5);
+    }
+}
+
 TEST(Flow, builds_from_builtin_kernel) {
     Hls_flow flow = Hls_flow::from_kernel(kernel_by_name("jacobi"), small_options());
     EXPECT_EQ(flow.kernel_name(), "jacobi");

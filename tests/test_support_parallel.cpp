@@ -1,0 +1,87 @@
+// Thread-pool utility: deterministic parallel-for, exception order, LPT.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "support/parallel.hpp"
+
+namespace islhls {
+namespace {
+
+TEST(Parallel, resolve_thread_count_semantics) {
+    EXPECT_GE(resolve_thread_count(0), 1);  // 0 = all hardware threads
+    EXPECT_EQ(resolve_thread_count(1), 1);
+    EXPECT_EQ(resolve_thread_count(8), 8);
+    EXPECT_EQ(resolve_thread_count(-3), 1);
+}
+
+TEST(Parallel, every_index_runs_exactly_once) {
+    for (int threads : {1, 2, 8}) {
+        const std::size_t count = 257;
+        std::vector<std::atomic<int>> runs(count);
+        for (auto& r : runs) r = 0;
+        parallel_for(count, threads, [&](std::size_t i) { runs[i] += 1; });
+        for (std::size_t i = 0; i < count; ++i) {
+            EXPECT_EQ(runs[i].load(), 1) << "index " << i << " threads " << threads;
+        }
+    }
+}
+
+TEST(Parallel, zero_and_single_counts) {
+    int calls = 0;
+    parallel_for(0, 8, [&](std::size_t) { calls += 1; });
+    EXPECT_EQ(calls, 0);
+    parallel_for(1, 8, [&](std::size_t) { calls += 1; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, results_identical_across_thread_counts) {
+    auto compute = [](int threads) {
+        std::vector<double> out(100);
+        parallel_for(out.size(), threads, [&](std::size_t i) {
+            out[i] = static_cast<double>(i) * 1.5 + 7.0;
+        });
+        return out;
+    };
+    const auto serial = compute(1);
+    EXPECT_EQ(compute(2), serial);
+    EXPECT_EQ(compute(8), serial);
+}
+
+TEST(Parallel, lowest_index_exception_wins) {
+    for (int threads : {1, 2, 8}) {
+        try {
+            parallel_for(64, threads, [](std::size_t i) {
+                throw std::runtime_error(std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "0") << "threads " << threads;
+        }
+    }
+}
+
+TEST(Parallel, pool_is_reusable_across_jobs) {
+    Thread_pool pool(4);
+    EXPECT_EQ(pool.thread_count(), 4);
+    std::vector<int> out(50, 0);
+    for (int round = 1; round <= 3; ++round) {
+        pool.for_each_index(out.size(),
+                            [&](std::size_t i) { out[i] += round; });
+    }
+    for (int v : out) EXPECT_EQ(v, 1 + 2 + 3);
+}
+
+TEST(Parallel, lpt_makespan_known_cases) {
+    EXPECT_DOUBLE_EQ(lpt_makespan({4.0, 3.0, 3.0, 2.0}, 2), 6.0);
+    EXPECT_DOUBLE_EQ(lpt_makespan({4.0, 3.0, 3.0, 2.0}, 1), 12.0);
+    EXPECT_DOUBLE_EQ(lpt_makespan({5.0}, 8), 5.0);
+    EXPECT_DOUBLE_EQ(lpt_makespan({}, 4), 0.0);
+    // One long job bounds the makespan no matter the worker count.
+    EXPECT_DOUBLE_EQ(lpt_makespan({10.0, 1.0, 1.0, 1.0}, 8), 10.0);
+}
+
+}  // namespace
+}  // namespace islhls

@@ -2,12 +2,14 @@
 //
 // Usage:
 //   islhls <kernel.c> [options]
+//   islhls sweep --kernels A,B [sweep options]
 //
 // Options:
 //   --iterations N      ISL iteration count (default 10)
 //   --frame WxH         frame size (default 1024x768)
 //   --device NAME       target FPGA (default xc6vlx760; see --list-devices)
 //   --format Qm.f       fixed-point format (default Q10.6)
+//   --threads N         DSE fan-out threads (default 1; 0 = all cores)
 //   --describe          print the dependency analysis and exit
 //   --pareto            print the Pareto set (default action)
 //   --fit               print the best design for the device
@@ -16,9 +18,18 @@
 //   --list-kernels      list built-in kernels (pass builtin:NAME as input)
 //   --list-devices      list known devices
 //
+// The `sweep` subcommand batches many kernels × devices × iteration counts
+// through one shared cone/synthesis cache (see core/sweep.hpp):
+//   --kernels A,B|all     built-in kernels to sweep (required)
+//   --devices A,B|all     target FPGAs (default xc6vlx760)
+//   --iterations N1,N2    iteration counts (default 10)
+//   --frame WxH, --format Qm.f, --threads N   as above
+//   --pareto              additionally run the Pareto sweep per combination
+//
 // Examples:
 //   islhls my_stencil.c --iterations 8 --fit
 //   islhls builtin:chambolle --device xc7vx485t --emit-vhdl out/
+//   islhls sweep --kernels igf,chambolle --devices all --iterations 4,10 --threads 0
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -26,6 +37,7 @@
 
 #include "backend/vhdl_toplevel.hpp"
 #include "core/flow.hpp"
+#include "core/sweep.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
 #include "support/text.hpp"
@@ -37,16 +49,24 @@ using namespace islhls;
 [[noreturn]] void usage(int code) {
     std::cout <<
         R"(usage: islhls <kernel.c | builtin:NAME> [options]
+       islhls sweep --kernels A,B|all [sweep options]
   --iterations N    ISL iteration count (default 10)
   --frame WxH       frame size (default 1024x768)
   --device NAME     target FPGA (default xc6vlx760)
   --format Qm.f     fixed-point format (default Q10.6)
+  --threads N       DSE fan-out threads (default 1; 0 = all cores)
   --describe        print the dependency analysis
   --pareto          print the Pareto set (default)
   --fit             print the best design for the device
   --emit-vhdl DIR   write VHDL for the best fit into DIR
   --list-kernels    list built-in kernels
   --list-devices    list known devices
+sweep options:
+  --kernels A,B|all    built-in kernels to sweep (required)
+  --devices A,B|all    target FPGAs (default xc6vlx760)
+  --iterations N1,N2   iteration counts (default 10)
+  --frame WxH, --format Qm.f, --threads N   as above
+  --pareto             additionally run the Pareto sweep per combination
 )";
     std::exit(code);
 }
@@ -59,6 +79,18 @@ std::string read_file(const std::string& path) {
     return ss.str();
 }
 
+// std::stoi with option-parse errors turned into user-facing islhls errors.
+int parse_int(const std::string& text, const std::string& what) {
+    try {
+        std::size_t consumed = 0;
+        const int value = std::stoi(text, &consumed);
+        if (consumed != text.size()) throw Error("");
+        return value;
+    } catch (const std::exception&) {
+        throw Error(cat("bad ", what, " '", text, "', expected an integer"));
+    }
+}
+
 Fixed_format parse_format(const std::string& text) {
     // "Q10.6" -> {10, 6}
     if (text.size() < 4 || (text[0] != 'Q' && text[0] != 'q')) {
@@ -67,8 +99,8 @@ Fixed_format parse_format(const std::string& text) {
     const auto dot = text.find('.');
     if (dot == std::string::npos) throw Error(cat("bad format '", text, "'"));
     Fixed_format fmt;
-    fmt.integer_bits = std::stoi(text.substr(1, dot - 1));
-    fmt.frac_bits = std::stoi(text.substr(dot + 1));
+    fmt.integer_bits = parse_int(text.substr(1, dot - 1), "format");
+    fmt.frac_bits = parse_int(text.substr(dot + 1), "format");
     if (fmt.total_bits() < 2 || fmt.total_bits() > 62) {
         throw Error(cat("format '", text, "' out of the 2..62 bit range"));
     }
@@ -145,10 +177,78 @@ void emit_vhdl(Hls_flow& flow, const std::string& dir) {
     for (const auto& f : files) std::cout << "  " << f << "\n";
 }
 
+std::vector<std::string> parse_name_list(const std::string& value) {
+    std::vector<std::string> names;
+    for (const std::string& part : split(value, ',')) {
+        const std::string name = trim(part);
+        if (!name.empty()) names.push_back(name);
+    }
+    if (names.empty()) throw Error(cat("empty list '", value, "'"));
+    return names;
+}
+
+int run_sweep(int argc, char** argv) {
+    Sweep_config config;
+    config.iteration_counts = {10};
+    config.devices = {"xc6vlx760"};
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&]() -> std::string {
+            if (i + 1 >= argc) usage(2);
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") usage(0);
+        else if (arg == "--kernels") {
+            const std::string value = next_value();
+            config.kernels = value == "all" ? kernel_names() : parse_name_list(value);
+        } else if (arg == "--devices") {
+            const std::string value = next_value();
+            if (value == "all") {
+                config.devices.clear();
+                for (const Fpga_device& d : all_devices()) config.devices.push_back(d.name);
+            } else {
+                config.devices = parse_name_list(value);
+            }
+        } else if (arg == "--iterations") {
+            config.iteration_counts.clear();
+            for (const std::string& n : parse_name_list(next_value())) {
+                config.iteration_counts.push_back(parse_int(n, "iteration count"));
+            }
+        } else if (arg == "--frame") {
+            const std::string value = next_value();
+            const auto x = value.find('x');
+            if (x == std::string::npos) {
+                throw Error(cat("bad frame '", value, "', expected WxH"));
+            }
+            config.frame_width = parse_int(value.substr(0, x), "frame width");
+            config.frame_height = parse_int(value.substr(x + 1), "frame height");
+        } else if (arg == "--format") {
+            config.format = parse_format(next_value());
+        } else if (arg == "--threads") {
+            config.space.threads = parse_int(next_value(), "thread count");
+        } else if (arg == "--pareto") {
+            config.with_pareto = true;
+        } else {
+            std::cerr << "unknown sweep option " << arg << "\n";
+            usage(2);
+        }
+    }
+    if (config.kernels.empty()) {
+        std::cerr << "sweep needs --kernels\n";
+        usage(2);
+    }
+    Sweep_session session(config);
+    const Sweep_report report = session.run();
+    std::cout << to_string(report);
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     try {
+        if (argc >= 2 && std::string(argv[1]) == "sweep") return run_sweep(argc, argv);
+
         std::string input;
         Flow_options options;
         bool do_describe = false;
@@ -177,17 +277,21 @@ int main(int argc, char** argv) {
                 }
                 return 0;
             } else if (arg == "--iterations") {
-                options.iterations = std::stoi(next_value());
+                options.iterations = parse_int(next_value(), "iteration count");
             } else if (arg == "--frame") {
                 const std::string value = next_value();
                 const auto x = value.find('x');
-                if (x == std::string::npos) usage(2);
-                options.frame_width = std::stoi(value.substr(0, x));
-                options.frame_height = std::stoi(value.substr(x + 1));
+                if (x == std::string::npos) {
+                    throw Error(cat("bad frame '", value, "', expected WxH"));
+                }
+                options.frame_width = parse_int(value.substr(0, x), "frame width");
+                options.frame_height = parse_int(value.substr(x + 1), "frame height");
             } else if (arg == "--device") {
                 options.device = next_value();
             } else if (arg == "--format") {
                 options.format = parse_format(next_value());
+            } else if (arg == "--threads") {
+                options.space.threads = parse_int(next_value(), "thread count");
             } else if (arg == "--describe") {
                 do_describe = true;
             } else if (arg == "--pareto") {
