@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_params.dir/bench/ablation_params.cpp.o"
+  "CMakeFiles/bench_ablation_params.dir/bench/ablation_params.cpp.o.d"
+  "ablation_params"
+  "ablation_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

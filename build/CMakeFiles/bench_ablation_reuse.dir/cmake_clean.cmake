@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reuse.dir/bench/ablation_reuse.cpp.o"
+  "CMakeFiles/bench_ablation_reuse.dir/bench/ablation_reuse.cpp.o.d"
+  "ablation_reuse"
+  "ablation_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_igf_area.dir/bench/fig05_igf_area.cpp.o"
+  "CMakeFiles/bench_fig05_igf_area.dir/bench/fig05_igf_area.cpp.o.d"
+  "fig05_igf_area"
+  "fig05_igf_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_igf_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

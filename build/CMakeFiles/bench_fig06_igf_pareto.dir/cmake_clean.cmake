@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_igf_pareto.dir/bench/fig06_igf_pareto.cpp.o"
+  "CMakeFiles/bench_fig06_igf_pareto.dir/bench/fig06_igf_pareto.cpp.o.d"
+  "fig06_igf_pareto"
+  "fig06_igf_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_igf_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_igf_throughput.dir/bench/fig07_igf_throughput.cpp.o"
+  "CMakeFiles/bench_fig07_igf_throughput.dir/bench/fig07_igf_throughput.cpp.o.d"
+  "fig07_igf_throughput"
+  "fig07_igf_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_igf_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_chambolle_area.dir/bench/fig08_chambolle_area.cpp.o"
+  "CMakeFiles/bench_fig08_chambolle_area.dir/bench/fig08_chambolle_area.cpp.o.d"
+  "fig08_chambolle_area"
+  "fig08_chambolle_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_chambolle_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

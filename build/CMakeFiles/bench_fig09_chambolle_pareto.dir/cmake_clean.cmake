@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_chambolle_pareto.dir/bench/fig09_chambolle_pareto.cpp.o"
+  "CMakeFiles/bench_fig09_chambolle_pareto.dir/bench/fig09_chambolle_pareto.cpp.o.d"
+  "fig09_chambolle_pareto"
+  "fig09_chambolle_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_chambolle_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

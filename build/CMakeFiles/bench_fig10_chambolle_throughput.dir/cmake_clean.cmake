@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_chambolle_throughput.dir/bench/fig10_chambolle_throughput.cpp.o"
+  "CMakeFiles/bench_fig10_chambolle_throughput.dir/bench/fig10_chambolle_throughput.cpp.o.d"
+  "fig10_chambolle_throughput"
+  "fig10_chambolle_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_chambolle_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

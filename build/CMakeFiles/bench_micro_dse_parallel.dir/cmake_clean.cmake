@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dse_parallel.dir/bench/micro_dse_parallel.cpp.o"
+  "CMakeFiles/bench_micro_dse_parallel.dir/bench/micro_dse_parallel.cpp.o.d"
+  "micro_dse_parallel"
+  "micro_dse_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dse_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

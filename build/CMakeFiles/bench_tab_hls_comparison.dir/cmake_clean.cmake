@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_hls_comparison.dir/bench/tab_hls_comparison.cpp.o"
+  "CMakeFiles/bench_tab_hls_comparison.dir/bench/tab_hls_comparison.cpp.o.d"
+  "tab_hls_comparison"
+  "tab_hls_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_hls_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

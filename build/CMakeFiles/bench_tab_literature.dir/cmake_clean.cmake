@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_literature.dir/bench/tab_literature.cpp.o"
+  "CMakeFiles/bench_tab_literature.dir/bench/tab_literature.cpp.o.d"
+  "tab_literature"
+  "tab_literature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_literature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

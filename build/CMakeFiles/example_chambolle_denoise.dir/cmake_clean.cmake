@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_chambolle_denoise.dir/examples/chambolle_denoise.cpp.o"
+  "CMakeFiles/example_chambolle_denoise.dir/examples/chambolle_denoise.cpp.o.d"
+  "chambolle_denoise"
+  "chambolle_denoise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_chambolle_denoise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gaussian_blur.dir/examples/gaussian_blur.cpp.o"
+  "CMakeFiles/example_gaussian_blur.dir/examples/gaussian_blur.cpp.o.d"
+  "gaussian_blur"
+  "gaussian_blur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gaussian_blur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_gaussian_blur.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vhdl_export.dir/examples/vhdl_export.cpp.o"
+  "CMakeFiles/example_vhdl_export.dir/examples/vhdl_export.cpp.o.d"
+  "vhdl_export"
+  "vhdl_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vhdl_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

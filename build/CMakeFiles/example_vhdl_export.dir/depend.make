@@ -1,0 +1,2 @@
+# Empty dependencies file for example_vhdl_export.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/fixed_point.cpp" "CMakeFiles/islhls.dir/src/backend/fixed_point.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/backend/fixed_point.cpp.o.d"
+  "/root/repo/src/backend/vhdl.cpp" "CMakeFiles/islhls.dir/src/backend/vhdl.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/backend/vhdl.cpp.o.d"
+  "/root/repo/src/backend/vhdl_toplevel.cpp" "CMakeFiles/islhls.dir/src/backend/vhdl_toplevel.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/backend/vhdl_toplevel.cpp.o.d"
+  "/root/repo/src/baseline/frame_buffer.cpp" "CMakeFiles/islhls.dir/src/baseline/frame_buffer.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/baseline/frame_buffer.cpp.o.d"
+  "/root/repo/src/baseline/generic_hls.cpp" "CMakeFiles/islhls.dir/src/baseline/generic_hls.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/baseline/generic_hls.cpp.o.d"
+  "/root/repo/src/baseline/literature.cpp" "CMakeFiles/islhls.dir/src/baseline/literature.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/baseline/literature.cpp.o.d"
+  "/root/repo/src/cone/cone.cpp" "CMakeFiles/islhls.dir/src/cone/cone.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/cone/cone.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "CMakeFiles/islhls.dir/src/core/flow.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/core/flow.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "CMakeFiles/islhls.dir/src/core/sweep.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/core/sweep.cpp.o.d"
+  "/root/repo/src/dse/architecture.cpp" "CMakeFiles/islhls.dir/src/dse/architecture.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/dse/architecture.cpp.o.d"
+  "/root/repo/src/dse/cone_library.cpp" "CMakeFiles/islhls.dir/src/dse/cone_library.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/dse/cone_library.cpp.o.d"
+  "/root/repo/src/dse/evaluator.cpp" "CMakeFiles/islhls.dir/src/dse/evaluator.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/dse/evaluator.cpp.o.d"
+  "/root/repo/src/dse/explorer.cpp" "CMakeFiles/islhls.dir/src/dse/explorer.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/dse/explorer.cpp.o.d"
+  "/root/repo/src/dse/pareto.cpp" "CMakeFiles/islhls.dir/src/dse/pareto.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/dse/pareto.cpp.o.d"
+  "/root/repo/src/estimate/area_model.cpp" "CMakeFiles/islhls.dir/src/estimate/area_model.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/estimate/area_model.cpp.o.d"
+  "/root/repo/src/estimate/format_search.cpp" "CMakeFiles/islhls.dir/src/estimate/format_search.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/estimate/format_search.cpp.o.d"
+  "/root/repo/src/estimate/memory_model.cpp" "CMakeFiles/islhls.dir/src/estimate/memory_model.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/estimate/memory_model.cpp.o.d"
+  "/root/repo/src/estimate/throughput_model.cpp" "CMakeFiles/islhls.dir/src/estimate/throughput_model.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/estimate/throughput_model.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "CMakeFiles/islhls.dir/src/frontend/lexer.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/frontend/lexer.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "CMakeFiles/islhls.dir/src/frontend/parser.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/frontend/parser.cpp.o.d"
+  "/root/repo/src/frontend/sema.cpp" "CMakeFiles/islhls.dir/src/frontend/sema.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/frontend/sema.cpp.o.d"
+  "/root/repo/src/grid/frame.cpp" "CMakeFiles/islhls.dir/src/grid/frame.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/grid/frame.cpp.o.d"
+  "/root/repo/src/grid/frame_io.cpp" "CMakeFiles/islhls.dir/src/grid/frame_io.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/grid/frame_io.cpp.o.d"
+  "/root/repo/src/grid/frame_ops.cpp" "CMakeFiles/islhls.dir/src/grid/frame_ops.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/grid/frame_ops.cpp.o.d"
+  "/root/repo/src/grid/frame_set.cpp" "CMakeFiles/islhls.dir/src/grid/frame_set.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/grid/frame_set.cpp.o.d"
+  "/root/repo/src/grid/tile.cpp" "CMakeFiles/islhls.dir/src/grid/tile.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/grid/tile.cpp.o.d"
+  "/root/repo/src/ir/analysis.cpp" "CMakeFiles/islhls.dir/src/ir/analysis.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/ir/analysis.cpp.o.d"
+  "/root/repo/src/ir/eval.cpp" "CMakeFiles/islhls.dir/src/ir/eval.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/ir/eval.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "CMakeFiles/islhls.dir/src/ir/expr.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/print.cpp" "CMakeFiles/islhls.dir/src/ir/print.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/ir/print.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "CMakeFiles/islhls.dir/src/ir/program.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/ir/program.cpp.o.d"
+  "/root/repo/src/kernels/kernels.cpp" "CMakeFiles/islhls.dir/src/kernels/kernels.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/kernels/kernels.cpp.o.d"
+  "/root/repo/src/sim/arch_sim.cpp" "CMakeFiles/islhls.dir/src/sim/arch_sim.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/sim/arch_sim.cpp.o.d"
+  "/root/repo/src/sim/fixed_exec.cpp" "CMakeFiles/islhls.dir/src/sim/fixed_exec.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/sim/fixed_exec.cpp.o.d"
+  "/root/repo/src/sim/golden.cpp" "CMakeFiles/islhls.dir/src/sim/golden.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/sim/golden.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "CMakeFiles/islhls.dir/src/support/log.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/support/log.cpp.o.d"
+  "/root/repo/src/support/numeric.cpp" "CMakeFiles/islhls.dir/src/support/numeric.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/support/numeric.cpp.o.d"
+  "/root/repo/src/support/parallel.cpp" "CMakeFiles/islhls.dir/src/support/parallel.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/support/parallel.cpp.o.d"
+  "/root/repo/src/support/prng.cpp" "CMakeFiles/islhls.dir/src/support/prng.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/support/prng.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "CMakeFiles/islhls.dir/src/support/table.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/support/table.cpp.o.d"
+  "/root/repo/src/support/text.cpp" "CMakeFiles/islhls.dir/src/support/text.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/support/text.cpp.o.d"
+  "/root/repo/src/symexec/executor.cpp" "CMakeFiles/islhls.dir/src/symexec/executor.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/symexec/executor.cpp.o.d"
+  "/root/repo/src/symexec/stencil_step.cpp" "CMakeFiles/islhls.dir/src/symexec/stencil_step.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/symexec/stencil_step.cpp.o.d"
+  "/root/repo/src/synth/cost_model.cpp" "CMakeFiles/islhls.dir/src/synth/cost_model.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/synth/cost_model.cpp.o.d"
+  "/root/repo/src/synth/device.cpp" "CMakeFiles/islhls.dir/src/synth/device.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/synth/device.cpp.o.d"
+  "/root/repo/src/synth/synthesizer.cpp" "CMakeFiles/islhls.dir/src/synth/synthesizer.cpp.o" "gcc" "CMakeFiles/islhls.dir/src/synth/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/islhls_cli.dir/tools/islhls.cpp.o"
+  "CMakeFiles/islhls_cli.dir/tools/islhls.cpp.o.d"
+  "islhls"
+  "islhls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/islhls_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend_fixed.dir/tests/test_backend_fixed.cpp.o"
+  "CMakeFiles/test_backend_fixed.dir/tests/test_backend_fixed.cpp.o.d"
+  "test_backend_fixed"
+  "test_backend_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend_vhdl.dir/tests/test_backend_vhdl.cpp.o"
+  "CMakeFiles/test_backend_vhdl.dir/tests/test_backend_vhdl.cpp.o.d"
+  "test_backend_vhdl"
+  "test_backend_vhdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend_vhdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

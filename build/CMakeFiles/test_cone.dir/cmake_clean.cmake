@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cone.dir/tests/test_cone.cpp.o"
+  "CMakeFiles/test_cone.dir/tests/test_cone.cpp.o.d"
+  "test_cone"
+  "test_cone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

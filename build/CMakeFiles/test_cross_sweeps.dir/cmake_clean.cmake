@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_sweeps.dir/tests/test_cross_sweeps.cpp.o"
+  "CMakeFiles/test_cross_sweeps.dir/tests/test_cross_sweeps.cpp.o.d"
+  "test_cross_sweeps"
+  "test_cross_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_format_search.dir/tests/test_format_search.cpp.o"
+  "CMakeFiles/test_format_search.dir/tests/test_format_search.cpp.o.d"
+  "test_format_search"
+  "test_format_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_format_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

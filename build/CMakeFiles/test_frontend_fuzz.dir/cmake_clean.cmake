@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend_fuzz.dir/tests/test_frontend_fuzz.cpp.o"
+  "CMakeFiles/test_frontend_fuzz.dir/tests/test_frontend_fuzz.cpp.o.d"
+  "test_frontend_fuzz"
+  "test_frontend_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend_lexer.dir/tests/test_frontend_lexer.cpp.o"
+  "CMakeFiles/test_frontend_lexer.dir/tests/test_frontend_lexer.cpp.o.d"
+  "test_frontend_lexer"
+  "test_frontend_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

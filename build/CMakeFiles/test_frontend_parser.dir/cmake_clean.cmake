@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend_parser.dir/tests/test_frontend_parser.cpp.o"
+  "CMakeFiles/test_frontend_parser.dir/tests/test_frontend_parser.cpp.o.d"
+  "test_frontend_parser"
+  "test_frontend_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

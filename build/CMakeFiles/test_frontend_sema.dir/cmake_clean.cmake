@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend_sema.dir/tests/test_frontend_sema.cpp.o"
+  "CMakeFiles/test_frontend_sema.dir/tests/test_frontend_sema.cpp.o.d"
+  "test_frontend_sema"
+  "test_frontend_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

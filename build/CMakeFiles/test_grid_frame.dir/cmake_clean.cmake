@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_frame.dir/tests/test_grid_frame.cpp.o"
+  "CMakeFiles/test_grid_frame.dir/tests/test_grid_frame.cpp.o.d"
+  "test_grid_frame"
+  "test_grid_frame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

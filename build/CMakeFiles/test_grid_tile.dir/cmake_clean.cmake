@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_tile.dir/tests/test_grid_tile.cpp.o"
+  "CMakeFiles/test_grid_tile.dir/tests/test_grid_tile.cpp.o.d"
+  "test_grid_tile"
+  "test_grid_tile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_tile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

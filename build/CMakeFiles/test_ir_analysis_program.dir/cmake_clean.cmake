@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_analysis_program.dir/tests/test_ir_analysis_program.cpp.o"
+  "CMakeFiles/test_ir_analysis_program.dir/tests/test_ir_analysis_program.cpp.o.d"
+  "test_ir_analysis_program"
+  "test_ir_analysis_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_analysis_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

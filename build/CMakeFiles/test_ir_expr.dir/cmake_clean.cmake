@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_expr.dir/tests/test_ir_expr.cpp.o"
+  "CMakeFiles/test_ir_expr.dir/tests/test_ir_expr.cpp.o.d"
+  "test_ir_expr"
+  "test_ir_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_dse.dir/tests/test_parallel_dse.cpp.o"
+  "CMakeFiles/test_parallel_dse.dir/tests/test_parallel_dse.cpp.o.d"
+  "test_parallel_dse"
+  "test_parallel_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_numeric.dir/tests/test_support_numeric.cpp.o"
+  "CMakeFiles/test_support_numeric.dir/tests/test_support_numeric.cpp.o.d"
+  "test_support_numeric"
+  "test_support_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_text.dir/tests/test_support_text.cpp.o"
+  "CMakeFiles/test_support_text.dir/tests/test_support_text.cpp.o.d"
+  "test_support_text"
+  "test_support_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symexec.dir/tests/test_symexec.cpp.o"
+  "CMakeFiles/test_symexec.dir/tests/test_symexec.cpp.o.d"
+  "test_symexec"
+  "test_symexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vhdl_toplevel.dir/tests/test_vhdl_toplevel.cpp.o"
+  "CMakeFiles/test_vhdl_toplevel.dir/tests/test_vhdl_toplevel.cpp.o.d"
+  "test_vhdl_toplevel"
+  "test_vhdl_toplevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vhdl_toplevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
