@@ -1,0 +1,236 @@
+// Simulation throughput: compiled scanline engine vs the legacy per-pixel
+// interpreter.
+//
+// Measures Mcells/s (one cell = one frame element advanced by one
+// iteration) on the heat-equation, iterative-Gaussian-filter and Chambolle
+// kernels, then checks the engine's contracts:
+//
+//   1. correctness — the engine's frames are byte-identical to the legacy
+//      interpreter's on every kernel;
+//   2. determinism — 2- and 8-thread runs are byte-identical to the serial
+//      engine run;
+//   3. speed — the single-thread engine is >= 5x the legacy interpreter.
+//
+// Thread scaling at 8 threads is measured and recorded, but only gated when
+// the host actually has >= 4 hardware threads (the same measured-not-gated
+// policy micro_dse_parallel applies to wall times on small CI machines).
+//
+// With --json <path> the measurements are written as BENCH_sim.json-style
+// records (via a temp file + rename, so aborted runs never leave a torn
+// file); tools/run_benches.sh wires this into the repo's perf trajectory.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "grid/frame_ops.hpp"
+#include "kernels/kernels.hpp"
+#include "sim/exec_engine.hpp"
+#include "sim/golden.hpp"
+#include "support/parallel.hpp"
+#include "support/text.hpp"
+#include "symexec/executor.hpp"
+
+namespace {
+
+using namespace islhls;
+
+struct Kernel_result {
+    std::string name;
+    double legacy_mcells = 0.0;         // interpreter, small frame
+    double engine_small_mcells = 0.0;   // engine 1t on the SAME small workload
+    double engine_1t_mcells = 0.0;      // engine 1t, large frame (headline)
+    double engine_8t_mcells = 0.0;      // engine 8t, large frame
+    bool engine_matches_legacy = false;
+    bool threads_byte_identical = false;
+    // Like-for-like: both sides measured on the identical frame and
+    // iteration count.
+    double speedup_1t() const {
+        return legacy_mcells > 0.0 ? engine_small_mcells / legacy_mcells : 0.0;
+    }
+    double scaling_8t() const {
+        return engine_1t_mcells > 0.0 ? engine_8t_mcells / engine_1t_mcells : 0.0;
+    }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+bool sets_byte_identical(const Frame_set& a, const Frame_set& b) {
+    if (a.names() != b.names()) return false;
+    for (const std::string& name : a.names()) {
+        const Frame& fa = a.field(name);
+        const Frame& fb = b.field(name);
+        if (fa.width() != fb.width() || fa.height() != fb.height()) return false;
+        if (std::memcmp(fa.data().data(), fb.data().data(),
+                        fa.element_count() * sizeof(double)) != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+// The speedup gate compares both paths on the identical small workload
+// (the interpreter is too slow for more); the engine is additionally
+// measured on a larger frame for its headline and threaded throughput.
+constexpr int kLegacyW = 320, kLegacyH = 240, kLegacyIters = 2;
+constexpr int kEngineW = 512, kEngineH = 384, kEngineIters = 12;
+
+Kernel_result bench_kernel(const std::string& name) {
+    const Kernel_def& kernel = kernel_by_name(name);
+    const Stencil_step step = extract_stencil(kernel.c_source);
+    const Exec_engine engine(step);
+
+    Kernel_result r;
+    r.name = name;
+
+    // Legacy interpreter throughput + the correctness frame pair.
+    const Frame_set small = kernel.make_initial(make_synthetic_scene(kLegacyW, kLegacyH, 5));
+    auto t0 = std::chrono::steady_clock::now();
+    const Frame_set legacy = run_ir_reference(step, small, kLegacyIters, kernel.boundary);
+    const double legacy_s = seconds_since(t0);
+    r.legacy_mcells =
+        kLegacyW * kLegacyH * static_cast<double>(kLegacyIters) / legacy_s / 1e6;
+
+    // Engine on the identical small workload: the like-for-like speedup
+    // pair. Repeated to outgrow timer resolution (each run is milliseconds).
+    constexpr int kSmallRepeats = 10;
+    const Frame_set engine_small = engine.run(small, kLegacyIters, kernel.boundary, 1);
+    r.engine_matches_legacy = sets_byte_identical(legacy, engine_small);
+    t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kSmallRepeats; ++rep) {
+        engine.run(small, kLegacyIters, kernel.boundary, 1);
+    }
+    const double engine_small_s = seconds_since(t0);
+    const double cells_small = kLegacyW * kLegacyH * static_cast<double>(kLegacyIters);
+    r.engine_small_mcells =
+        cells_small * kSmallRepeats / std::max(engine_small_s, 1e-9) / 1e6;
+
+    // Engine throughput on the larger frame (single thread, then 8 threads).
+    const Frame_set big = kernel.make_initial(make_synthetic_scene(kEngineW, kEngineH, 5));
+    t0 = std::chrono::steady_clock::now();
+    const Frame_set engine_1t = engine.run(big, kEngineIters, kernel.boundary, 1);
+    const double engine_1t_s = seconds_since(t0);
+    const double cells_big = kEngineW * kEngineH * static_cast<double>(kEngineIters);
+    r.engine_1t_mcells = cells_big / std::max(engine_1t_s, 1e-9) / 1e6;
+
+    t0 = std::chrono::steady_clock::now();
+    const Frame_set engine_8t = engine.run(big, kEngineIters, kernel.boundary, 8);
+    const double engine_8t_s = seconds_since(t0);
+    r.engine_8t_mcells = cells_big / std::max(engine_8t_s, 1e-9) / 1e6;
+
+    const Frame_set engine_2t = engine.run(big, kEngineIters, kernel.boundary, 2);
+    r.threads_byte_identical = sets_byte_identical(engine_1t, engine_2t) &&
+                               sets_byte_identical(engine_1t, engine_8t);
+    return r;
+}
+
+// Returns false when the record could not be written; the bench fails in
+// that case so CI never passes with a missing or stale perf record.
+bool write_json(const std::string& path, const std::vector<Kernel_result>& results,
+                int hardware_threads) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp);
+        out << "{\n";
+        out << "  \"bench\": \"micro_sim_throughput\",\n";
+        out << "  \"unit\": \"Mcells/s\",\n";
+        out << "  \"hardware_threads\": " << hardware_threads << ",\n";
+        out << "  \"legacy_frame\": [" << kLegacyW << ", " << kLegacyH << "],\n";
+        out << "  \"engine_frame\": [" << kEngineW << ", " << kEngineH << "],\n";
+        out << "  \"kernels\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const Kernel_result& r = results[i];
+            out << "    {\"name\": \"" << r.name << "\", \"legacy\": "
+                << format_fixed(r.legacy_mcells, 3) << ", \"engine_small_1t\": "
+                << format_fixed(r.engine_small_mcells, 3) << ", \"engine_1t\": "
+                << format_fixed(r.engine_1t_mcells, 3) << ", \"engine_8t\": "
+                << format_fixed(r.engine_8t_mcells, 3) << ", \"speedup_1t\": "
+                << format_fixed(r.speedup_1t(), 2) << ", \"scaling_8t\": "
+                << format_fixed(r.scaling_8t(), 2) << ", \"byte_identical\": "
+                << (r.engine_matches_legacy && r.threads_byte_identical ? "true"
+                                                                        : "false")
+                << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+        out.flush();
+        if (!out) {
+            std::cerr << "failed to write " << tmp << "\n";
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::cerr << "failed to move " << tmp << " to " << path << "\n";
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        }
+    }
+
+    std::cout << "micro_sim_throughput — compiled scanline engine vs per-pixel "
+                 "interpreter\n\n";
+    const int hw = resolve_thread_count(0);
+    std::cout << "[INFO] host: " << hw << " hardware thread(s)\n";
+
+    std::vector<Kernel_result> results;
+    for (const std::string name : {"heat", "igf", "chambolle"}) {
+        results.push_back(bench_kernel(name));
+        const Kernel_result& r = results.back();
+        std::cout << "[INFO] " << r.name << ": legacy "
+                  << format_fixed(r.legacy_mcells, 2) << " Mcells/s vs engine "
+                  << format_fixed(r.engine_small_mcells, 2)
+                  << " Mcells/s on the same workload ("
+                  << format_fixed(r.speedup_1t(), 1) << "x); large frame: 1t "
+                  << format_fixed(r.engine_1t_mcells, 2) << " Mcells/s, 8t "
+                  << format_fixed(r.engine_8t_mcells, 2) << " Mcells/s (scaling "
+                  << format_fixed(r.scaling_8t(), 2) << "x)\n";
+    }
+    std::cout << "\n";
+
+    int deviations = 0;
+    for (const Kernel_result& r : results) {
+        deviations += islhls_bench::report_claim(
+            r.name + ": engine frames byte-identical to the legacy interpreter",
+            r.engine_matches_legacy);
+        deviations += islhls_bench::report_claim(
+            r.name + ": 2- and 8-thread runs byte-identical to serial",
+            r.threads_byte_identical);
+        deviations += islhls_bench::report_claim(
+            r.name + ": single-thread engine >= 5x the legacy interpreter",
+            r.speedup_1t() >= 5.0);
+        if (hw >= 4) {
+            deviations += islhls_bench::report_claim(
+                r.name + ": 8-thread engine >= 1.2x single-thread",
+                r.scaling_8t() >= 1.2);
+        } else {
+            std::cout << "[INFO] " << r.name
+                      << ": 8-thread scaling not gated (host has " << hw
+                      << " hardware thread(s))\n";
+        }
+    }
+
+    if (!json_path.empty()) {
+        if (write_json(json_path, results, hw)) {
+            std::cout << "\nwrote " << json_path << "\n";
+        } else {
+            deviations += 1;
+        }
+    }
+    return deviations == 0 ? 0 : 1;
+}

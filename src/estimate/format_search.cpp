@@ -24,9 +24,13 @@ Format_search_result search_fixed_format(const Cone& cone, const Frame_set& cont
                            rng.next_int(0, std::max(0, content.height() - 1))});
     }
 
-    // Gather per-origin input vectors and the double reference.
+    // Gather per-origin input vectors and the double reference. One batched
+    // trace per origin (into a reused buffer) serves both the range analysis
+    // and the reference outputs — no second execution, no per-origin trace
+    // allocation.
     std::vector<std::vector<double>> input_sets;
     std::vector<std::vector<double>> references;
+    std::vector<double> trace;
     double max_abs = 0.0;
     for (const auto& [ox, oy] : origins) {
         std::vector<double> inputs;
@@ -36,10 +40,16 @@ Format_search_result search_fixed_format(const Cone& cone, const Frame_set& cont
             inputs.push_back(f.sample(ox + port.dx, oy + port.dy, boundary));
         }
         // Range analysis over every intermediate register.
-        for (double v : program.run_trace(inputs)) {
+        program.run_trace_into(inputs, trace);
+        for (double v : trace) {
             max_abs = std::max(max_abs, std::fabs(v));
         }
-        references.push_back(program.run(inputs));
+        std::vector<double> reference;
+        reference.reserve(program.outputs().size());
+        for (const std::int32_t r : program.outputs()) {
+            reference.push_back(trace[static_cast<std::size_t>(r)]);
+        }
+        references.push_back(std::move(reference));
         input_sets.push_back(std::move(inputs));
     }
 

@@ -1,0 +1,63 @@
+#include "ir/compiled.hpp"
+
+#include <algorithm>
+
+#include "ir/eval.hpp"
+
+namespace islhls {
+
+Compiled_program::Compiled_program(const Register_program& program) {
+    const std::vector<Instruction>& instrs = program.instructions();
+    slot_count_ = static_cast<int>(instrs.size());
+    bool any_input = false;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        const Instruction& instr = instrs[i];
+        const auto slot = static_cast<std::int32_t>(i);
+        switch (instr.kind) {
+            case Op_kind::constant:
+                constants_.push_back({slot, instr.value});
+                break;
+            case Op_kind::input:
+                inputs_.push_back({slot, instr.field, instr.dx, instr.dy});
+                if (!any_input) {
+                    any_input = true;
+                    min_dx_ = max_dx_ = instr.dx;
+                    min_dy_ = max_dy_ = instr.dy;
+                } else {
+                    min_dx_ = std::min(min_dx_, instr.dx);
+                    max_dx_ = std::max(max_dx_, instr.dx);
+                    min_dy_ = std::min(min_dy_, instr.dy);
+                    max_dy_ = std::max(max_dy_, instr.dy);
+                }
+                break;
+            default: {
+                Tape_op op;
+                op.kind = instr.kind;
+                op.dest = slot;
+                op.src = instr.operands;
+                op.src_count = instr.operand_count;
+                ops_.push_back(op);
+                break;
+            }
+        }
+    }
+    output_slots_ = program.outputs();
+}
+
+void Compiled_program::eval_point(const double* inputs, double* slots) const {
+    for (const Tape_constant& c : constants_) {
+        slots[c.slot] = c.value;
+    }
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        slots[inputs_[i].slot] = inputs[i];
+    }
+    for (const Tape_op& op : ops_) {
+        double operands[3] = {0.0, 0.0, 0.0};
+        for (int a = 0; a < op.src_count; ++a) {
+            operands[a] = slots[op.src[static_cast<std::size_t>(a)]];
+        }
+        slots[op.dest] = apply_op(op.kind, operands);
+    }
+}
+
+}  // namespace islhls

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ir/analysis.hpp"
+#include "ir/compiled.hpp"
 #include "ir/eval.hpp"
 #include "support/error.hpp"
 
@@ -49,13 +50,19 @@ Register_program build_program(const Expr_pool& pool, const std::vector<Expr_id>
         prog.instrs_.push_back(instr);
     }
     for (Expr_id r : roots) prog.output_regs_.push_back(reg_of.at(r));
+    // Compile eagerly: the lowering is one linear pass over the finished
+    // instruction vector, and doing it here keeps the program immutable
+    // afterwards — compiled() needs no synchronization and copies share the
+    // tape freely.
+    prog.compiled_ = std::make_shared<const Compiled_program>(prog);
     return prog;
 }
 
-std::vector<double> Register_program::run_trace(const std::vector<double>& inputs) const {
+void Register_program::run_trace_into(const std::vector<double>& inputs,
+                                      std::vector<double>& regs) const {
     check_internal(inputs.size() == static_cast<std::size_t>(input_count_),
                    "Register_program::run_trace input arity mismatch");
-    std::vector<double> regs(instrs_.size(), 0.0);
+    regs.assign(instrs_.size(), 0.0);
     std::size_t next_input = 0;
     for (std::size_t i = 0; i < instrs_.size(); ++i) {
         const Instruction& instr = instrs_[i];
@@ -77,14 +84,31 @@ std::vector<double> Register_program::run_trace(const std::vector<double>& input
             }
         }
     }
+}
+
+std::vector<double> Register_program::run_trace(const std::vector<double>& inputs) const {
+    std::vector<double> regs;
+    run_trace_into(inputs, regs);
     return regs;
 }
 
+const Compiled_program& Register_program::compiled() const {
+    check_internal(compiled_ != nullptr,
+                   "compiled() on a default-constructed Register_program");
+    return *compiled_;
+}
+
 std::vector<double> Register_program::run(const std::vector<double>& inputs) const {
-    const std::vector<double> regs = run_trace(inputs);
+    check_internal(inputs.size() == static_cast<std::size_t>(input_count_),
+                   "Register_program::run input arity mismatch");
+    if (instrs_.empty()) return {};
+    const Compiled_program& cp = compiled();
+    thread_local std::vector<double> slots;
+    if (slots.size() < instrs_.size()) slots.resize(instrs_.size());
+    cp.eval_point(inputs.data(), slots.data());
     std::vector<double> out;
     out.reserve(output_regs_.size());
-    for (std::int32_t r : output_regs_) out.push_back(regs[static_cast<std::size_t>(r)]);
+    for (std::int32_t r : output_regs_) out.push_back(slots[static_cast<std::size_t>(r)]);
     return out;
 }
 

@@ -9,12 +9,15 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "ir/expr.hpp"
 
 namespace islhls {
+
+class Compiled_program;
 
 // One instruction. `dest` is the register index (== position in the program's
 // instruction vector). Leaves occupy instruction slots too: constants bind a
@@ -50,11 +53,29 @@ public:
 
     // Executes the program; `inputs[i]` must hold the value for the i-th
     // input instruction (in program order). Returns the output values.
+    //
+    // Compatibility wrapper over the compiled execution engine's scalar
+    // path: it evaluates the tape into a reused per-thread scratch buffer
+    // and only materializes the outputs (no full instruction-slot trace).
+    // Hot loops should use compiled() / Exec_engine directly.
     std::vector<double> run(const std::vector<double>& inputs) const;
 
     // Like run(), but returns the value of *every* instruction slot — used
     // by range analysis (fixed-point format search) to see intermediates.
     std::vector<double> run_trace(const std::vector<double>& inputs) const;
+
+    // Batch-friendly run_trace: writes every instruction slot's value into
+    // `regs` (resized to the instruction count), reusing its capacity so a
+    // caller tracing many input sets performs no per-call allocation. This
+    // is the reference interpreter the compiled engine is validated against.
+    void run_trace_into(const std::vector<double>& inputs,
+                        std::vector<double>& regs) const;
+
+    // The scanline-compiled form of this program. Built eagerly by
+    // build_program() (a single linear pass) and shared by copies, so this
+    // accessor is a plain read — no synchronization, valid for the
+    // program's lifetime. Throws on a default-constructed program.
+    const Compiled_program& compiled() const;
 
     // Input ports in program order, as (field, dx, dy) triples.
     struct Port {
@@ -75,6 +96,9 @@ private:
     int input_count_ = 0;
     int constant_count_ = 0;
     int depth_ = 0;
+    // Set once by build_program(); immutable afterwards (which is what makes
+    // the unsynchronized compiled() read safe).
+    std::shared_ptr<const Compiled_program> compiled_;
 };
 
 // Lowers the DAG reachable from `roots` to a register program.

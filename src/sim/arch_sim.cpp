@@ -2,9 +2,9 @@
 
 #include <algorithm>
 
+#include "ir/compiled.hpp"
 #include "sim/fixed_exec.hpp"
 #include "support/error.hpp"
-#include "support/text.hpp"
 
 namespace islhls {
 
@@ -31,8 +31,9 @@ public:
 
 private:
     std::size_t index(int field, int x, int y) const {
-        check_internal(contains(x, y), cat("Region_buffer read outside ", to_string(window_),
-                                           " at (", x, ",", y, ")"));
+        // Static message: building a formatted string here would run on
+        // every on-chip element access, the simulator's innermost loop.
+        check_internal(contains(x, y), "Region_buffer access outside its window");
         return (static_cast<std::size_t>(field) * window_.height +
                 static_cast<std::size_t>(y - window_.y0)) *
                    window_.width +
@@ -99,6 +100,25 @@ Arch_sim_result simulate_architecture(Cone_library& library,
     for (std::size_t k = level_count; k-- > 0;) {
         suffix[k] = compose(repeat(fp, instance.level_depths[k]), suffix[k + 1]);
     }
+
+    // Per-level cone execution state, resolved once: the memoized cone, its
+    // compiled tape and a dedicated slot buffer (constants rebound per
+    // point by eval_point). Cone executions below are then allocation-free
+    // in double mode.
+    struct Level_exec {
+        const Cone* cone = nullptr;
+        const Compiled_program* tape = nullptr;
+        std::vector<double> slots;
+        std::vector<double> inputs;
+    };
+    std::vector<Level_exec> level_exec(level_count);
+    for (std::size_t k = 0; k < level_count; ++k) {
+        Level_exec& le = level_exec[k];
+        le.cone = &library.cone(w, instance.level_depths[k]);
+        le.tape = &le.cone->program().compiled();
+        le.slots.resize(static_cast<std::size_t>(le.tape->slot_count()));
+        le.inputs.resize(le.tape->inputs().size());
+    }
     // Output coverage of level k (1-based like the architecture module):
     // the output window grown by suffix[k].
 
@@ -131,8 +151,8 @@ Arch_sim_result simulate_architecture(Cone_library& library,
 
             // --- run the levels deep-first ---------------------------------------
             for (std::size_t k = 0; k < level_count; ++k) {
-                const int depth = instance.level_depths[k];
-                const Cone& cone = library.cone(w, depth);
+                Level_exec& le = level_exec[k];
+                const Cone& cone = *le.cone;
                 const Register_program& program = cone.program();
                 const Footprint out_halo = suffix[k + 1];
                 Window out_region{tx - out_halo.left, ty - out_halo.up,
@@ -155,35 +175,40 @@ Arch_sim_result simulate_architecture(Cone_library& library,
 
                 const std::vector<int> sub_x = flush_origins(out_region.width, w);
                 const std::vector<int> sub_y = flush_origins(out_region.height, w);
-                std::vector<double> inputs(
-                    static_cast<std::size_t>(program.input_count()));
+                const std::vector<Tape_input>& ports = le.tape->inputs();
+                const std::vector<std::int32_t>& out_slots = le.tape->output_slots();
                 for (int oy : sub_y) {
                     for (int ox : sub_x) {
                         const int origin_x = out_region.x0 + ox;
                         const int origin_y = out_region.y0 + oy;
-                        const auto& ports = program.input_ports();
                         for (std::size_t i = 0; i < ports.size(); ++i) {
-                            inputs[i] = current.get(ports[i].field,
-                                                    origin_x + ports[i].dx,
-                                                    origin_y + ports[i].dy);
+                            le.inputs[i] = current.get(ports[i].field,
+                                                       origin_x + ports[i].dx,
+                                                       origin_y + ports[i].dy);
                         }
                         result.stats.onchip_elements_read +=
                             static_cast<long long>(ports.size());
                         result.stats.cone_executions += 1;
                         result.stats.operations_executed += program.register_count();
 
-                        const std::vector<double> outs =
-                            options.fixed_point
-                                ? run_fixed(program, inputs, options.format)
-                                : program.run(inputs);
+                        std::vector<double> fixed_outs;
+                        if (options.fixed_point) {
+                            fixed_outs = run_fixed(program, le.inputs, options.format);
+                        } else {
+                            le.tape->eval_point(le.inputs.data(), le.slots.data());
+                        }
                         for (int s = 0; s < state_count; ++s) {
                             const int field =
                                 step.pool().find_field(step.state_fields()[static_cast<std::size_t>(s)]);
                             for (int yy = 0; yy < w; ++yy) {
                                 for (int xx = 0; xx < w; ++xx) {
+                                    const auto o = static_cast<std::size_t>(
+                                        cone.output_index(s, xx, yy));
                                     next.set(field, origin_x + xx, origin_y + yy,
-                                             outs[static_cast<std::size_t>(
-                                                 cone.output_index(s, xx, yy))]);
+                                             options.fixed_point
+                                                 ? fixed_outs[o]
+                                                 : le.slots[static_cast<std::size_t>(
+                                                       out_slots[o])]);
                                 }
                             }
                         }

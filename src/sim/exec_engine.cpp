@@ -1,0 +1,322 @@
+#include "sim/exec_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+namespace islhls {
+
+namespace {
+
+// Everything one step execution needs, fixed before the row loops start.
+struct Step_context {
+    const Compiled_program* cp = nullptr;
+    const std::vector<int>* scratch_index = nullptr;
+    int scratch_rows = 0;
+    int left_margin = 0;
+    int right_margin = 0;
+    int width = 0;
+    int height = 0;
+    Boundary boundary = Boundary::clamp;
+    std::vector<const double*> field_base;  // per pool field index
+    std::vector<double*> out_base;          // per state field
+};
+
+// Per-thread scratch bound to one frame width: one row per operation and
+// constant slot, a zero row backing Boundary::zero reads of out-of-range
+// rows, and the scalar buffers the border columns use. Constant rows are
+// filled once at bind time — slots are single-assignment, so they survive
+// every later row execution.
+struct Workspace {
+    std::vector<double> scratch;
+    std::vector<const double*> row;  // per slot: operand row base pointer;
+                                     // the value at column x is row[slot][x + col_off[slot]]
+    std::vector<int> col_off;        // per slot: static dx (inputs) or 0
+    std::vector<double> zero_row;
+    std::vector<double> point_slots;
+    std::vector<double> point_inputs;
+};
+
+void bind_workspace(Workspace& ws, const Step_context& c) {
+    const auto w = static_cast<std::size_t>(c.width);
+    const auto slots = static_cast<std::size_t>(c.cp->slot_count());
+    ws.scratch.assign(static_cast<std::size_t>(c.scratch_rows) * w, 0.0);
+    ws.row.assign(slots, nullptr);
+    ws.col_off.assign(slots, 0);
+    for (const Tape_input& in : c.cp->inputs()) {
+        ws.col_off[static_cast<std::size_t>(in.slot)] = in.dx;
+    }
+    ws.zero_row.assign(w, 0.0);
+    ws.point_slots.assign(slots, 0.0);
+    ws.point_inputs.assign(c.cp->inputs().size(), 0.0);
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+        const int idx = (*c.scratch_index)[slot];
+        if (idx >= 0) ws.row[slot] = ws.scratch.data() + static_cast<std::size_t>(idx) * w;
+    }
+    for (const Tape_constant& k : c.cp->constants()) {
+        double* r = ws.scratch.data() +
+                    static_cast<std::size_t>((*c.scratch_index)[k.slot]) * w;
+        std::fill(r, r + w, k.value);
+    }
+}
+
+// Reusable workspaces for the parallel row blocks; scratch contents never
+// influence results, so which worker gets which workspace is irrelevant to
+// the determinism contract.
+class Workspace_pool {
+public:
+    explicit Workspace_pool(const Step_context& context) : context_(&context) {}
+
+    std::unique_ptr<Workspace> acquire() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (!free_.empty()) {
+                std::unique_ptr<Workspace> ws = std::move(free_.back());
+                free_.pop_back();
+                return ws;
+            }
+        }
+        auto ws = std::make_unique<Workspace>();
+        bind_workspace(*ws, *context_);
+        return ws;
+    }
+
+    void release(std::unique_ptr<Workspace> ws) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        free_.push_back(std::move(ws));
+    }
+
+private:
+    const Step_context* context_;
+    std::mutex mutex_;
+    std::vector<std::unique_ptr<Workspace>> free_;
+};
+
+// Scalar fallback for one border column: every read goes through the
+// Boundary policy, exactly like the reference interpreter.
+void eval_border_column(const Step_context& c, Workspace& ws, int x, int y) {
+    const std::vector<Tape_input>& inputs = c.cp->inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const Tape_input& in = inputs[i];
+        const int rx = resolve_coordinate(x + in.dx, c.width, c.boundary);
+        const int ry = resolve_coordinate(y + in.dy, c.height, c.boundary);
+        ws.point_inputs[i] =
+            (rx < 0 || ry < 0)
+                ? 0.0
+                : c.field_base[static_cast<std::size_t>(in.field)]
+                             [static_cast<std::size_t>(ry) * c.width + rx];
+    }
+    c.cp->eval_point(ws.point_inputs.data(), ws.point_slots.data());
+    const std::vector<std::int32_t>& out_slots = c.cp->output_slots();
+    for (std::size_t s = 0; s < c.out_base.size(); ++s) {
+        c.out_base[s][static_cast<std::size_t>(y) * c.width + x] =
+            ws.point_slots[static_cast<std::size_t>(out_slots[s])];
+    }
+}
+
+// One tape operation over the interior span [x0, x1) of the current row.
+// Each case is a single loop of one arithmetic operation over contiguous
+// data — the form the compiler auto-vectorizes. The arithmetic matches
+// apply_op() case for case, so results are bit-identical to the scalar path.
+//
+// Operands are addressed as base[x + col_off]: the per-slot column offset
+// (dx for input slots, 0 otherwise) is applied at the indexing site, never
+// folded into the base pointer — x + col_off is in [0, width) for every
+// interior x, so no pointer outside its allocation is ever formed.
+void run_op_span(const Tape_op& op, const Workspace& ws, double* __restrict dst,
+                 int x0, int x1) {
+    const double* a = ws.row[static_cast<std::size_t>(op.src[0])];
+    const int oa = ws.col_off[static_cast<std::size_t>(op.src[0])];
+    const double* b = nullptr;
+    int ob = 0;
+    if (op.src_count > 1) {
+        b = ws.row[static_cast<std::size_t>(op.src[1])];
+        ob = ws.col_off[static_cast<std::size_t>(op.src[1])];
+    }
+    switch (op.kind) {
+        case Op_kind::add:
+            for (int x = x0; x < x1; ++x) dst[x] = a[x + oa] + b[x + ob];
+            break;
+        case Op_kind::sub:
+            for (int x = x0; x < x1; ++x) dst[x] = a[x + oa] - b[x + ob];
+            break;
+        case Op_kind::mul:
+            for (int x = x0; x < x1; ++x) dst[x] = a[x + oa] * b[x + ob];
+            break;
+        case Op_kind::div:
+            for (int x = x0; x < x1; ++x) dst[x] = a[x + oa] / b[x + ob];
+            break;
+        case Op_kind::min_op:
+            for (int x = x0; x < x1; ++x) dst[x] = std::fmin(a[x + oa], b[x + ob]);
+            break;
+        case Op_kind::max_op:
+            for (int x = x0; x < x1; ++x) dst[x] = std::fmax(a[x + oa], b[x + ob]);
+            break;
+        case Op_kind::neg:
+            for (int x = x0; x < x1; ++x) dst[x] = -a[x + oa];
+            break;
+        case Op_kind::abs_op:
+            for (int x = x0; x < x1; ++x) dst[x] = std::fabs(a[x + oa]);
+            break;
+        case Op_kind::sqrt_op:
+            for (int x = x0; x < x1; ++x) dst[x] = std::sqrt(a[x + oa]);
+            break;
+        case Op_kind::lt:
+            for (int x = x0; x < x1; ++x) dst[x] = a[x + oa] < b[x + ob] ? 1.0 : 0.0;
+            break;
+        case Op_kind::le:
+            for (int x = x0; x < x1; ++x) dst[x] = a[x + oa] <= b[x + ob] ? 1.0 : 0.0;
+            break;
+        case Op_kind::eq:
+            for (int x = x0; x < x1; ++x) dst[x] = a[x + oa] == b[x + ob] ? 1.0 : 0.0;
+            break;
+        case Op_kind::select: {
+            const double* t = ws.row[static_cast<std::size_t>(op.src[1])];
+            const int ot = ws.col_off[static_cast<std::size_t>(op.src[1])];
+            const double* f = ws.row[static_cast<std::size_t>(op.src[2])];
+            const int of = ws.col_off[static_cast<std::size_t>(op.src[2])];
+            for (int x = x0; x < x1; ++x) {
+                dst[x] = a[x + oa] != 0.0 ? t[x + ot] : f[x + of];
+            }
+            break;
+        }
+        case Op_kind::constant:
+        case Op_kind::input:
+            throw Internal_error("leaf kind on the operation tape");
+    }
+}
+
+void exec_rows(const Step_context& c, Workspace& ws, int y0, int y1) {
+    const int w = c.width;
+    const int h = c.height;
+    const std::vector<Tape_input>& inputs = c.cp->inputs();
+    const std::vector<Tape_op>& ops = c.cp->ops();
+    const std::vector<std::int32_t>& out_slots = c.cp->output_slots();
+    // Interior columns: [x0, x1) reads in-range for every input offset.
+    const int x0 = std::min(c.left_margin, w);
+    const int x1 = std::max(x0, w - c.right_margin);
+
+    for (int y = y0; y < y1; ++y) {
+        for (int x = 0; x < x0; ++x) eval_border_column(c, ws, x, y);
+        if (x1 > x0) {
+            // Resolve the input row bases once per row; the static column
+            // offsets bound in the workspace complete the addressing.
+            for (const Tape_input& in : inputs) {
+                const int ry = resolve_coordinate(y + in.dy, h, c.boundary);
+                ws.row[static_cast<std::size_t>(in.slot)] =
+                    ry < 0 ? ws.zero_row.data()
+                           : c.field_base[static_cast<std::size_t>(in.field)] +
+                                 static_cast<std::size_t>(ry) * w;
+            }
+            for (const Tape_op& op : ops) {
+                double* dst =
+                    ws.scratch.data() +
+                    static_cast<std::size_t>(
+                        (*c.scratch_index)[static_cast<std::size_t>(op.dest)]) *
+                        w;
+                run_op_span(op, ws, dst, x0, x1);
+            }
+            for (std::size_t s = 0; s < c.out_base.size(); ++s) {
+                const std::size_t slot = static_cast<std::size_t>(out_slots[s]);
+                const double* r = ws.row[slot] + (x0 + ws.col_off[slot]);
+                std::memcpy(c.out_base[s] + static_cast<std::size_t>(y) * w + x0,
+                            r, static_cast<std::size_t>(x1 - x0) * sizeof(double));
+            }
+        }
+        for (int x = x1; x < w; ++x) eval_border_column(c, ws, x, y);
+    }
+}
+
+}  // namespace
+
+Exec_engine::Exec_engine(const Stencil_step& step)
+    : step_(&step), program_(build_program(step.pool(), step.updates())) {
+    const Compiled_program& cp = program_.compiled();
+    scratch_index_.assign(static_cast<std::size_t>(cp.slot_count()), -1);
+    for (const Tape_op& op : cp.ops()) {
+        scratch_index_[static_cast<std::size_t>(op.dest)] = scratch_rows_++;
+    }
+    for (const Tape_constant& k : cp.constants()) {
+        scratch_index_[static_cast<std::size_t>(k.slot)] = scratch_rows_++;
+    }
+    left_margin_ = std::max(0, -cp.min_dx());
+    right_margin_ = std::max(0, cp.max_dx());
+}
+
+Frame_set Exec_engine::run(const Frame_set& initial, int iterations, Boundary b,
+                           int threads) const {
+    if (iterations <= 0) return initial;
+    const int w = initial.width();
+    const int h = initial.height();
+    const Expr_pool& pool = step_->pool();
+
+    // Double buffers in canonical field order (state first, then const);
+    // const fields are copied once and never rewritten.
+    Frame_set buf_a(w, h);
+    Frame_set buf_b(w, h);
+    for (const std::string& name : step_->state_fields()) {
+        buf_a.add_field(name, initial.field(name));
+        buf_b.add_field(name);
+    }
+    for (const std::string& name : step_->const_fields()) {
+        buf_a.add_field(name, initial.field(name));
+        buf_b.add_field(name, initial.field(name));
+    }
+    if (w == 0 || h == 0) return buf_a;
+
+    Step_context context;
+    context.cp = &program_.compiled();
+    context.scratch_index = &scratch_index_;
+    context.scratch_rows = scratch_rows_;
+    context.left_margin = left_margin_;
+    context.right_margin = right_margin_;
+    context.width = w;
+    context.height = h;
+    context.boundary = b;
+    context.field_base.resize(static_cast<std::size_t>(pool.field_count()));
+    context.out_base.resize(step_->state_fields().size());
+
+    const int total_threads = resolve_thread_count(threads);
+    std::optional<Thread_pool> thread_pool;
+    if (total_threads > 1 && h > 1) thread_pool.emplace(total_threads);
+
+    Workspace serial_ws;
+    if (!thread_pool) bind_workspace(serial_ws, context);
+    Workspace_pool workspaces(context);
+
+    Frame_set* current = &buf_a;
+    Frame_set* next = &buf_b;
+    for (int it = 0; it < iterations; ++it) {
+        for (int f = 0; f < pool.field_count(); ++f) {
+            context.field_base[static_cast<std::size_t>(f)] =
+                current->field(pool.field_name(f)).data().data();
+        }
+        for (std::size_t s = 0; s < step_->state_fields().size(); ++s) {
+            context.out_base[s] = next->field(step_->state_fields()[s]).data().data();
+        }
+        if (!thread_pool) {
+            exec_rows(context, serial_ws, 0, h);
+        } else {
+            const std::size_t blocks = static_cast<std::size_t>(
+                std::min(h, thread_pool->thread_count() * 4));
+            thread_pool->for_each_index(blocks, [&](std::size_t i) {
+                std::unique_ptr<Workspace> ws = workspaces.acquire();
+                const int b0 = static_cast<int>(i * static_cast<std::size_t>(h) / blocks);
+                const int b1 =
+                    static_cast<int>((i + 1) * static_cast<std::size_t>(h) / blocks);
+                exec_rows(context, *ws, b0, b1);
+                workspaces.release(std::move(ws));
+            });
+        }
+        std::swap(current, next);
+    }
+    return std::move(*current);
+}
+
+}  // namespace islhls

@@ -1,0 +1,66 @@
+// Vectorized, allocation-free execution engine for stencil steps.
+//
+// The legacy golden path interpreted the step program per pixel: for every
+// element it looked fields up by name, resolved every read through the
+// boundary policy, and heap-allocated a full instruction trace (see
+// run_ir_reference in sim/golden.hpp). This engine executes the
+// scanline-compiled tape (ir/compiled.hpp) structure-of-arrays over whole
+// frame rows instead:
+//
+//   - field base pointers and strides are resolved once per step, not once
+//     per pixel;
+//   - the interior of each row (where no read crosses the frame edge) runs
+//     with unclamped pointer arithmetic — each tape operation is one tight,
+//     auto-vectorizable loop over the row;
+//   - the border columns fall back to a scalar pass that resolves reads with
+//     the Boundary policy, bit-identical to the reference interpreter;
+//   - per-thread scratch rows are reused across rows and iterations (no
+//     allocation inside the pixel loop), and iteration double-buffers two
+//     frame sets instead of copy-constructing one per timestep.
+//
+// Row blocks are fanned across a support/parallel.hpp Thread_pool; every row
+// is computed identically regardless of the schedule, so results are
+// byte-identical to a serial run at any thread count (the same determinism
+// contract the DSE engine holds).
+#pragma once
+
+#include "grid/frame_set.hpp"
+#include "ir/compiled.hpp"
+#include "symexec/stencil_step.hpp"
+
+namespace islhls {
+
+class Exec_engine {
+public:
+    // Builds (and compiles) the step's register program once. `step` must
+    // outlive the engine.
+    explicit Exec_engine(const Stencil_step& step);
+
+    const Stencil_step& step() const { return *step_; }
+    const Register_program& program() const { return program_; }
+    const Compiled_program& compiled() const { return program_.compiled(); }
+
+    // Runs `iterations` steps with per-iteration boundary resolution.
+    // `initial` must contain every field of the step; the result holds the
+    // state fields first (declaration order) and then the const fields,
+    // matching the legacy golden runner. With iterations <= 0 the initial
+    // set is returned unchanged. `threads` follows resolve_thread_count
+    // (0 = all hardware threads); any thread count produces byte-identical
+    // frames.
+    Frame_set run(const Frame_set& initial, int iterations, Boundary b,
+                  int threads = 1) const;
+
+private:
+    const Stencil_step* step_;
+    Register_program program_;
+    // Scratch-row index per tape slot (-1 for input slots, which read the
+    // frames directly); operation and constant slots each own one row.
+    std::vector<int> scratch_index_;
+    int scratch_rows_ = 0;
+    // Interior span margins: columns [left, width - right) read in-range for
+    // every input offset.
+    int left_margin_ = 0;
+    int right_margin_ = 0;
+};
+
+}  // namespace islhls

@@ -1,11 +1,13 @@
 #include "sim/golden.hpp"
 
 #include "ir/program.hpp"
+#include "sim/exec_engine.hpp"
 #include "support/error.hpp"
 
 namespace islhls {
 
-Frame_set run_step_ir(const Stencil_step& step, const Frame_set& current, Boundary b) {
+Frame_set run_step_ir_reference(const Stencil_step& step, const Frame_set& current,
+                                Boundary b) {
     const Register_program program = build_program(step.pool(), step.updates());
     Frame_set next(current.width(), current.height());
     std::vector<Frame*> out_fields;
@@ -20,9 +22,13 @@ Frame_set run_step_ir(const Stencil_step& step, const Frame_set& current, Bounda
                 const Frame& f = current.field(step.pool().field_name(ports[i].field));
                 inputs[i] = f.sample(x + ports[i].dx, y + ports[i].dy, b);
             }
-            const std::vector<double> outs = program.run(inputs);
+            // Deliberately the interpreter path (not the compiled tape), so
+            // this stays an independent reference; the per-pixel trace
+            // allocation is the legacy behavior being benchmarked against.
+            const std::vector<double> regs = program.run_trace(inputs);
             for (std::size_t s = 0; s < out_fields.size(); ++s) {
-                out_fields[s]->at(x, y) = outs[s];
+                out_fields[s]->at(x, y) =
+                    regs[static_cast<std::size_t>(program.outputs()[s])];
             }
         }
     }
@@ -33,11 +39,23 @@ Frame_set run_step_ir(const Stencil_step& step, const Frame_set& current, Bounda
     return next;
 }
 
-Frame_set run_ir(const Stencil_step& step, const Frame_set& initial, int iterations,
-                 Boundary b) {
+Frame_set run_ir_reference(const Stencil_step& step, const Frame_set& initial,
+                           int iterations, Boundary b) {
     Frame_set current = initial;
-    for (int i = 0; i < iterations; ++i) current = run_step_ir(step, current, b);
+    for (int i = 0; i < iterations; ++i) {
+        current = run_step_ir_reference(step, current, b);
+    }
     return current;
+}
+
+Frame_set run_step_ir(const Stencil_step& step, const Frame_set& current, Boundary b) {
+    return Exec_engine(step).run(current, 1, b);
+}
+
+Frame_set run_ir(const Stencil_step& step, const Frame_set& initial, int iterations,
+                 Boundary b, int threads) {
+    if (iterations <= 0) return initial;
+    return Exec_engine(step).run(initial, iterations, b, threads);
 }
 
 Frame pad_frame(const Frame& frame, int left, int right, int up, int down, Boundary b) {

@@ -19,11 +19,24 @@ namespace islhls {
 
 // One step, evaluating the stencil's extracted IR at every point. This is
 // also the reference for user kernels that have no native implementation.
+// Executed by the compiled scanline engine (sim/exec_engine.hpp).
 Frame_set run_step_ir(const Stencil_step& step, const Frame_set& current, Boundary b);
 
-// `iterations` IR steps with per-iteration boundary resolution.
+// `iterations` IR steps with per-iteration boundary resolution, double-
+// buffered through the compiled engine. `threads` follows
+// resolve_thread_count; every thread count yields byte-identical frames.
 Frame_set run_ir(const Stencil_step& step, const Frame_set& initial, int iterations,
-                 Boundary b);
+                 Boundary b, int threads = 1);
+
+// Legacy per-pixel interpreter path: field lookups by name, a boundary-
+// resolved sample per read, and an interpreted, trace-allocating program
+// execution per element — independent of the compiled tape. Kept as the
+// reference the engine equivalence suite and the throughput bench compare
+// against; not a production path.
+Frame_set run_step_ir_reference(const Stencil_step& step, const Frame_set& current,
+                                Boundary b);
+Frame_set run_ir_reference(const Stencil_step& step, const Frame_set& initial,
+                           int iterations, Boundary b);
 
 // Pads `frame` by the margins, filling the apron via the boundary policy.
 Frame pad_frame(const Frame& frame, int left, int right, int up, int down, Boundary b);

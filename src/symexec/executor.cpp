@@ -1,7 +1,8 @@
 #include "symexec/executor.hpp"
 
-#include <map>
+#include <algorithm>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "frontend/parser.hpp"
@@ -63,12 +64,27 @@ struct Array_binding {
     bool is_const = false;
 };
 
+// Hash maps: these bindings are hit on every evaluated expression, and the
+// executor unrolls loops, so lookups dominate. Anything that *iterates* a
+// map (merge_envs) must impose its own order — unordered iteration order
+// would leak into expression-pool creation order and break determinism.
 struct Env {
-    std::map<std::string, Binding> scalars;
-    std::map<std::string, Array_binding> arrays;
+    std::unordered_map<std::string, Binding> scalars;
+    std::unordered_map<std::string, Array_binding> arrays;
     // Recorded next-iteration expressions, keyed by *state field* name.
-    std::map<std::string, Expr_id> outputs;
+    std::unordered_map<std::string, Expr_id> outputs;
 };
+
+// The names of `map`, sorted — the deterministic iteration order for merges
+// (matches the old std::map order exactly).
+template <typename Map>
+std::vector<std::string> sorted_keys(const Map& map) {
+    std::vector<std::string> keys;
+    keys.reserve(map.size());
+    for (const auto& [name, value] : map) keys.push_back(name);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
 
 [[noreturn]] void fail(const Source_loc& loc, const std::string& what) {
     throw Symexec_error(cat("symbolic execution at ", loc.line, ":", loc.column, ": ",
@@ -683,8 +699,10 @@ private:
     void merge_envs(Env& env, const Env& then_env, const Env& else_env, Expr_id cond,
                     const Source_loc& loc) {
         Expr_pool& p = pool();
-        // Scalars visible before the branch.
-        for (auto& [name, binding] : env.scalars) {
+        // Scalars visible before the branch, merged in sorted-name order so
+        // the select nodes are created deterministically.
+        for (const std::string& name : sorted_keys(env.scalars)) {
+            Binding& binding = env.scalars.at(name);
             const Binding& tv = then_env.scalars.at(name);
             const Binding& ev = else_env.scalars.at(name);
             if (tv.value == ev.value) {
@@ -698,8 +716,9 @@ private:
             binding.value = Sym_value::make_numeric(
                 p.select(cond, to_numeric(tv.value, loc), to_numeric(ev.value, loc)));
         }
-        // Local arrays, element-wise.
-        for (auto& [name, arr] : env.arrays) {
+        // Local arrays, element-wise, likewise in sorted-name order.
+        for (const std::string& name : sorted_keys(env.arrays)) {
+            Array_binding& arr = env.arrays.at(name);
             const Array_binding& ta = then_env.arrays.at(name);
             const Array_binding& ea = else_env.arrays.at(name);
             for (std::size_t i = 0; i < arr.elems.size(); ++i) {
@@ -713,8 +732,9 @@ private:
             }
         }
         // Outputs: a write on one arm must be merged with the other arm's
-        // value (or rejected when the other arm never defines it).
-        std::map<std::string, Expr_id> merged;
+        // value (or rejected when the other arm never defines it). Iterates
+        // the declared fields, which is already deterministic.
+        std::unordered_map<std::string, Expr_id> merged;
         for (const Field_info& f : info_.fields) {
             if (!f.is_state) continue;
             const auto t = then_env.outputs.find(f.name);

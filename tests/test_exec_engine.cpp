@@ -1,0 +1,149 @@
+// Equivalence suite for the compiled scanline execution engine: the engine
+// must agree bit for bit with the legacy per-pixel interpreter across every
+// built-in kernel, every Boundary mode, degenerate frame shapes (1xN, Nx1,
+// 1x1) and any thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "cone/cone.hpp"
+#include "grid/frame_ops.hpp"
+#include "ir/compiled.hpp"
+#include "kernels/kernels.hpp"
+#include "sim/exec_engine.hpp"
+#include "sim/golden.hpp"
+#include "support/prng.hpp"
+#include "symexec/executor.hpp"
+
+namespace islhls {
+namespace {
+
+// Byte-level frame comparison: exact even for -0.0 / NaN payloads.
+void expect_bytes_equal(const Frame& a, const Frame& b) {
+    ASSERT_EQ(a.width(), b.width());
+    ASSERT_EQ(a.height(), b.height());
+    EXPECT_EQ(0, std::memcmp(a.data().data(), b.data().data(),
+                             a.element_count() * sizeof(double)));
+}
+
+void expect_sets_equal(const Frame_set& a, const Frame_set& b) {
+    ASSERT_EQ(a.names(), b.names());
+    for (const std::string& name : a.names()) {
+        SCOPED_TRACE(name);
+        expect_bytes_equal(a.field(name), b.field(name));
+    }
+}
+
+constexpr Boundary kBoundaries[] = {Boundary::clamp, Boundary::zero,
+                                    Boundary::mirror, Boundary::periodic};
+
+TEST(Exec_engine, matches_reference_on_all_kernels_boundaries_and_shapes) {
+    const std::pair<int, int> shapes[] = {{17, 13}, {1, 9}, {9, 1}, {1, 1}, {4, 4}};
+    std::uint64_t seed = 1;
+    for (const Kernel_def& kernel : all_kernels()) {
+        SCOPED_TRACE(kernel.name);
+        const Stencil_step step = extract_stencil(kernel.c_source);
+        const Exec_engine engine(step);
+        for (const Boundary b : kBoundaries) {
+            SCOPED_TRACE(to_string(b));
+            for (const auto& [w, h] : shapes) {
+                SCOPED_TRACE(std::to_string(w) + "x" + std::to_string(h));
+                const Frame content = make_noise(w, h, seed++, 0.0, 255.0);
+                const Frame_set initial = kernel.make_initial(content);
+                const Frame_set reference = run_ir_reference(step, initial, 2, b);
+                for (const int threads : {1, 2, 8}) {
+                    SCOPED_TRACE(threads);
+                    expect_sets_equal(reference, engine.run(initial, 2, b, threads));
+                }
+            }
+        }
+    }
+}
+
+TEST(Exec_engine, threaded_runs_are_byte_identical_on_larger_frames) {
+    const Kernel_def& kernel = kernel_by_name("chambolle");
+    const Stencil_step step = extract_stencil(kernel.c_source);
+    const Exec_engine engine(step);
+    const Frame_set initial = kernel.make_initial(make_synthetic_scene(67, 41, 3));
+    const Frame_set serial = engine.run(initial, 5, kernel.boundary, 1);
+    for (const int threads : {2, 8}) {
+        SCOPED_TRACE(threads);
+        expect_sets_equal(serial, engine.run(initial, 5, kernel.boundary, threads));
+    }
+}
+
+TEST(Exec_engine, zero_iterations_returns_initial_untouched) {
+    const Kernel_def& kernel = kernel_by_name("heat");
+    const Stencil_step step = extract_stencil(kernel.c_source);
+    const Frame_set initial = kernel.make_initial(make_gradient(6, 5));
+    const Frame_set out = Exec_engine(step).run(initial, 0, kernel.boundary);
+    expect_sets_equal(initial, out);
+}
+
+TEST(Exec_engine, run_ir_wrapper_matches_reference_and_supports_threads) {
+    const Kernel_def& kernel = kernel_by_name("igf");
+    const Stencil_step step = extract_stencil(kernel.c_source);
+    const Frame_set initial = kernel.make_initial(make_synthetic_scene(23, 17, 9));
+    const Frame_set reference = run_ir_reference(step, initial, 3, kernel.boundary);
+    expect_sets_equal(reference, run_ir(step, initial, 3, kernel.boundary));
+    expect_sets_equal(reference, run_ir(step, initial, 3, kernel.boundary, 8));
+    expect_sets_equal(run_step_ir_reference(step, initial, kernel.boundary),
+                      run_step_ir(step, initial, kernel.boundary));
+}
+
+// The compiled tape's scalar path must reproduce the reference interpreter
+// slot for slot (this is what run() and the arch simulator execute).
+TEST(Compiled_program, eval_point_reproduces_interpreter_trace) {
+    const Kernel_def& kernel = kernel_by_name("perona_malik");
+    Stencil_step step = extract_stencil(kernel.c_source);
+    const Cone cone(step, Cone_spec{3, 3, 2});
+    const Register_program& program = cone.program();
+    const Compiled_program& tape = program.compiled();
+    ASSERT_EQ(tape.slot_count(),
+              static_cast<int>(program.instructions().size()));
+
+    Prng rng(17);
+    std::vector<double> inputs(static_cast<std::size_t>(program.input_count()));
+    std::vector<double> slots(static_cast<std::size_t>(tape.slot_count()));
+    std::vector<double> regs;
+    for (int trial = 0; trial < 20; ++trial) {
+        for (double& v : inputs) v = rng.next_in(-4.0, 260.0);
+        program.run_trace_into(inputs, regs);
+        tape.eval_point(inputs.data(), slots.data());
+        ASSERT_EQ(regs.size(), slots.size());
+        EXPECT_EQ(0, std::memcmp(regs.data(), slots.data(),
+                                 regs.size() * sizeof(double)))
+            << trial;
+        // run() (the compatibility wrapper) returns exactly the output slots.
+        const std::vector<double> outs = program.run(inputs);
+        ASSERT_EQ(outs.size(), program.outputs().size());
+        for (std::size_t o = 0; o < outs.size(); ++o) {
+            EXPECT_EQ(outs[o],
+                      regs[static_cast<std::size_t>(program.outputs()[o])]);
+        }
+    }
+}
+
+TEST(Compiled_program, footprint_matches_input_ports) {
+    const Kernel_def& kernel = kernel_by_name("shock");
+    const Stencil_step step = extract_stencil(kernel.c_source);
+    const Register_program program = build_program(step.pool(), step.updates());
+    const Compiled_program& tape = program.compiled();
+    int min_dx = 0, max_dx = 0, min_dy = 0, max_dy = 0;
+    for (const auto& port : program.input_ports()) {
+        min_dx = std::min(min_dx, port.dx);
+        max_dx = std::max(max_dx, port.dx);
+        min_dy = std::min(min_dy, port.dy);
+        max_dy = std::max(max_dy, port.dy);
+    }
+    EXPECT_EQ(tape.min_dx(), min_dx);
+    EXPECT_EQ(tape.max_dx(), max_dx);
+    EXPECT_EQ(tape.min_dy(), min_dy);
+    EXPECT_EQ(tape.max_dy(), max_dy);
+    EXPECT_EQ(tape.inputs().size(), program.input_ports().size());
+    EXPECT_EQ(tape.output_slots(), program.outputs());
+}
+
+}  // namespace
+}  // namespace islhls

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Perf-trajectory runner: executes the repo's measured benches and records
+# their BENCH_*.json results at the repository root. Each bench writes via a
+# temp file + rename, so an aborted run never leaves a torn record.
+#
+# Usage: tools/run_benches.sh [build-dir]   (default: build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+"$build_dir/micro_sim_throughput" --json "$repo_root/BENCH_sim.json"
