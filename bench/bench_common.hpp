@@ -7,6 +7,9 @@
 // makes about that artifact. See EXPERIMENTS.md for the recorded outcomes.
 #pragma once
 
+#include <cstdio>
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <string>
 
@@ -30,6 +33,30 @@ inline islhls::Flow_options paper_options() {
 inline int report_claim(const std::string& claim, bool holds) {
     std::cout << (holds ? "[PASS] " : "[DEVIATION] ") << claim << "\n";
     return holds ? 0 : 1;
+}
+
+// Atomic perf-record writer shared by the BENCH_*.json producers: `body`
+// streams the record into a temp file, which replaces `path` only on a
+// fully flushed write — an aborted run never leaves a torn record. Returns
+// false (after a diagnostic) when the record could not be written, so the
+// caller can fail the bench rather than let CI pass on a stale file.
+inline bool write_json_record(const std::string& path,
+                              const std::function<void(std::ostream&)>& body) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp);
+        body(out);
+        out.flush();
+        if (!out) {
+            std::cerr << "failed to write " << tmp << "\n";
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::cerr << "failed to move " << tmp << " to " << path << "\n";
+        return false;
+    }
+    return true;
 }
 
 }  // namespace islhls_bench

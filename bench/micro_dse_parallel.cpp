@@ -17,9 +17,15 @@
 // Host wall times for the model-evaluation phase are reported as INFO: they
 // track the thread count only when the host actually has spare cores, so
 // they are measured but not gated on (CI machines are often 1-2 cores).
+//
+// With --json <path> the run is recorded as a BENCH_dse.json perf-trajectory
+// record (temp file + rename, same discipline as micro_sim_throughput); the
+// "gated_metrics" block carries the host-portable synthesis-makespan speedup
+// that tools/check_bench.py diffs against the committed baseline in CI.
 #include <chrono>
 #include <iostream>
 #include <numeric>
+#include <string>
 
 #include "bench_common.hpp"
 #include "dse/explorer.hpp"
@@ -74,9 +80,42 @@ Sweep_run run_sweep(int threads) {
     return run;
 }
 
+// The bench fails when the record could not be written, so CI never passes
+// with a missing or stale perf record.
+bool write_json(const std::string& path, const Sweep_run& serial,
+                const Sweep_run& parallel, double serial_synth,
+                double parallel_synth, double speedup) {
+    return islhls_bench::write_json_record(path, [&](std::ostream& out) {
+        out << "{\n";
+        out << "  \"bench\": \"micro_dse_parallel\",\n";
+        out << "  \"kernel\": \"igf\",\n";
+        out << "  \"hardware_threads\": " << resolve_thread_count(0) << ",\n";
+        out << "  \"design_points\": " << serial.points << ",\n";
+        out << "  \"pareto_front\": " << serial.front << ",\n";
+        out << "  \"synthesis_jobs\": " << parallel.synthesis_costs.size() << ",\n";
+        out << "  \"serial_synthesis_hours\": " << format_fixed(serial_synth / 3600.0, 3)
+            << ",\n";
+        out << "  \"parallel_synthesis_hours\": "
+            << format_fixed(parallel_synth / 3600.0, 3) << ",\n";
+        out << "  \"model_eval_wall_ms\": {\"serial\": " << format_fixed(serial.wall_ms, 1)
+            << ", \"threads_8\": " << format_fixed(parallel.wall_ms, 1) << "},\n";
+        out << "  \"gated_metrics\": {\n";
+        out << "    \"synthesis_makespan_speedup_8w\": " << format_fixed(speedup, 2)
+            << "\n";
+        out << "  }\n}\n";
+    });
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        }
+    }
+
     std::cout << "micro_dse_parallel — serial vs 8-thread DSE on IGF\n\n";
 
     const Sweep_run serial = run_sweep(1);
@@ -113,5 +152,14 @@ int main() {
     deviations += islhls_bench::report_claim(
         "8-thread sweep cuts the synthesis-phase makespan by >= 3x",
         speedup >= 3.0);
+
+    if (!json_path.empty()) {
+        if (write_json(json_path, serial, parallel, serial_synth, parallel_synth,
+                       speedup)) {
+            std::cout << "\nwrote " << json_path << "\n";
+        } else {
+            deviations += 1;
+        }
+    }
     return deviations == 0 ? 0 : 1;
 }

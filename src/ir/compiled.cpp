@@ -17,8 +17,22 @@ Compiled_program::Compiled_program(const Register_program& program) {
             case Op_kind::constant:
                 constants_.push_back({slot, instr.value});
                 break;
-            case Op_kind::input:
+            case Op_kind::input: {
                 inputs_.push_back({slot, instr.field, instr.dx, instr.dy});
+                if (instr.field >= static_cast<int>(field_extents_.size())) {
+                    field_extents_.resize(static_cast<std::size_t>(instr.field) + 1);
+                }
+                Field_extent& e = field_extents_[static_cast<std::size_t>(instr.field)];
+                if (!e.used) {
+                    e.used = true;
+                    e.min_dx = e.max_dx = instr.dx;
+                    e.min_dy = e.max_dy = instr.dy;
+                } else {
+                    e.min_dx = std::min(e.min_dx, instr.dx);
+                    e.max_dx = std::max(e.max_dx, instr.dx);
+                    e.min_dy = std::min(e.min_dy, instr.dy);
+                    e.max_dy = std::max(e.max_dy, instr.dy);
+                }
                 if (!any_input) {
                     any_input = true;
                     min_dx_ = max_dx_ = instr.dx;
@@ -30,6 +44,7 @@ Compiled_program::Compiled_program(const Register_program& program) {
                     max_dy_ = std::max(max_dy_, instr.dy);
                 }
                 break;
+            }
             default: {
                 Tape_op op;
                 op.kind = instr.kind;

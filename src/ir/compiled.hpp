@@ -46,6 +46,18 @@ struct Tape_constant {
     double value = 0.0;
 };
 
+// Per-field read-offset bounding box (the field's stencil radius), derived
+// from the input bindings. Temporal tiling sizes its per-iteration halo from
+// the extents of the fields that advance; fields the program never reads
+// keep `used == false` and zero extents.
+struct Field_extent {
+    bool used = false;
+    int min_dx = 0;
+    int max_dx = 0;
+    int min_dy = 0;
+    int max_dy = 0;
+};
+
 class Compiled_program {
 public:
     explicit Compiled_program(const Register_program& program);
@@ -67,6 +79,11 @@ public:
     int min_dy() const { return min_dy_; }
     int max_dy() const { return max_dy_; }
 
+    // Per-field offset bounding boxes, indexed by pool field id. Sized to
+    // cover every field referenced by an input binding (fields past the last
+    // referenced id are absent; treat them as unused).
+    const std::vector<Field_extent>& field_extents() const { return field_extents_; }
+
     // Evaluates the whole tape for one point. `inputs[i]` must hold the
     // value of the i-th input binding (program port order); `slots` is
     // caller-owned scratch of slot_count() elements and is fully rewritten.
@@ -77,6 +94,7 @@ private:
     std::vector<Tape_op> ops_;
     std::vector<Tape_input> inputs_;
     std::vector<Tape_constant> constants_;
+    std::vector<Field_extent> field_extents_;
     std::vector<std::int32_t> output_slots_;
     int slot_count_ = 0;
     int min_dx_ = 0;

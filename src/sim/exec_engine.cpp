@@ -1,6 +1,7 @@
 #include "sim/exec_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <memory>
@@ -15,6 +16,10 @@ namespace islhls {
 namespace {
 
 // Everything one step execution needs, fixed before the row loops start.
+// The banded path copies this per band and retargets the field bindings at
+// every fused level; `field_row_off` / `out_row_off` translate full-frame
+// row coordinates into band-buffer rows (zero when a binding points at a
+// whole frame).
 struct Step_context {
     const Compiled_program* cp = nullptr;
     const std::vector<int>* scratch_index = nullptr;
@@ -25,14 +30,21 @@ struct Step_context {
     int height = 0;
     Boundary boundary = Boundary::clamp;
     std::vector<const double*> field_base;  // per pool field index
+    std::vector<int> field_row_off;         // per pool field index
     std::vector<double*> out_base;          // per state field
+    int out_row_off = 0;
+    // Banded execution: pool field index of every state field (declaration
+    // order), so levels can rebind just the advancing fields.
+    std::vector<int> state_pool_field;
 };
 
 // Per-thread scratch bound to one frame width: one row per operation and
 // constant slot, a zero row backing Boundary::zero reads of out-of-range
 // rows, and the scalar buffers the border columns use. Constant rows are
 // filled once at bind time — slots are single-assignment, so they survive
-// every later row execution.
+// every later row execution. The two `band` buffers ping-pong the interim
+// levels of temporal tiling; they are sized lazily per band (edge bands
+// under Boundary::periodic can need more rows than interior bands).
 struct Workspace {
     std::vector<double> scratch;
     std::vector<const double*> row;  // per slot: operand row base pointer;
@@ -41,6 +53,7 @@ struct Workspace {
     std::vector<double> zero_row;
     std::vector<double> point_slots;
     std::vector<double> point_inputs;
+    std::array<std::vector<double>, 2> band;
 };
 
 void bind_workspace(Workspace& ws, const Step_context& c) {
@@ -110,12 +123,16 @@ void eval_border_column(const Step_context& c, Workspace& ws, int x, int y) {
             (rx < 0 || ry < 0)
                 ? 0.0
                 : c.field_base[static_cast<std::size_t>(in.field)]
-                             [static_cast<std::size_t>(ry) * c.width + rx];
+                              [static_cast<std::size_t>(
+                                   ry - c.field_row_off[static_cast<std::size_t>(
+                                            in.field)]) *
+                                   c.width +
+                               rx];
     }
     c.cp->eval_point(ws.point_inputs.data(), ws.point_slots.data());
     const std::vector<std::int32_t>& out_slots = c.cp->output_slots();
     for (std::size_t s = 0; s < c.out_base.size(); ++s) {
-        c.out_base[s][static_cast<std::size_t>(y) * c.width + x] =
+        c.out_base[s][static_cast<std::size_t>(y - c.out_row_off) * c.width + x] =
             ws.point_slots[static_cast<std::size_t>(out_slots[s])];
     }
 }
@@ -212,7 +229,10 @@ void exec_rows(const Step_context& c, Workspace& ws, int y0, int y1) {
                 ws.row[static_cast<std::size_t>(in.slot)] =
                     ry < 0 ? ws.zero_row.data()
                            : c.field_base[static_cast<std::size_t>(in.field)] +
-                                 static_cast<std::size_t>(ry) * w;
+                                 static_cast<std::size_t>(
+                                     ry - c.field_row_off[static_cast<std::size_t>(
+                                              in.field)]) *
+                                     w;
             }
             for (const Tape_op& op : ops) {
                 double* dst =
@@ -225,12 +245,161 @@ void exec_rows(const Step_context& c, Workspace& ws, int y0, int y1) {
             for (std::size_t s = 0; s < c.out_base.size(); ++s) {
                 const std::size_t slot = static_cast<std::size_t>(out_slots[s]);
                 const double* r = ws.row[slot] + (x0 + ws.col_off[slot]);
-                std::memcpy(c.out_base[s] + static_cast<std::size_t>(y) * w + x0,
+                std::memcpy(c.out_base[s] +
+                                static_cast<std::size_t>(y - c.out_row_off) * w + x0,
                             r, static_cast<std::size_t>(x1 - x0) * sizeof(double));
             }
         }
         for (int x = x1; x < w; ++x) eval_border_column(c, ws, x, y);
     }
+}
+
+// --- temporal tiling --------------------------------------------------------------
+
+// Rows [lo, hi) at one fused level of a band (frame coordinates).
+struct Band_level {
+    int lo = 0;
+    int hi = 0;
+};
+
+// The trapezoid of one band: level[k] holds the rows computed k fused steps
+// into the block, for k in [1, depth]; level[depth] is the band's output
+// rows, level[0] the rows the band reads from the block's input frame
+// (kept for sizing/diagnostics, nothing is computed at level 0).
+struct Band_plan {
+    std::vector<Band_level> level;
+    // Tallest interim level (k in [1, depth)); sizes the band buffers.
+    int interim_rows = 0;
+};
+
+// Minimal in-frame interval covering every boundary-resolved read of the
+// unclamped rows [lo, hi). The in-range part is always non-empty for the
+// intervals the planner produces; out-of-range overhang rows resolve to
+// edge-adjacent rows (clamp/mirror), drop out entirely (zero), or wrap to
+// the opposite edge (periodic — which is what widens edge bands).
+Band_level resolve_row_interval(int lo, int hi, int h, Boundary b) {
+    int a = std::max(lo, 0);
+    int z = std::min(hi, h) - 1;  // inclusive
+    check_internal(a <= z, "resolve_row_interval: empty in-range span");
+    for (int y = lo; y < 0; ++y) {
+        const int ry = resolve_coordinate(y, h, b);
+        if (ry >= 0) {
+            a = std::min(a, ry);
+            z = std::max(z, ry);
+        }
+    }
+    for (int y = h; y < hi; ++y) {
+        const int ry = resolve_coordinate(y, h, b);
+        if (ry >= 0) {
+            a = std::min(a, ry);
+            z = std::max(z, ry);
+        }
+    }
+    return {a, z + 1};
+}
+
+// Plans the bands of one fused block: output rows are split into bands of
+// `band_rows`, and each band's interim levels grow by the per-step state
+// halo (up rows above, down rows below), boundary-resolved into the frame.
+std::vector<Band_plan> plan_bands(int h, int band_rows, int depth, int up, int down,
+                                  Boundary b) {
+    std::vector<Band_plan> plans;
+    plans.reserve(static_cast<std::size_t>((h + band_rows - 1) / band_rows));
+    for (int b0 = 0; b0 < h; b0 += band_rows) {
+        Band_plan plan;
+        plan.level.assign(static_cast<std::size_t>(depth) + 1, Band_level{});
+        plan.level[static_cast<std::size_t>(depth)] = {b0,
+                                                       std::min(b0 + band_rows, h)};
+        for (int k = depth - 1; k >= 0; --k) {
+            const Band_level& next = plan.level[static_cast<std::size_t>(k) + 1];
+            plan.level[static_cast<std::size_t>(k)] =
+                resolve_row_interval(next.lo - up, next.hi + down, h, b);
+        }
+        for (int k = 1; k < depth; ++k) {
+            const Band_level& lv = plan.level[static_cast<std::size_t>(k)];
+            plan.interim_rows = std::max(plan.interim_rows, lv.hi - lv.lo);
+        }
+        plans.push_back(std::move(plan));
+    }
+    return plans;
+}
+
+// Carries one band through every fused level of its block. The shared
+// context `c` holds the block's input-frame and output-frame bindings; the
+// local copy retargets the state fields at each level:
+//
+//   level 1        reads the input frame, writes band buffer 1;
+//   level k (1<k<T) reads band buffer (k-1)&1, writes band buffer k&1;
+//   level T        reads the last band buffer, writes the output frame
+//                  (only the band's own rows — bands never overlap there).
+//
+// Const fields always read the full input frame, and every level runs the
+// same exec_rows code as the untiled sweep, so each cell value is computed
+// by the identical instruction sequence as in the double-buffered path.
+void exec_band(const Step_context& c, Workspace& ws, const Band_plan& plan) {
+    const int depth = static_cast<int>(plan.level.size()) - 1;
+    const auto w = static_cast<std::size_t>(c.width);
+    const std::size_t stride = static_cast<std::size_t>(plan.interim_rows) * w;
+    const std::size_t states = c.state_pool_field.size();
+    if (depth > 1) {
+        for (std::vector<double>& buf : ws.band) {
+            if (buf.size() < stride * states) buf.resize(stride * states);
+        }
+    }
+
+    Step_context local = c;
+    for (int k = 1; k <= depth; ++k) {
+        const Band_level out = plan.level[static_cast<std::size_t>(k)];
+        if (k > 1) {
+            const Band_level in = plan.level[static_cast<std::size_t>(k) - 1];
+            const double* base = ws.band[static_cast<std::size_t>((k - 1) & 1)].data();
+            for (std::size_t s = 0; s < states; ++s) {
+                const auto f = static_cast<std::size_t>(c.state_pool_field[s]);
+                local.field_base[f] = base + s * stride;
+                local.field_row_off[f] = in.lo;
+            }
+        }
+        if (k == depth) {
+            local.out_base = c.out_base;
+            local.out_row_off = c.out_row_off;
+        } else {
+            double* base = ws.band[static_cast<std::size_t>(k & 1)].data();
+            for (std::size_t s = 0; s < states; ++s) {
+                local.out_base[s] = base + s * stride;
+            }
+            local.out_row_off = out.lo;
+        }
+        exec_rows(local, ws, out.lo, out.hi);
+    }
+}
+
+// Auto tile depth: fusing is pure overhead while both frame buffers sit in
+// cache, so stay untiled below a conservative working-set budget; above it,
+// eight fused steps capture most of the traffic reduction (1/8th of the
+// memory round trips) while keeping the trapezoid recompute low.
+int auto_tile_depth(std::size_t state_bytes, int iterations) {
+    constexpr std::size_t kCacheBudget = 32u << 20;
+    if (iterations <= 1 || 2 * state_bytes <= kCacheBudget) return 1;
+    return std::min(iterations, 8);
+}
+
+// Auto band height: size a band so its working set (two interim buffers of
+// every state field) stays well inside the last-level cache, keep the halo
+// recompute overhead bounded (band at least 4x the total halo growth), and
+// leave at least two bands per thread for load balance.
+int auto_band_rows(int width, int h, int depth, int states, int growth, int threads) {
+    constexpr std::size_t kBandBudget = 8u << 20;
+    const std::size_t level_row_bytes = 2 * static_cast<std::size_t>(states) *
+                                        static_cast<std::size_t>(width) *
+                                        sizeof(double);
+    long rows = static_cast<long>(kBandBudget / std::max<std::size_t>(level_row_bytes, 1));
+    rows -= static_cast<long>(depth - 1) * growth;
+    rows = std::max(rows, 4L * (depth - 1) * growth);
+    rows = std::max(rows, 16L);
+    if (threads > 1) {
+        rows = std::min(rows, static_cast<long>((h + 2 * threads - 1) / (2 * threads)));
+    }
+    return static_cast<int>(std::clamp(rows, 1L, static_cast<long>(h)));
 }
 
 }  // namespace
@@ -247,10 +416,19 @@ Exec_engine::Exec_engine(const Stencil_step& step)
     }
     left_margin_ = std::max(0, -cp.min_dx());
     right_margin_ = std::max(0, cp.max_dx());
+    // The per-iteration band halo grows with the advancing fields only:
+    // const fields never change, so their reads hit the full frame at every
+    // fused level and do not widen the trapezoid.
+    const std::vector<Field_extent>& extents = cp.field_extents();
+    for (std::size_t f = 0; f < extents.size(); ++f) {
+        if (!extents[f].used || !step.is_state_index(static_cast<int>(f))) continue;
+        state_up_ = std::max(state_up_, -extents[f].min_dy);
+        state_down_ = std::max(state_down_, extents[f].max_dy);
+    }
 }
 
 Frame_set Exec_engine::run(const Frame_set& initial, int iterations, Boundary b,
-                           int threads) const {
+                           const Exec_options& options) const {
     if (iterations <= 0) return initial;
     const int w = initial.width();
     const int h = initial.height();
@@ -280,9 +458,58 @@ Frame_set Exec_engine::run(const Frame_set& initial, int iterations, Boundary b,
     context.height = h;
     context.boundary = b;
     context.field_base.resize(static_cast<std::size_t>(pool.field_count()));
+    context.field_row_off.assign(static_cast<std::size_t>(pool.field_count()), 0);
     context.out_base.resize(step_->state_fields().size());
+    context.state_pool_field.reserve(step_->state_fields().size());
+    for (const std::string& name : step_->state_fields()) {
+        context.state_pool_field.push_back(pool.find_field(name));
+    }
+    // Both buffers were built with identical field order, so one positional
+    // mapping (pool field -> buffer index) serves every rebinding below.
+    std::vector<int> buf_index(static_cast<std::size_t>(pool.field_count()), -1);
+    for (int f = 0; f < pool.field_count(); ++f) {
+        buf_index[static_cast<std::size_t>(f)] =
+            buf_a.index_of(intern_field(pool.field_name(f)));
+    }
 
-    const int total_threads = resolve_thread_count(threads);
+    const int total_threads = resolve_thread_count(options.threads);
+
+    // Resolve the tiling: fused depth first, band height second.
+    const std::size_t state_bytes = static_cast<std::size_t>(w) *
+                                    static_cast<std::size_t>(h) * sizeof(double) *
+                                    std::max<std::size_t>(context.state_pool_field.size(), 1);
+    int depth = options.tile_iterations;
+    if (depth == 0) {
+        // Auto mode never tiles toroidal runs: under Boundary::periodic the
+        // edge bands' halos wrap to the opposite frame edge, widening their
+        // interim intervals (and band buffers) toward the whole frame —
+        // correct, but a net loss in time and memory. Explicit depths are
+        // honored; wrapped halo copies are the recorded follow-on.
+        depth = b == Boundary::periodic ? 1 : auto_tile_depth(state_bytes, iterations);
+    }
+    depth = std::clamp(depth, 1, iterations);
+    const int growth = state_up_ + state_down_;
+    int band_rows = options.band_rows;
+    if (depth > 1) {
+        if (band_rows <= 0) {
+            band_rows = auto_band_rows(
+                w, h, depth, static_cast<int>(context.state_pool_field.size()), growth,
+                total_threads);
+        }
+        band_rows = std::clamp(band_rows, 1, h);
+    }
+
+    // A run has at most two distinct fused depths: the full blocks and one
+    // shorter tail block. Plan both up front; the plans are reused across
+    // every block of that depth.
+    const int tail_depth = depth > 1 ? iterations % depth : 0;
+    std::vector<Band_plan> full_plans;
+    std::vector<Band_plan> tail_plans;
+    if (depth > 1) full_plans = plan_bands(h, band_rows, depth, state_up_, state_down_, b);
+    if (tail_depth > 1) {
+        tail_plans = plan_bands(h, band_rows, tail_depth, state_up_, state_down_, b);
+    }
+
     std::optional<Thread_pool> thread_pool;
     if (total_threads > 1 && h > 1) thread_pool.emplace(total_threads);
 
@@ -292,29 +519,53 @@ Frame_set Exec_engine::run(const Frame_set& initial, int iterations, Boundary b,
 
     Frame_set* current = &buf_a;
     Frame_set* next = &buf_b;
-    for (int it = 0; it < iterations; ++it) {
+    int it = 0;
+    while (it < iterations) {
+        const int block = std::min(depth, iterations - it);
         for (int f = 0; f < pool.field_count(); ++f) {
             context.field_base[static_cast<std::size_t>(f)] =
-                current->field(pool.field_name(f)).data().data();
+                current->frame_at(static_cast<std::size_t>(buf_index[static_cast<std::size_t>(f)]))
+                    .data()
+                    .data();
         }
         for (std::size_t s = 0; s < step_->state_fields().size(); ++s) {
-            context.out_base[s] = next->field(step_->state_fields()[s]).data().data();
+            context.out_base[s] = next->frame_at(s).data().data();
         }
-        if (!thread_pool) {
-            exec_rows(context, serial_ws, 0, h);
+        if (block <= 1) {
+            // Classic untiled sweep: one pass over the frame, row blocks
+            // fanned across the pool.
+            if (!thread_pool) {
+                exec_rows(context, serial_ws, 0, h);
+            } else {
+                const std::size_t blocks = static_cast<std::size_t>(
+                    std::min(h, thread_pool->thread_count() * 4));
+                thread_pool->for_each_index(blocks, [&](std::size_t i) {
+                    std::unique_ptr<Workspace> ws = workspaces.acquire();
+                    const int b0 =
+                        static_cast<int>(i * static_cast<std::size_t>(h) / blocks);
+                    const int b1 = static_cast<int>((i + 1) *
+                                                    static_cast<std::size_t>(h) / blocks);
+                    exec_rows(context, *ws, b0, b1);
+                    workspaces.release(std::move(ws));
+                });
+            }
         } else {
-            const std::size_t blocks = static_cast<std::size_t>(
-                std::min(h, thread_pool->thread_count() * 4));
-            thread_pool->for_each_index(blocks, [&](std::size_t i) {
-                std::unique_ptr<Workspace> ws = workspaces.acquire();
-                const int b0 = static_cast<int>(i * static_cast<std::size_t>(h) / blocks);
-                const int b1 =
-                    static_cast<int>((i + 1) * static_cast<std::size_t>(h) / blocks);
-                exec_rows(context, *ws, b0, b1);
-                workspaces.release(std::move(ws));
-            });
+            const std::vector<Band_plan>& plans =
+                block == depth ? full_plans : tail_plans;
+            if (!thread_pool) {
+                for (const Band_plan& plan : plans) {
+                    exec_band(context, serial_ws, plan);
+                }
+            } else {
+                thread_pool->for_each_index(plans.size(), [&](std::size_t i) {
+                    std::unique_ptr<Workspace> ws = workspaces.acquire();
+                    exec_band(context, *ws, plans[i]);
+                    workspaces.release(std::move(ws));
+                });
+            }
         }
         std::swap(current, next);
+        it += block;
     }
     return std::move(*current);
 }

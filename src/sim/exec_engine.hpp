@@ -18,10 +18,26 @@
 //     allocation inside the pixel loop), and iteration double-buffers two
 //     frame sets instead of copy-constructing one per timestep.
 //
-// Row blocks are fanned across a support/parallel.hpp Thread_pool; every row
-// is computed identically regardless of the schedule, so results are
-// byte-identical to a serial run at any thread count (the same determinism
-// contract the DSE engine holds).
+// Temporal tiling (Exec_options::tile_iterations > 1) additionally fuses T
+// iterations into one sweep over row bands, a la combined spatial/temporal
+// blocking on FPGAs (Zohouri et al.): each band carries its rows through all
+// T fused steps in a pair of small band buffers before moving on, so a large
+// frame crosses memory once per T iterations instead of once per iteration.
+// Band edges grow trapezoidally — level k of a band recomputes the halo rows
+// level k+1 needs, sized from the per-field read extents the compiled tape
+// records — and every row at every level is computed by exactly the same
+// row code as the untiled sweep (interior fast path + scalar border pass),
+// so the result is byte-identical to the double-buffered path for every
+// boundary mode, tile depth, band height and thread count. Under
+// Boundary::periodic a band touching a frame edge wraps to rows at the
+// opposite edge; its interim intervals (and band buffers) widen up to the
+// whole frame, which stays correct but trims the traffic win for those
+// bands.
+//
+// Work (row blocks untiled, whole bands tiled) is fanned across a
+// support/parallel.hpp Thread_pool; every row is computed identically
+// regardless of the schedule, so results are byte-identical to a serial run
+// at any thread count (the same determinism contract the DSE engine holds).
 #pragma once
 
 #include "grid/frame_set.hpp"
@@ -29,6 +45,23 @@
 #include "symexec/stencil_step.hpp"
 
 namespace islhls {
+
+// Execution knobs. The defaults reproduce the classic engine behavior
+// (serial, one full-frame sweep per iteration).
+struct Exec_options {
+    // Total parallelism, following resolve_thread_count (0 = all hardware
+    // threads). Any thread count produces byte-identical frames.
+    int threads = 1;
+    // Fused iterations per band sweep: 1 = untiled double-buffered sweeps,
+    // n > 1 = carry n iterations through each row band, 0 = auto (tile only
+    // when the double-buffered working set overflows the cache budget, and
+    // never under Boundary::periodic, where wrapped edge halos erase the
+    // traffic win). Every depth produces byte-identical frames.
+    int tile_iterations = 1;
+    // Output rows per band when tiling; 0 = auto (sized so a band's working
+    // set stays cache-resident and the halo recompute overhead stays small).
+    int band_rows = 0;
+};
 
 class Exec_engine {
 public:
@@ -40,15 +73,23 @@ public:
     const Register_program& program() const { return program_; }
     const Compiled_program& compiled() const { return program_.compiled(); }
 
+    // Per-iteration halo growth of the advancing fields (rows above/below a
+    // band that each fused step consumes), derived from the compiled
+    // per-field extents.
+    int state_halo_up() const { return state_up_; }
+    int state_halo_down() const { return state_down_; }
+
     // Runs `iterations` steps with per-iteration boundary resolution.
     // `initial` must contain every field of the step; the result holds the
     // state fields first (declaration order) and then the const fields,
     // matching the legacy golden runner. With iterations <= 0 the initial
-    // set is returned unchanged. `threads` follows resolve_thread_count
-    // (0 = all hardware threads); any thread count produces byte-identical
-    // frames.
+    // set is returned unchanged.
     Frame_set run(const Frame_set& initial, int iterations, Boundary b,
-                  int threads = 1) const;
+                  const Exec_options& options) const;
+    Frame_set run(const Frame_set& initial, int iterations, Boundary b,
+                  int threads = 1) const {
+        return run(initial, iterations, b, Exec_options{threads, 1, 0});
+    }
 
 private:
     const Stencil_step* step_;
@@ -61,6 +102,10 @@ private:
     // every input offset.
     int left_margin_ = 0;
     int right_margin_ = 0;
+    // Per-iteration band halo growth (state-field reads only; const fields
+    // are read from the full frame at every level).
+    int state_up_ = 0;
+    int state_down_ = 0;
 };
 
 }  // namespace islhls

@@ -53,9 +53,17 @@ Frame_set run_step_ir(const Stencil_step& step, const Frame_set& current, Bounda
 }
 
 Frame_set run_ir(const Stencil_step& step, const Frame_set& initial, int iterations,
-                 Boundary b, int threads) {
+                 Boundary b, const Exec_options& options) {
     if (iterations <= 0) return initial;
-    return Exec_engine(step).run(initial, iterations, b, threads);
+    return Exec_engine(step).run(initial, iterations, b, options);
+}
+
+Frame_set run_ir(const Stencil_step& step, const Frame_set& initial, int iterations,
+                 Boundary b, int threads) {
+    // tile_iterations 0 = auto: callers of the legacy signature get temporal
+    // tiling whenever the frame outgrows the cache budget (results are
+    // byte-identical either way).
+    return run_ir(step, initial, iterations, b, Exec_options{threads, 0, 0});
 }
 
 Frame pad_frame(const Frame& frame, int left, int right, int up, int down, Boundary b) {
@@ -82,13 +90,13 @@ Frame crop_frame(const Frame& frame, int left, int right, int up, int down) {
 
 namespace {
 
-// Pads every field of the set by the N-iteration halo.
+// Pads every field of the set by the N-iteration halo. Positional iteration
+// plus interned-id insertion: no per-field name scan.
 Frame_set pad_set(const Frame_set& fs, const Footprint& halo, Boundary b) {
     Frame_set padded(fs.width() + halo.width_growth(), fs.height() + halo.height_growth());
-    for (const std::string& name : fs.names()) {
-        padded.add_field(name,
-                         pad_frame(fs.field(name), halo.left, halo.right, halo.up,
-                                   halo.down, b));
+    for (std::size_t i = 0; i < fs.field_count(); ++i) {
+        padded.add_field(fs.id_at(i), pad_frame(fs.frame_at(i), halo.left, halo.right,
+                                                halo.up, halo.down, b));
     }
     return padded;
 }
@@ -98,8 +106,9 @@ Frame_set crop_set(const Frame_set& fs, const Footprint& halo,
     Frame_set cropped(fs.width() - halo.width_growth(),
                       fs.height() - halo.height_growth());
     for (const std::string& name : keep) {
-        cropped.add_field(name, crop_frame(fs.field(name), halo.left, halo.right,
-                                           halo.up, halo.down));
+        const Field_id id = intern_field(name);
+        cropped.add_field(id, crop_frame(fs.field(id), halo.left, halo.right,
+                                         halo.up, halo.down));
     }
     return cropped;
 }

@@ -13,6 +13,7 @@
 
 #include "grid/frame_set.hpp"
 #include "kernels/kernels.hpp"
+#include "sim/exec_engine.hpp"
 #include "symexec/stencil_step.hpp"
 
 namespace islhls {
@@ -22,9 +23,13 @@ namespace islhls {
 // Executed by the compiled scanline engine (sim/exec_engine.hpp).
 Frame_set run_step_ir(const Stencil_step& step, const Frame_set& current, Boundary b);
 
-// `iterations` IR steps with per-iteration boundary resolution, double-
-// buffered through the compiled engine. `threads` follows
-// resolve_thread_count; every thread count yields byte-identical frames.
+// `iterations` IR steps with per-iteration boundary resolution through the
+// compiled engine. The options control the thread fan-out and the temporal
+// tile depth (sim/exec_engine.hpp); every combination yields byte-identical
+// frames. The threads-only overload keeps tile_iterations in auto mode, so
+// large-frame callers inherit temporal tiling transparently.
+Frame_set run_ir(const Stencil_step& step, const Frame_set& initial, int iterations,
+                 Boundary b, const Exec_options& options);
 Frame_set run_ir(const Stencil_step& step, const Frame_set& initial, int iterations,
                  Boundary b, int threads = 1);
 

@@ -31,6 +31,33 @@ TEST(Frame_set, rejects_duplicates_and_size_mismatch) {
     EXPECT_THROW(fs.field("missing"), Error);
 }
 
+TEST(Frame_set, interned_ids_are_stable_and_usable) {
+    const Field_id u = intern_field("u");
+    EXPECT_EQ(u, intern_field("u"));               // same name, same id
+    EXPECT_NE(u, intern_field("u_prime"));         // distinct names differ
+    EXPECT_EQ(field_name(u), "u");
+
+    Frame_set fs(4, 3);
+    fs.add_field("u", Frame(4, 3, 1.5));
+    fs.add_field(intern_field("g"), Frame(4, 3, 2.5));
+    EXPECT_EQ(fs.ids(), (std::vector<Field_id>{u, intern_field("g")}));
+    EXPECT_TRUE(fs.has_field(u));
+    EXPECT_EQ(fs.index_of(u), 0);
+    EXPECT_EQ(fs.index_of(intern_field("absent")), -1);
+    EXPECT_EQ(fs.field(u).at(0, 0), 1.5);
+    EXPECT_EQ(fs.id_at(1), intern_field("g"));
+    EXPECT_EQ(fs.frame_at(1).at(0, 0), 2.5);
+    EXPECT_THROW(fs.field(intern_field("absent")), Error);
+    EXPECT_THROW(fs.add_field(u, Frame(4, 3)), Error);  // duplicate by id
+
+    // Negative name queries stay side-effect free: probing never grows the
+    // process-wide registry.
+    EXPECT_EQ(find_field_id("never_interned_probe"), -1);
+    EXPECT_FALSE(fs.has_field("never_interned_probe"));
+    EXPECT_THROW(fs.field("never_interned_probe"), Error);
+    EXPECT_EQ(find_field_id("never_interned_probe"), -1);
+}
+
 TEST(Generators, gradient_endpoints) {
     const Frame g = make_gradient(5, 2, 0.0, 100.0);
     EXPECT_EQ(g.at(0, 0), 0.0);

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: diff freshly measured BENCH_*.json records against
+the committed baselines and fail on throughput regressions.
+
+Every bench record carries a "gated_metrics" object of name -> value pairs
+where higher is better. The gated values are deliberately same-host ratios
+(engine vs interpreter, tiled vs untiled, parallel vs serial makespan), not
+absolute Mcells/s: absolute throughput tracks whatever machine CI happens to
+land on, while a ratio measured on one host only moves when the code itself
+gets faster or slower. A metric regresses when
+
+    fresh < baseline * (1 - max_regression)
+
+Usage: check_bench.py <baseline-dir> <fresh-dir> [--max-regression 0.30]
+
+Exit status is non-zero when any baseline metric regressed, lost its fresh
+counterpart, or a baseline record has no fresh record at all. Metrics that
+exist only in the fresh record are reported as new and do not fail the gate
+(they become binding once the record is committed as the new baseline).
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_metrics(path):
+    with open(path) as f:
+        record = json.load(f)
+    metrics = record.get("gated_metrics", {})
+    bad = {k: v for k, v in metrics.items() if not isinstance(v, (int, float))}
+    if bad:
+        raise ValueError(f"{path}: non-numeric gated_metrics {sorted(bad)}")
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline_dir", help="directory holding the committed BENCH_*.json")
+    parser.add_argument("fresh_dir", help="directory holding the freshly measured BENCH_*.json")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional drop before failing (default 0.30)")
+    args = parser.parse_args()
+
+    baselines = sorted(glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json")))
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for baseline_path in baselines:
+        name = os.path.basename(baseline_path)
+        fresh_path = os.path.join(args.fresh_dir, name)
+        print(f"== {name}")
+        if not os.path.exists(fresh_path):
+            print(f"  FAIL: no freshly measured {name} (bench not run?)")
+            failures += 1
+            continue
+        baseline = load_metrics(baseline_path)
+        fresh = load_metrics(fresh_path)
+        if not baseline:
+            print("  note: baseline has no gated_metrics; nothing to enforce")
+        for metric, base_value in sorted(baseline.items()):
+            if metric not in fresh:
+                print(f"  FAIL: {metric}: missing from fresh record")
+                failures += 1
+                continue
+            fresh_value = fresh[metric]
+            floor = base_value * (1.0 - args.max_regression)
+            status = "ok" if fresh_value >= floor else "FAIL"
+            if status == "FAIL":
+                failures += 1
+            change = (fresh_value / base_value - 1.0) * 100.0 if base_value else 0.0
+            print(f"  {status}: {metric}: baseline {base_value:g}, fresh {fresh_value:g} "
+                  f"({change:+.1f}%, floor {floor:g})")
+        for metric in sorted(set(fresh) - set(baseline)):
+            print(f"  new: {metric}: {fresh[metric]:g} (unenforced until committed)")
+
+    if failures:
+        print(f"\n{failures} gated metric(s) regressed beyond "
+              f"{args.max_regression:.0%} — failing the perf gate.")
+        return 1
+    print("\nperf gate clean.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,9 @@
 # their BENCH_*.json results at the repository root. Each bench writes via a
 # temp file + rename, so an aborted run never leaves a torn record.
 #
+# CI diffs the freshly recorded files against the committed baselines with
+# tools/check_bench.py and fails on regressions of the gated ratios.
+#
 # Usage: tools/run_benches.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -10,3 +13,4 @@ build_dir="${1:-build}"
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 "$build_dir/micro_sim_throughput" --json "$repo_root/BENCH_sim.json"
+"$build_dir/micro_dse_parallel" --json "$repo_root/BENCH_dse.json"
