@@ -28,18 +28,40 @@ double quantize(double value, const Fixed_format& fmt) {
 }
 
 std::int64_t to_raw(double value, const Fixed_format& fmt) {
+    return Raw_quantizer(fmt)(value);
+}
+
+Raw_quantizer::Raw_quantizer(const Fixed_format& fmt) {
     check_internal(fmt.total_bits() >= 2 && fmt.total_bits() <= 62,
                    "fixed format must have 2..62 bits");
-    const double scaled = std::nearbyint(value * fmt.scale());
-    const double hi = std::ldexp(1.0, fmt.total_bits() - 1) - 1.0;
-    const double lo = -std::ldexp(1.0, fmt.total_bits() - 1);
-    if (scaled > hi) return static_cast<std::int64_t>(hi);
-    if (scaled < lo) return static_cast<std::int64_t>(lo);
-    return static_cast<std::int64_t>(scaled);
+    scale_ = fmt.scale();
+    hi_ = std::ldexp(1.0, fmt.total_bits() - 1) - 1.0;
+    lo_ = -std::ldexp(1.0, fmt.total_bits() - 1);
+    hi_raw_ = static_cast<std::int64_t>(hi_);
+    lo_raw_ = static_cast<std::int64_t>(lo_);
 }
 
 double from_raw(std::int64_t raw, const Fixed_format& fmt) {
     return static_cast<double>(raw) / fmt.scale();
+}
+
+Bit_wrap::Bit_wrap(int bits) : bits_(bits) {
+    check_internal(bits >= 2 && bits <= 62, "Bit_wrap supports 2..62 bits");
+    mask_ = (std::uint64_t{1} << bits) - 1;
+    sign_ = std::uint64_t{1} << (bits - 1);
+}
+
+std::int64_t wrap_to_bits(std::int64_t v, int bits) { return Bit_wrap(bits)(v); }
+
+std::int64_t isqrt_floor(std::int64_t v) {
+    if (v <= 0) return 0;
+    std::int64_t x = v;
+    std::int64_t y = (x + 1) / 2;
+    while (y < x) {
+        x = y;
+        y = (x + v / x) / 2;
+    }
+    return x;
 }
 
 }  // namespace islhls

@@ -5,6 +5,7 @@
 // cones under quantization to measure the accuracy cost of a format choice.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -33,5 +34,58 @@ std::int64_t to_raw(double value, const Fixed_format& fmt);
 
 // Value of a raw integer in the format.
 double from_raw(std::int64_t raw, const Fixed_format& fmt);
+
+// Raw conversion with the format constants (scale, saturation bounds)
+// resolved once, for loops that quantize whole sample buffers: one
+// multiply-round-clamp per element instead of recomputing 2^f per call.
+// operator() is bit-identical to to_raw (to_raw is implemented over it).
+class Raw_quantizer {
+public:
+    explicit Raw_quantizer(const Fixed_format& fmt);  // checks 2..62 bits
+
+    std::int64_t operator()(double value) const {
+        const double scaled = std::nearbyint(value * scale_);
+        if (scaled > hi_) return hi_raw_;
+        if (scaled < lo_) return lo_raw_;
+        return static_cast<std::int64_t>(scaled);
+    }
+
+private:
+    double scale_ = 1.0;
+    double hi_ = 0.0;
+    double lo_ = 0.0;
+    std::int64_t hi_raw_ = 0;
+    std::int64_t lo_raw_ = 0;
+};
+
+// Precomputed wrap-around resize to one bit width (VHDL resize semantics).
+// The width is validated once at construction; operator() is branch-light so
+// the fixed-point tape loops can wrap every element without a per-call range
+// check (wrap_to_bits below is the checked one-shot form).
+class Bit_wrap {
+public:
+    explicit Bit_wrap(int bits);  // requires 2 <= bits <= 62
+
+    int bits() const { return bits_; }
+
+    std::int64_t operator()(std::int64_t v) const {
+        // Branchless sign extension ((u ^ sign) - sign flips the sign bit
+        // into a borrow), so wrapped operations stay one straight-line
+        // expression inside the vectorized tape loops.
+        const std::uint64_t u = static_cast<std::uint64_t>(v) & mask_;
+        return static_cast<std::int64_t>((u ^ sign_) - sign_);
+    }
+
+private:
+    int bits_ = 2;
+    std::uint64_t mask_ = 0;
+    std::uint64_t sign_ = 0;
+};
+
+// Wraps `v` into the two's-complement range of `bits` (VHDL resize semantics).
+std::int64_t wrap_to_bits(std::int64_t v, int bits);
+
+// Floor integer square root of a non-negative value.
+std::int64_t isqrt_floor(std::int64_t v);
 
 }  // namespace islhls

@@ -1,10 +1,16 @@
 #include "core/sweep.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "dse/architecture.hpp"
+#include "grid/frame_ops.hpp"
 #include "kernels/kernels.hpp"
+#include "sim/arch_sim.hpp"
+#include "sim/golden.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 #include "support/text.hpp"
 #include "symexec/executor.hpp"
@@ -28,6 +34,37 @@ Sweep_session::Sweep_session(Sweep_config config) : config_(std::move(config)) {
     }
 }
 
+double Sweep_session::validate_fit(Cone_library& library, const Sweep_entry& entry,
+                                   Thread_pool* pool,
+                                   Validation_cache& cache) const {
+    const Kernel_def& kernel = kernel_by_name(entry.kernel);
+    auto it = cache.find({entry.kernel, entry.iterations});
+    if (it == cache.end()) {
+        Frame_set initial = kernel.make_initial(
+            make_synthetic_scene(config_.validation_frame_width,
+                                 config_.validation_frame_height,
+                                 config_.validation_seed));
+        Frame_set golden =
+            run_ghost_ir(library.step(), initial, entry.iterations, kernel.boundary,
+                         Exec_options{1, 0, 0, pool});
+        it = cache.emplace(std::make_pair(entry.kernel, entry.iterations),
+                           std::make_pair(std::move(initial), std::move(golden)))
+                 .first;
+    }
+    const Frame_set& initial = it->second.first;
+    const Frame_set& golden = it->second.second;
+    Arch_sim_options sim_options;
+    sim_options.boundary = kernel.boundary;
+    const Arch_sim_result sim =
+        simulate_architecture(library, entry.best.instance, initial, sim_options);
+    double max_err = 0.0;
+    for (const std::string& field : kernel.state_fields) {
+        max_err = std::max(max_err, max_abs_diff(sim.final_state.field(field),
+                                                 golden.field(field)));
+    }
+    return max_err;
+}
+
 Cone_library& Sweep_session::library(const std::string& kernel) {
     auto it = libraries_.find(kernel);
     if (it == libraries_.end()) {
@@ -42,6 +79,14 @@ Cone_library& Sweep_session::library(const std::string& kernel) {
 Sweep_report Sweep_session::run() {
     const auto start = std::chrono::steady_clock::now();
     Sweep_report report;
+    // One pool for the whole session: Explorer candidate fan-outs and the
+    // validation runs' row fan-outs all share it.
+    std::optional<Thread_pool> pool;
+    if (resolve_thread_count(config_.space.threads) > 1) {
+        pool.emplace(config_.space.threads);
+    }
+    Thread_pool* shared_pool = pool ? &*pool : nullptr;
+    Validation_cache validation_cache;
     for (const std::string& kernel : config_.kernels) {
         Cone_library& lib = library(kernel);
         for (const std::string& device_name : config_.devices) {
@@ -58,7 +103,7 @@ Sweep_report Sweep_session::run() {
                 Space_options space = config_.space;
                 space.iterations = iterations;
 
-                Explorer explorer(lib, device, evaluator_options, space);
+                Explorer explorer(lib, device, evaluator_options, space, shared_pool);
                 Sweep_entry entry;
                 entry.kernel = kernel;
                 entry.device = device_name;
@@ -70,6 +115,11 @@ Sweep_report Sweep_session::run() {
                     const Explorer::Pareto_result pareto = explorer.explore_pareto();
                     entry.pareto_points = pareto.points.size();
                     entry.pareto_front_size = pareto.front.size();
+                }
+                if (config_.validate && entry.fits) {
+                    entry.validation_max_abs_err =
+                        validate_fit(lib, entry, shared_pool, validation_cache);
+                    entry.validated = true;
                 }
                 report.entries.push_back(std::move(entry));
             }
@@ -92,19 +142,26 @@ Sweep_report Sweep_session::run() {
 
 std::string to_string(const Sweep_report& report) {
     Table table({"kernel", "device", "N", "fit", "architecture", "fps",
-                 "kLUTs (est)", "pareto"});
+                 "kLUTs (est)", "pareto", "golden"});
     for (const Sweep_entry& e : report.entries) {
         const std::string pareto =
             e.pareto_points > 0
                 ? cat(e.pareto_front_size, "/", e.pareto_points)
                 : std::string("-");
+        const std::string golden =
+            e.validated ? (e.validation_max_abs_err == 0.0
+                               ? std::string("exact")
+                               : cat("err ", e.validation_max_abs_err))
+                        : std::string("-");
         if (e.fits) {
             table.add(e.kernel, e.device, e.iterations, "yes",
                       to_string(e.best.instance),
                       format_fixed(e.best.throughput.fps, 1),
-                      format_fixed(e.best.estimated_area_luts / 1e3, 1), pareto);
+                      format_fixed(e.best.estimated_area_luts / 1e3, 1), pareto,
+                      golden);
         } else {
-            table.add(e.kernel, e.device, e.iterations, "no", "-", "-", "-", pareto);
+            table.add(e.kernel, e.device, e.iterations, "no", "-", "-", "-", pareto,
+                      golden);
         }
     }
     std::string out = table.to_text();

@@ -9,6 +9,12 @@
 // through a parallel Explorer (Space_options::threads). Combinations
 // themselves run in their nesting order so the report is deterministic; the
 // parallelism lives inside each exploration.
+//
+// One Thread_pool serves the whole session: every Explorer fans its
+// candidates across it, and the optional golden validation runs (functional
+// architecture simulation checked against the ghost golden, executed by the
+// compiled engine) route their row fan-out through the same pool via
+// Exec_options::pool — no per-run() pool construction anywhere in a sweep.
 #pragma once
 
 #include <map>
@@ -19,6 +25,7 @@
 #include "backend/fixed_point.hpp"
 #include "dse/explorer.hpp"
 #include "estimate/throughput_model.hpp"
+#include "grid/frame_set.hpp"
 
 namespace islhls {
 
@@ -35,6 +42,16 @@ struct Sweep_config {
     Throughput_params throughput;
     std::vector<int> calibration_windows = {1, 2};
     bool with_pareto = false;  // additionally run the Pareto sweep per combo
+    // Golden validation of each feasible best fit: simulate the fitted
+    // architecture functionally on a small frame and compare against the
+    // ghost-zone golden (must agree bit for bit in double mode). The
+    // validation frame is deliberately independent of the modeled
+    // frame_width/height — simulation cost scales with frame area, and
+    // exactness does not depend on it.
+    bool validate = false;
+    int validation_frame_width = 48;
+    int validation_frame_height = 36;
+    std::uint64_t validation_seed = 17;
 };
 
 struct Sweep_entry {
@@ -45,6 +62,11 @@ struct Sweep_entry {
     Arch_evaluation best;            // valid when `fits`
     std::size_t pareto_points = 0;   // filled when with_pareto
     std::size_t pareto_front_size = 0;
+    // Filled when Sweep_config::validate and `fits`: max |sim - golden| over
+    // all state fields (0.0 = the architecture reproduces the golden
+    // exactly, which double mode must).
+    bool validated = false;
+    double validation_max_abs_err = 0.0;
 };
 
 struct Sweep_report {
@@ -73,6 +95,19 @@ public:
     const Sweep_config& config() const { return config_; }
 
 private:
+    // Initial frames + ghost golden for one (kernel, iterations) pair: the
+    // golden does not depend on the device, so the session computes it once
+    // per pair no matter how many devices validate against it.
+    using Validation_cache =
+        std::map<std::pair<std::string, int>, std::pair<Frame_set, Frame_set>>;
+
+    // Functional golden check of one feasible fit: simulate the fitted
+    // architecture on a synthetic validation frame and return the max
+    // absolute deviation from the ghost golden (whose engine run fans its
+    // rows across `pool` when given).
+    double validate_fit(Cone_library& library, const Sweep_entry& entry,
+                        Thread_pool* pool, Validation_cache& cache) const;
+
     Sweep_config config_;
     std::map<std::string, std::unique_ptr<Cone_library>> libraries_;
 };

@@ -15,8 +15,10 @@ namespace islhls {
 
 Explorer::Explorer(Cone_library& library, const Fpga_device& device,
                    const Evaluator_options& evaluator_options,
-                   const Space_options& space_options)
-    : evaluator_(library, device, evaluator_options), space_(space_options) {
+                   const Space_options& space_options, Thread_pool* shared_pool)
+    : evaluator_(library, device, evaluator_options),
+      space_(space_options),
+      external_pool_(shared_pool) {
     check_internal(space_.iterations >= 1 && space_.max_window >= 1 &&
                        space_.max_depth >= 1,
                    "invalid space options");
@@ -44,8 +46,14 @@ std::vector<int> Explorer::canonical_partition(int primary_depth) const {
 void Explorer::run_parallel(std::size_t count,
                             const std::function<void(std::size_t)>& body) {
     if (count == 0) return;
-    if (resolve_thread_count(space_.threads) <= 1 || count == 1) {
+    const int threads = external_pool_ ? external_pool_->thread_count()
+                                       : resolve_thread_count(space_.threads);
+    if (threads <= 1 || count == 1) {
         for (std::size_t i = 0; i < count; ++i) body(i);
+        return;
+    }
+    if (external_pool_) {
+        external_pool_->for_each_index(count, body);
         return;
     }
     if (!pool_) pool_ = std::make_unique<Thread_pool>(space_.threads);

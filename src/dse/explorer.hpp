@@ -36,9 +36,14 @@ struct Space_options {
 
 class Explorer {
 public:
+    // `shared_pool`, when given, replaces the explorer's own lazily built
+    // pool: every exploration fans its candidates across it, so a session
+    // driving many explorers (core/sweep.hpp) spins up one set of workers
+    // for the whole batch. The pool must outlive the explorer and its
+    // thread count supersedes Space_options::threads.
     Explorer(Cone_library& library, const Fpga_device& device,
              const Evaluator_options& evaluator_options,
-             const Space_options& space_options);
+             const Space_options& space_options, Thread_pool* shared_pool = nullptr);
 
     // All deep-first partitions of N into parts <= max_depth.
     std::vector<std::vector<int>> depth_partitions() const;
@@ -104,13 +109,15 @@ private:
                                 int max_total_cores,
                                 std::vector<Arch_evaluation>* out) const;
 
-    // Fans body(0..count-1) across the explorer's pool (created on first use,
-    // reused by every subsequent exploration); inline when threads <= 1.
+    // Fans body(0..count-1) across the shared pool when one was injected,
+    // otherwise the explorer's own pool (created on first use, reused by
+    // every subsequent exploration); inline when threads <= 1.
     void run_parallel(std::size_t count,
                       const std::function<void(std::size_t)>& body);
 
     Arch_evaluator evaluator_;
     Space_options space_;
+    Thread_pool* external_pool_ = nullptr;
     std::unique_ptr<Thread_pool> pool_;
 };
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "sim/fixed_exec.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 #include "support/prng.hpp"
 
 namespace islhls {
@@ -24,33 +26,35 @@ Format_search_result search_fixed_format(const Cone& cone, const Frame_set& cont
                            rng.next_int(0, std::max(0, content.height() - 1))});
     }
 
-    // Gather per-origin input vectors and the double reference. One batched
-    // trace per origin (into a reused buffer) serves both the range analysis
-    // and the reference outputs — no second execution, no per-origin trace
-    // allocation.
-    std::vector<std::vector<double>> input_sets;
-    std::vector<std::vector<double>> references;
+    // Gather the per-origin inputs (flat, row-major samples x ports) and the
+    // double reference. One batched trace per origin (into a reused buffer)
+    // serves both the range analysis and the reference outputs — no second
+    // execution, no per-origin trace allocation.
+    const std::size_t samples = origins.size();
+    const std::size_t in_count = program.input_ports().size();
+    const std::size_t out_count = program.outputs().size();
+    std::vector<double> flat_inputs(samples * in_count);
+    std::vector<double> references(samples * out_count);
+    std::vector<double> inputs(in_count);
     std::vector<double> trace;
     double max_abs = 0.0;
-    for (const auto& [ox, oy] : origins) {
-        std::vector<double> inputs;
-        inputs.reserve(program.input_ports().size());
-        for (const auto& port : program.input_ports()) {
+    for (std::size_t s = 0; s < samples; ++s) {
+        const auto [ox, oy] = origins[s];
+        for (std::size_t p = 0; p < in_count; ++p) {
+            const auto& port = program.input_ports()[p];
             const Frame& f = content.field(step.pool().field_name(port.field));
-            inputs.push_back(f.sample(ox + port.dx, oy + port.dy, boundary));
+            inputs[p] = f.sample(ox + port.dx, oy + port.dy, boundary);
         }
         // Range analysis over every intermediate register.
         program.run_trace_into(inputs, trace);
         for (double v : trace) {
             max_abs = std::max(max_abs, std::fabs(v));
         }
-        std::vector<double> reference;
-        reference.reserve(program.outputs().size());
-        for (const std::int32_t r : program.outputs()) {
-            reference.push_back(trace[static_cast<std::size_t>(r)]);
+        std::copy(inputs.begin(), inputs.end(), flat_inputs.begin() + s * in_count);
+        for (std::size_t o = 0; o < out_count; ++o) {
+            references[s * out_count + o] =
+                trace[static_cast<std::size_t>(program.outputs()[o])];
         }
-        references.push_back(std::move(reference));
-        input_sets.push_back(std::move(inputs));
     }
 
     Format_search_result result;
@@ -59,16 +63,46 @@ Format_search_result search_fixed_format(const Cone& cone, const Frame_set& cont
     const int integer_bits =
         2 + static_cast<int>(std::ceil(std::log2(std::max(1.0, max_abs))));
 
+    // One batched tape pass per candidate format: quantize the flat inputs,
+    // run every sample window through the integer-lowered tape, then fold
+    // the PSNR serially in sample order (identical accumulation order to the
+    // per-sample interpreter search). Jobs own disjoint sample ranges and
+    // reuse their scratch across formats; the pool is built once for the
+    // whole search.
+    const int threads = resolve_thread_count(options.threads);
+    const std::size_t jobs =
+        threads > 1 ? std::min<std::size_t>(samples,
+                                            static_cast<std::size_t>(threads) * 2)
+                    : 1;
+    std::optional<Thread_pool> pool;
+    if (jobs > 1) pool.emplace(threads);
+    std::vector<Fixed_exec::Scratch> scratch(jobs);
+    std::vector<std::int64_t> raw_inputs(samples * in_count);
+    std::vector<std::int64_t> raw_outputs(samples * out_count);
+
     auto psnr_of = [&](const Fixed_format& fmt) {
+        const Fixed_exec exec(program, fmt);
+        const Raw_quantizer quantize(fmt);
+        auto run_range = [&](std::size_t j) {
+            const std::size_t s0 = j * samples / jobs;
+            const std::size_t s1 = (j + 1) * samples / jobs;
+            for (std::size_t k = s0 * in_count; k < s1 * in_count; ++k) {
+                raw_inputs[k] = quantize(flat_inputs[k]);
+            }
+            exec.run_raw_batch(raw_inputs.data() + s0 * in_count, s1 - s0,
+                               raw_outputs.data() + s0 * out_count, scratch[j]);
+        };
+        if (pool) {
+            pool->for_each_index(jobs, run_range);
+        } else {
+            run_range(0);
+        }
         double se = 0.0;
         long long count = 0;
-        for (std::size_t s = 0; s < input_sets.size(); ++s) {
-            const std::vector<double> fixed = run_fixed(program, input_sets[s], fmt);
-            for (std::size_t o = 0; o < fixed.size(); ++o) {
-                const double d = fixed[o] - references[s][o];
-                se += d * d;
-                count += 1;
-            }
+        for (std::size_t k = 0; k < samples * out_count; ++k) {
+            const double d = from_raw(raw_outputs[k], fmt) - references[k];
+            se += d * d;
+            count += 1;
         }
         const double mse = se / static_cast<double>(count);
         if (mse == 0.0) return 1e9;

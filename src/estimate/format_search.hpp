@@ -9,6 +9,14 @@
 //      reaches the requested PSNR against the double reference.
 // Narrower formats mean cheaper operators everywhere in the cost model, so
 // this directly trades accuracy against area.
+//
+// Every candidate format is evaluated in ONE batched pass over all sample
+// windows through the integer-lowered tape (Fixed_exec): inputs are
+// quantized into a flat raw buffer and advance kLane samples per tape
+// operation out of reusable per-job scratch, optionally fanned across a
+// thread pool — no per-sample interpreter run, no per-sample allocation.
+// The selected format, achieved PSNR and formats_tried are byte-identical
+// to the per-sample interpreter search at any thread count.
 #pragma once
 
 #include "backend/fixed_point.hpp"
@@ -23,6 +31,10 @@ struct Format_search_options {
     int sample_windows = 32;       // evaluation positions per frame
     int max_total_bits = 32;       // do not search beyond this width
     std::uint64_t seed = 99;       // window sampling
+    // Sample-window fan-out per candidate format (support/parallel.hpp
+    // semantics: 0 = all hardware threads). The result is byte-identical at
+    // any thread count.
+    int threads = 1;
 };
 
 struct Format_search_result {

@@ -1,6 +1,8 @@
 #include "sim/arch_sim.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 
 #include "ir/compiled.hpp"
 #include "sim/fixed_exec.hpp"
@@ -103,21 +105,35 @@ Arch_sim_result simulate_architecture(Cone_library& library,
 
     // Per-level cone execution state, resolved once: the memoized cone, its
     // compiled tape and a dedicated slot buffer (constants rebound per
-    // point by eval_point). Cone executions below are then allocation-free
-    // in double mode.
+    // point by eval_point). Fixed mode carries the integer-lowered tape and
+    // raw-word buffers instead of the double slots. Cone executions below
+    // are then allocation-free in both modes.
     struct Level_exec {
         const Cone* cone = nullptr;
         const Compiled_program* tape = nullptr;
         std::vector<double> slots;
         std::vector<double> inputs;
+        std::unique_ptr<Fixed_exec> fixed;
+        Fixed_exec::Scratch fixed_scratch;
+        std::vector<std::int64_t> fixed_inputs;
+        std::vector<std::int64_t> fixed_outputs;
     };
     std::vector<Level_exec> level_exec(level_count);
+    // One quantizer serves every level (they share the instance format).
+    std::optional<Raw_quantizer> quantize;
+    if (options.fixed_point) quantize.emplace(options.format);
     for (std::size_t k = 0; k < level_count; ++k) {
         Level_exec& le = level_exec[k];
         le.cone = &library.cone(w, instance.level_depths[k]);
         le.tape = &le.cone->program().compiled();
-        le.slots.resize(static_cast<std::size_t>(le.tape->slot_count()));
-        le.inputs.resize(le.tape->inputs().size());
+        if (options.fixed_point) {
+            le.fixed = std::make_unique<Fixed_exec>(le.cone->program(), options.format);
+            le.fixed_inputs.resize(le.tape->inputs().size());
+            le.fixed_outputs.resize(le.tape->output_slots().size());
+        } else {
+            le.slots.resize(static_cast<std::size_t>(le.tape->slot_count()));
+            le.inputs.resize(le.tape->inputs().size());
+        }
     }
     // Output coverage of level k (1-based like the architecture module):
     // the output window grown by suffix[k].
@@ -181,20 +197,33 @@ Arch_sim_result simulate_architecture(Cone_library& library,
                     for (int ox : sub_x) {
                         const int origin_x = out_region.x0 + ox;
                         const int origin_y = out_region.y0 + oy;
-                        for (std::size_t i = 0; i < ports.size(); ++i) {
-                            le.inputs[i] = current.get(ports[i].field,
-                                                       origin_x + ports[i].dx,
-                                                       origin_y + ports[i].dy);
-                        }
                         result.stats.onchip_elements_read +=
                             static_cast<long long>(ports.size());
                         result.stats.cone_executions += 1;
                         result.stats.operations_executed += program.register_count();
 
-                        std::vector<double> fixed_outs;
                         if (options.fixed_point) {
-                            fixed_outs = run_fixed(program, le.inputs, options.format);
+                            // Bit-accurate execution over the integer-lowered
+                            // tape: quantize the gathered inputs exactly like
+                            // run_fixed did, evaluate allocation-free, and
+                            // hand the raw outputs back as values (from_raw
+                            // round-trips exactly through the next level's
+                            // to_raw).
+                            for (std::size_t i = 0; i < ports.size(); ++i) {
+                                le.fixed_inputs[i] =
+                                    (*quantize)(current.get(ports[i].field,
+                                                            origin_x + ports[i].dx,
+                                                            origin_y + ports[i].dy));
+                            }
+                            le.fixed->eval_into(le.fixed_inputs.data(),
+                                                le.fixed_outputs.data(),
+                                                le.fixed_scratch);
                         } else {
+                            for (std::size_t i = 0; i < ports.size(); ++i) {
+                                le.inputs[i] = current.get(ports[i].field,
+                                                           origin_x + ports[i].dx,
+                                                           origin_y + ports[i].dy);
+                            }
                             le.tape->eval_point(le.inputs.data(), le.slots.data());
                         }
                         for (int s = 0; s < state_count; ++s) {
@@ -206,7 +235,8 @@ Arch_sim_result simulate_architecture(Cone_library& library,
                                         cone.output_index(s, xx, yy));
                                     next.set(field, origin_x + xx, origin_y + yy,
                                              options.fixed_point
-                                                 ? fixed_outs[o]
+                                                 ? from_raw(le.fixed_outputs[o],
+                                                            options.format)
                                                  : le.slots[static_cast<std::size_t>(
                                                        out_slots[o])]);
                                 }

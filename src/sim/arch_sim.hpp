@@ -12,7 +12,10 @@
 //
 // The simulator validates the whole flow end to end: its output must equal
 // the ghost-zone golden bit for bit in double mode, and the fixed-point mode
-// measures quantization error of a format choice.
+// measures quantization error of a format choice. Both modes execute cones
+// over the same compiled tape — double mode through eval_point, fixed mode
+// through the integer-lowered Fixed_tape (allocation-free, byte-identical
+// to the run_fixed_raw reference interpreter).
 #pragma once
 
 #include "backend/fixed_point.hpp"

@@ -472,7 +472,8 @@ Frame_set Exec_engine::run(const Frame_set& initial, int iterations, Boundary b,
             buf_a.index_of(intern_field(pool.field_name(f)));
     }
 
-    const int total_threads = resolve_thread_count(options.threads);
+    const int total_threads = options.pool ? options.pool->thread_count()
+                                           : resolve_thread_count(options.threads);
 
     // Resolve the tiling: fused depth first, band height second.
     const std::size_t state_bytes = static_cast<std::size_t>(w) *
@@ -510,8 +511,18 @@ Frame_set Exec_engine::run(const Frame_set& initial, int iterations, Boundary b,
         tail_plans = plan_bands(h, band_rows, tail_depth, state_up_, state_down_, b);
     }
 
-    std::optional<Thread_pool> thread_pool;
-    if (total_threads > 1 && h > 1) thread_pool.emplace(total_threads);
+    // The row/band fan-out: an external pool when the caller shares one,
+    // otherwise a pool owned by this run.
+    std::optional<Thread_pool> own_pool;
+    Thread_pool* thread_pool = nullptr;
+    if (total_threads > 1 && h > 1) {
+        if (options.pool) {
+            thread_pool = options.pool;
+        } else {
+            own_pool.emplace(total_threads);
+            thread_pool = &*own_pool;
+        }
+    }
 
     Workspace serial_ws;
     if (!thread_pool) bind_workspace(serial_ws, context);

@@ -46,6 +46,8 @@
 
 namespace islhls {
 
+class Thread_pool;
+
 // Execution knobs. The defaults reproduce the classic engine behavior
 // (serial, one full-frame sweep per iteration).
 struct Exec_options {
@@ -61,6 +63,13 @@ struct Exec_options {
     // Output rows per band when tiling; 0 = auto (sized so a band's working
     // set stays cache-resident and the halo recompute overhead stays small).
     int band_rows = 0;
+    // External thread pool to fan row blocks / bands across. When set, the
+    // engine reuses it instead of constructing a pool per run() call and
+    // the pool's thread count supersedes `threads`; callers batching many
+    // runs (DSE validation sweeps, golden checks) share one fan-out this
+    // way. The pool must not be running another job concurrently. Results
+    // stay byte-identical to a serial run either way.
+    Thread_pool* pool = nullptr;
 };
 
 class Exec_engine {

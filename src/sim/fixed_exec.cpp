@@ -1,28 +1,10 @@
 #include "sim/fixed_exec.hpp"
 
+#include <algorithm>
+
 #include "support/error.hpp"
 
 namespace islhls {
-
-std::int64_t wrap_to_bits(std::int64_t v, int bits) {
-    check_internal(bits >= 2 && bits <= 62, "wrap_to_bits supports 2..62 bits");
-    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
-    std::uint64_t u = static_cast<std::uint64_t>(v) & mask;
-    const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
-    if (u & sign) u |= ~mask;  // sign-extend
-    return static_cast<std::int64_t>(u);
-}
-
-std::int64_t isqrt_floor(std::int64_t v) {
-    if (v <= 0) return 0;
-    std::int64_t x = v;
-    std::int64_t y = (x + 1) / 2;
-    while (y < x) {
-        x = y;
-        y = (x + v / x) / 2;
-    }
-    return x;
-}
 
 std::vector<std::int64_t> run_fixed_raw(const Register_program& program,
                                         const std::vector<std::int64_t>& inputs,
@@ -123,6 +105,139 @@ std::vector<double> run_fixed(const Register_program& program,
     out.reserve(out_raw.size());
     for (std::int64_t r : out_raw) out.push_back(from_raw(r, fmt));
     return out;
+}
+
+namespace {
+
+// One tape operation over `n` lanes. Each case is a single loop of one
+// integer operation over contiguous lanes — the form the compiler
+// auto-vectorizes. The arithmetic matches apply_op_fixed() case for case, so
+// results are bit-identical to the scalar path (the memcmp equivalence suite
+// enforces this).
+void run_fixed_op_lanes(const Tape_op& op, std::int64_t* lanes, int n,
+                        const Bit_wrap wrap, int frac, std::int64_t fixed_one) {
+    constexpr int kLane = Fixed_exec::kLane;
+    auto lane = [&](std::int32_t slot) {
+        return lanes + static_cast<std::size_t>(slot) * kLane;
+    };
+    std::int64_t* __restrict dst = lane(op.dest);
+    const std::int64_t* a = lane(op.src[0]);
+    const std::int64_t* b = op.src_count > 1 ? lane(op.src[1]) : nullptr;
+    switch (op.kind) {
+        case Op_kind::add:
+            for (int l = 0; l < n; ++l) dst[l] = wrap(a[l] + b[l]);
+            break;
+        case Op_kind::sub:
+            for (int l = 0; l < n; ++l) dst[l] = wrap(a[l] - b[l]);
+            break;
+        case Op_kind::mul:
+            for (int l = 0; l < n; ++l) dst[l] = wrap((a[l] * b[l]) >> frac);
+            break;
+        case Op_kind::div:
+            for (int l = 0; l < n; ++l) {
+                dst[l] = b[l] == 0 ? 0 : wrap((a[l] << frac) / b[l]);
+            }
+            break;
+        case Op_kind::sqrt_op:
+            for (int l = 0; l < n; ++l) {
+                dst[l] = a[l] <= 0 ? 0 : wrap(isqrt_floor(a[l] << frac));
+            }
+            break;
+        case Op_kind::min_op:
+            for (int l = 0; l < n; ++l) dst[l] = a[l] < b[l] ? a[l] : b[l];
+            break;
+        case Op_kind::max_op:
+            for (int l = 0; l < n; ++l) dst[l] = a[l] > b[l] ? a[l] : b[l];
+            break;
+        case Op_kind::neg:
+            for (int l = 0; l < n; ++l) dst[l] = wrap(-a[l]);
+            break;
+        case Op_kind::abs_op:
+            for (int l = 0; l < n; ++l) dst[l] = wrap(a[l] < 0 ? -a[l] : a[l]);
+            break;
+        case Op_kind::lt:
+            for (int l = 0; l < n; ++l) dst[l] = a[l] < b[l] ? fixed_one : 0;
+            break;
+        case Op_kind::le:
+            for (int l = 0; l < n; ++l) dst[l] = a[l] <= b[l] ? fixed_one : 0;
+            break;
+        case Op_kind::eq:
+            for (int l = 0; l < n; ++l) dst[l] = a[l] == b[l] ? fixed_one : 0;
+            break;
+        case Op_kind::select: {
+            const std::int64_t* t = lane(op.src[1]);
+            const std::int64_t* f = lane(op.src[2]);
+            for (int l = 0; l < n; ++l) dst[l] = a[l] != 0 ? t[l] : f[l];
+            break;
+        }
+        case Op_kind::constant:
+        case Op_kind::input:
+            throw Internal_error("leaf kind on the operation tape");
+    }
+}
+
+}  // namespace
+
+Fixed_exec::Fixed_exec(const Register_program& program, const Fixed_format& format)
+    : program_(&program), fixed_(program.compiled(), format) {}
+
+void Fixed_exec::eval_into(const std::int64_t* inputs, std::int64_t* outputs,
+                           Scratch& scratch) const {
+    const Compiled_program& cp = fixed_.tape();
+    const auto slots = static_cast<std::size_t>(cp.slot_count());
+    if (scratch.point.size() < slots) scratch.point.resize(slots);
+    fixed_.eval_point(inputs, scratch.point.data());
+    const std::vector<std::int32_t>& out_slots = cp.output_slots();
+    for (std::size_t o = 0; o < out_slots.size(); ++o) {
+        outputs[o] = scratch.point[static_cast<std::size_t>(out_slots[o])];
+    }
+}
+
+void Fixed_exec::run_raw_batch(const std::int64_t* inputs, std::size_t samples,
+                               std::int64_t* outputs, Scratch& scratch) const {
+    const Compiled_program& cp = fixed_.tape();
+    const std::size_t lane_words =
+        static_cast<std::size_t>(cp.slot_count()) * static_cast<std::size_t>(kLane);
+    if (scratch.lanes.size() < lane_words) scratch.lanes.resize(lane_words);
+    std::int64_t* lanes = scratch.lanes.data();
+
+    const std::vector<Tape_constant>& constants = cp.constants();
+    const std::vector<std::int64_t>& constant_raw = fixed_.constant_raw();
+    const std::vector<Tape_input>& ins = cp.inputs();
+    const std::vector<Tape_op>& ops = cp.ops();
+    const std::vector<std::int32_t>& out_slots = cp.output_slots();
+    const std::size_t in_count = ins.size();
+    const std::size_t out_count = out_slots.size();
+    const Bit_wrap& wrap = fixed_.wrap();
+    const int frac = fixed_.frac_bits();
+    const std::int64_t fixed_one = fixed_.fixed_one();
+
+    for (std::size_t s0 = 0; s0 < samples; s0 += kLane) {
+        const int n = static_cast<int>(std::min<std::size_t>(kLane, samples - s0));
+        for (std::size_t c = 0; c < constants.size(); ++c) {
+            std::int64_t* dst =
+                lanes + static_cast<std::size_t>(constants[c].slot) * kLane;
+            std::fill(dst, dst + n, constant_raw[c]);
+        }
+        for (std::size_t i = 0; i < in_count; ++i) {
+            std::int64_t* dst = lanes + static_cast<std::size_t>(ins[i].slot) * kLane;
+            const std::int64_t* src = inputs + s0 * in_count + i;
+            for (int l = 0; l < n; ++l) {
+                dst[l] = wrap(src[static_cast<std::size_t>(l) * in_count]);
+            }
+        }
+        for (const Tape_op& op : ops) {
+            run_fixed_op_lanes(op, lanes, n, wrap, frac, fixed_one);
+        }
+        for (std::size_t o = 0; o < out_count; ++o) {
+            const std::int64_t* src =
+                lanes + static_cast<std::size_t>(out_slots[o]) * kLane;
+            std::int64_t* dst = outputs + s0 * out_count + o;
+            for (int l = 0; l < n; ++l) {
+                dst[static_cast<std::size_t>(l) * out_count] = src[l];
+            }
+        }
+    }
 }
 
 }  // namespace islhls

@@ -116,13 +116,19 @@ Frame_set crop_set(const Frame_set& fs, const Footprint& halo,
 }  // namespace
 
 Frame_set run_ghost_ir(const Stencil_step& step, const Frame_set& initial,
-                       int iterations, Boundary b) {
+                       int iterations, Boundary b, const Exec_options& options) {
     const Footprint halo = repeat(step.footprint(), iterations);
     Frame_set padded = pad_set(initial, halo, b);
-    padded = run_ir(step, padded, iterations, b);
+    padded = run_ir(step, padded, iterations, b, options);
     std::vector<std::string> keep = step.state_fields();
     for (const std::string& c : step.const_fields()) keep.push_back(c);
     return crop_set(padded, halo, keep);
+}
+
+Frame_set run_ghost_ir(const Stencil_step& step, const Frame_set& initial,
+                       int iterations, Boundary b) {
+    // Auto tiling, serial — matching the legacy run_ir signature.
+    return run_ghost_ir(step, initial, iterations, b, Exec_options{1, 0, 0});
 }
 
 Frame_set run_ghost_native(const Kernel_def& kernel, const Frame_set& initial,

@@ -49,7 +49,12 @@ Frame pad_frame(const Frame& frame, int left, int right, int up, int down, Bound
 // Removes the apron again.
 Frame crop_frame(const Frame& frame, int left, int right, int up, int down);
 
-// Ghost-zone golden using the extracted IR step.
+// Ghost-zone golden using the extracted IR step. The options overload
+// forwards the engine knobs (thread fan-out / shared pool / tiling) to the
+// padded run; DSE validation sweeps use it to route many golden checks
+// through one shared Thread_pool.
+Frame_set run_ghost_ir(const Stencil_step& step, const Frame_set& initial,
+                       int iterations, Boundary b, const Exec_options& options);
 Frame_set run_ghost_ir(const Stencil_step& step, const Frame_set& initial,
                        int iterations, Boundary b);
 

@@ -73,8 +73,11 @@ INSTANTIATE_TEST_SUITE_P(Formats, Quantize_property,
                                            Fixed_format{4, 12}, Fixed_format{12, 4},
                                            Fixed_format{6, 2}),
                          [](const auto& info) {
-                             return "Q" + std::to_string(info.param.integer_bits) + "_" +
-                                    std::to_string(info.param.frac_bits);
+                             std::string name = "Q";
+                             name += std::to_string(info.param.integer_bits);
+                             name += "_";
+                             name += std::to_string(info.param.frac_bits);
+                             return name;
                          });
 
 }  // namespace

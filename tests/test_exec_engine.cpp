@@ -13,6 +13,7 @@
 #include "kernels/kernels.hpp"
 #include "sim/exec_engine.hpp"
 #include "sim/golden.hpp"
+#include "support/parallel.hpp"
 #include "support/prng.hpp"
 #include "symexec/executor.hpp"
 
@@ -71,6 +72,41 @@ TEST(Exec_engine, threaded_runs_are_byte_identical_on_larger_frames) {
         SCOPED_TRACE(threads);
         expect_sets_equal(serial, engine.run(initial, 5, kernel.boundary, threads));
     }
+}
+
+TEST(Exec_engine, external_pool_runs_are_byte_identical_and_reusable) {
+    // An injected pool must supersede Exec_options::threads, survive many
+    // runs (and engines), and change nothing about the result — the same
+    // determinism contract as the per-run pool it replaces.
+    const Kernel_def& kernel = kernel_by_name("igf");
+    const Stencil_step step = extract_stencil(kernel.c_source);
+    const Exec_engine engine(step);
+    const Frame_set initial = kernel.make_initial(make_synthetic_scene(33, 21, 9));
+    const Frame_set serial = engine.run(initial, 4, kernel.boundary, 1);
+
+    Thread_pool pool(4);
+    for (int threads : {1, 8}) {  // superseded by the pool either way
+        Exec_options options;
+        options.threads = threads;
+        options.pool = &pool;
+        expect_sets_equal(serial, engine.run(initial, 4, kernel.boundary, options));
+    }
+    // Tiled bands through the shared pool, then a second engine on the same
+    // pool; run_ghost_ir's options overload routes through it too.
+    Exec_options tiled;
+    tiled.tile_iterations = 2;
+    tiled.band_rows = 3;
+    tiled.pool = &pool;
+    expect_sets_equal(serial, engine.run(initial, 4, kernel.boundary, tiled));
+
+    const Kernel_def& heat = kernel_by_name("heat");
+    const Stencil_step heat_step = extract_stencil(heat.c_source);
+    const Frame_set heat_initial = heat.make_initial(make_synthetic_scene(19, 14, 2));
+    Exec_options ghost_options;
+    ghost_options.pool = &pool;
+    expect_sets_equal(run_ghost_ir(heat_step, heat_initial, 3, heat.boundary),
+                      run_ghost_ir(heat_step, heat_initial, 3, heat.boundary,
+                                   ghost_options));
 }
 
 TEST(Exec_engine, zero_iterations_returns_initial_untouched) {

@@ -1,14 +1,95 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "estimate/format_search.hpp"
 #include "grid/frame_ops.hpp"
 #include "kernels/kernels.hpp"
+#include "sim/fixed_exec.hpp"
+#include "support/prng.hpp"
 #include "symexec/executor.hpp"
 
 namespace islhls {
 namespace {
+
+// The pre-batching search, preserved verbatim as the reference the batched
+// implementation must reproduce field for field: per-sample interpreter
+// runs (run_fixed) inside the PSNR loop, the same window sampling, range
+// analysis and bit-growth schedule.
+Format_search_result search_fixed_format_reference(
+    const Cone& cone, const Frame_set& content, Boundary boundary,
+    const Format_search_options& options) {
+    const Register_program& program = cone.program();
+    const Stencil_step& step = cone.step();
+
+    Prng rng(options.seed);
+    std::vector<std::pair<int, int>> origins;
+    for (int i = 0; i < options.sample_windows; ++i) {
+        origins.push_back({rng.next_int(0, std::max(0, content.width() - 1)),
+                           rng.next_int(0, std::max(0, content.height() - 1))});
+    }
+
+    std::vector<std::vector<double>> input_sets;
+    std::vector<std::vector<double>> references;
+    std::vector<double> trace;
+    double max_abs = 0.0;
+    for (const auto& [ox, oy] : origins) {
+        std::vector<double> inputs;
+        for (const auto& port : program.input_ports()) {
+            const Frame& f = content.field(step.pool().field_name(port.field));
+            inputs.push_back(f.sample(ox + port.dx, oy + port.dy, boundary));
+        }
+        program.run_trace_into(inputs, trace);
+        for (double v : trace) max_abs = std::max(max_abs, std::fabs(v));
+        std::vector<double> reference;
+        for (const std::int32_t r : program.outputs()) {
+            reference.push_back(trace[static_cast<std::size_t>(r)]);
+        }
+        references.push_back(std::move(reference));
+        input_sets.push_back(std::move(inputs));
+    }
+
+    Format_search_result result;
+    result.max_abs_value = max_abs;
+    const int integer_bits =
+        2 + static_cast<int>(std::ceil(std::log2(std::max(1.0, max_abs))));
+
+    auto psnr_of = [&](const Fixed_format& fmt) {
+        double se = 0.0;
+        long long count = 0;
+        for (std::size_t s = 0; s < input_sets.size(); ++s) {
+            const std::vector<double> fixed = run_fixed(program, input_sets[s], fmt);
+            for (std::size_t o = 0; o < fixed.size(); ++o) {
+                const double d = fixed[o] - references[s][o];
+                se += d * d;
+                count += 1;
+            }
+        }
+        const double mse = se / static_cast<double>(count);
+        if (mse == 0.0) return 1e9;
+        return 10.0 * std::log10(options.peak_value * options.peak_value / mse);
+    };
+
+    for (int frac = 1; integer_bits + frac <= options.max_total_bits; ++frac) {
+        const Fixed_format fmt{integer_bits, frac};
+        result.formats_tried += 1;
+        const double psnr = psnr_of(fmt);
+        result.format = fmt;
+        result.psnr_db = psnr;
+        if (psnr >= options.target_psnr_db) return result;
+    }
+    result.satisfiable = false;
+    return result;
+}
+
+void expect_same_result(const Format_search_result& a, const Format_search_result& b) {
+    EXPECT_EQ(a.format, b.format);
+    EXPECT_EQ(a.psnr_db, b.psnr_db);
+    EXPECT_EQ(a.max_abs_value, b.max_abs_value);
+    EXPECT_EQ(a.formats_tried, b.formats_tried);
+    EXPECT_EQ(a.satisfiable, b.satisfiable);
+}
 
 class Format_search_fixture : public ::testing::Test {
 protected:
@@ -74,6 +155,55 @@ TEST(Format_search, boolean_kernel_needs_almost_no_fraction) {
     ASSERT_TRUE(r.satisfiable);
     EXPECT_LE(r.format.frac_bits, 2);
     EXPECT_LE(r.max_abs_value, 16.0);
+}
+
+TEST_F(Format_search_fixture, batched_search_identical_to_interpreter_reference) {
+    // The batched tape search must return the exact result of the
+    // per-sample interpreter search — format, PSNR, range, formats tried —
+    // under targets that stop early, stop late, and fail entirely.
+    for (double target : {30.0, 50.0, 95.0, 300.0}) {
+        SCOPED_TRACE(target);
+        Format_search_options options;
+        options.target_psnr_db = target;
+        if (target == 300.0) options.max_total_bits = 20;
+        expect_same_result(
+            search_fixed_format_reference(cone, content, Boundary::clamp, options),
+            search_fixed_format(cone, content, Boundary::clamp, options));
+    }
+}
+
+TEST_F(Format_search_fixture, result_is_thread_count_invariant) {
+    Format_search_options base;
+    base.sample_windows = 70;  // more windows than one lane block
+    const Format_search_result serial =
+        search_fixed_format(cone, content, Boundary::clamp, base);
+    for (int threads : {2, 8, 0}) {
+        SCOPED_TRACE(threads);
+        Format_search_options options = base;
+        options.threads = threads;
+        expect_same_result(serial,
+                           search_fixed_format(cone, content, Boundary::clamp, options));
+    }
+}
+
+TEST(Format_search, batched_matches_reference_across_kernels) {
+    // Sweep every built-in kernel (sqrt, divide, compare and select paths
+    // included) at a mid target; the batched and reference searches must
+    // agree exactly under each kernel's own boundary.
+    for (const std::string& name : kernel_names()) {
+        SCOPED_TRACE(name);
+        const Kernel_def& kernel = kernel_by_name(name);
+        Stencil_step step = extract_stencil(kernel.c_source);
+        const Cone cone(step, Cone_spec{2, 2, 1});
+        const Frame_set content =
+            kernel.make_initial(make_synthetic_scene(21, 16, 42));
+        Format_search_options options;
+        options.target_psnr_db = 40.0;
+        options.sample_windows = 24;
+        expect_same_result(
+            search_fixed_format_reference(cone, content, kernel.boundary, options),
+            search_fixed_format(cone, content, kernel.boundary, options));
+    }
 }
 
 TEST(Format_search, chambolle_small_range_small_integer_bits) {

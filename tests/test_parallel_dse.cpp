@@ -183,6 +183,65 @@ TEST(Parallel_dse, sweep_session_matches_standalone_explorers) {
     EXPECT_GT(report.synthesis_lookups, report.synthesis_runs);
 }
 
+TEST(Parallel_dse, sweep_validation_is_exact_and_changes_nothing_else) {
+    Sweep_config config;
+    config.kernels = {"jacobi", "life"};
+    config.devices = {"xc6vlx760"};
+    config.iteration_counts = {3};
+    config.frame_width = 320;
+    config.frame_height = 240;
+    config.space = small_space(2);
+    config.validation_frame_width = 20;
+    config.validation_frame_height = 14;
+
+    Sweep_session plain_session(config);
+    const Sweep_report plain = plain_session.run();
+
+    config.validate = true;
+    Sweep_session validated_session(config);
+    const Sweep_report validated = validated_session.run();
+
+    ASSERT_EQ(plain.entries.size(), validated.entries.size());
+    for (std::size_t i = 0; i < plain.entries.size(); ++i) {
+        const Sweep_entry& p = plain.entries[i];
+        const Sweep_entry& v = validated.entries[i];
+        SCOPED_TRACE(p.kernel);
+        // Validation is additive: the exploration results are untouched.
+        EXPECT_FALSE(p.validated);
+        EXPECT_EQ(p.fits, v.fits);
+        if (p.fits) {
+            EXPECT_EQ(dump(p.best), dump(v.best));
+            // Double-mode architecture simulation must reproduce the ghost
+            // golden exactly — any deviation is a flow bug.
+            EXPECT_TRUE(v.validated);
+            EXPECT_EQ(v.validation_max_abs_err, 0.0);
+        } else {
+            EXPECT_FALSE(v.validated);
+        }
+    }
+    // The report renders the golden column.
+    EXPECT_NE(to_string(validated).find("exact"), std::string::npos);
+}
+
+TEST(Parallel_dse, explorer_shared_pool_results_are_byte_identical) {
+    // An explorer on an injected pool must produce the dumps of a serial
+    // explorer; the same pool serves several explorers in sequence (the
+    // sweep session's usage pattern).
+    const Kernel_def& kernel = kernel_by_name("igf");
+    Thread_pool pool(4);
+    for (const std::string device : {"generic_small", "xc6vlx760"}) {
+        SCOPED_TRACE(device);
+        Cone_library serial_lib(extract_stencil(kernel.c_source), kernel.name);
+        Explorer serial(serial_lib, device_by_name(device),
+                        small_evaluator_options(), small_space(1));
+        Cone_library pooled_lib(extract_stencil(kernel.c_source), kernel.name);
+        Explorer pooled(pooled_lib, device_by_name(device),
+                        small_evaluator_options(), small_space(1), &pool);
+        EXPECT_EQ(dump(serial.explore_pareto()), dump(pooled.explore_pareto()));
+        EXPECT_EQ(dump(serial.fit_device()), dump(pooled.fit_device()));
+    }
+}
+
 TEST(Parallel_dse, sweep_rejects_bad_config) {
     Sweep_config config;
     EXPECT_THROW(Sweep_session{config}, Error);

@@ -180,8 +180,12 @@ INSTANTIATE_TEST_SUITE_P(
                       Arch_case{"life", 3, {2, 1}}),
     [](const auto& info) {
         std::string name = info.param.kernel;
-        name += "_w" + std::to_string(info.param.window);
-        for (int d : info.param.levels) name += "_" + std::to_string(d);
+        name += "_w";
+        name += std::to_string(info.param.window);
+        for (int d : info.param.levels) {
+            name += "_";
+            name += std::to_string(d);
+        }
         return name;
     });
 

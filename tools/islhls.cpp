@@ -25,6 +25,7 @@
 //   --iterations N1,N2    iteration counts (default 10)
 //   --frame WxH, --format Qm.f, --threads N   as above
 //   --pareto              additionally run the Pareto sweep per combination
+//   --validate            golden-check each feasible fit against the simulator
 //
 // Examples:
 //   islhls my_stencil.c --iterations 8 --fit
@@ -67,6 +68,8 @@ sweep options:
   --iterations N1,N2   iteration counts (default 10)
   --frame WxH, --format Qm.f, --threads N   as above
   --pareto             additionally run the Pareto sweep per combination
+  --validate           golden-check each feasible fit (simulated architecture
+                       vs ghost golden on a small frame; must be exact)
 )";
     std::exit(code);
 }
@@ -228,6 +231,8 @@ int run_sweep(int argc, char** argv) {
             config.space.threads = parse_int(next_value(), "thread count");
         } else if (arg == "--pareto") {
             config.with_pareto = true;
+        } else if (arg == "--validate") {
+            config.validate = true;
         } else {
             std::cerr << "unknown sweep option " << arg << "\n";
             usage(2);

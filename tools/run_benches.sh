@@ -14,3 +14,4 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 "$build_dir/micro_sim_throughput" --json "$repo_root/BENCH_sim.json"
 "$build_dir/micro_dse_parallel" --json "$repo_root/BENCH_dse.json"
+"$build_dir/micro_format_search" --json "$repo_root/BENCH_fixed.json"
