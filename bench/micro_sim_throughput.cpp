@@ -25,6 +25,7 @@
 // under "gated_metrics".
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -34,6 +35,7 @@
 #include "grid/frame_ops.hpp"
 #include "kernels/kernels.hpp"
 #include "sim/exec_engine.hpp"
+#include "sim/fixed_exec.hpp"
 #include "sim/golden.hpp"
 #include "support/parallel.hpp"
 #include "support/text.hpp"
@@ -159,6 +161,62 @@ Tiled_result bench_tiled() {
     return r;
 }
 
+// Fixed-point row engine vs the scalar reference: the per-pixel
+// run_fixed_raw sweep (quantize once, interpret every pixel, fresh register
+// file per call) against the integer row path over the same raw words. Both
+// sides advance identical raw frames, so the word-identity check doubles as
+// the correctness gate.
+constexpr const char* kFixedKernel = "heat";
+constexpr Fixed_format kFixedFormat{10, 6};
+
+struct Fixed_result {
+    double reference_mcells = 0.0;  // per-pixel run_fixed_raw sweep
+    double engine_mcells = 0.0;     // integer row engine, 1 thread
+    bool word_identical = false;
+    double speedup() const {
+        return reference_mcells > 0.0 ? engine_mcells / reference_mcells : 0.0;
+    }
+};
+
+Fixed_result bench_fixed() {
+    const Kernel_def& kernel = kernel_by_name(kFixedKernel);
+    const Stencil_step step = extract_stencil(kernel.c_source);
+    const Exec_engine engine(step);
+    const Frame_set small =
+        kernel.make_initial(make_synthetic_scene(kLegacyW, kLegacyH, 5));
+    const double cells = kLegacyW * kLegacyH * static_cast<double>(kLegacyIters);
+
+    Fixed_result r;
+    // The reference is the product's own per-pixel sweep (sim/golden.hpp),
+    // shared with the row engine's memcmp test suite.
+    auto t0 = std::chrono::steady_clock::now();
+    const Fixed_frame_result reference = run_ir_fixed_reference(
+        step, small, kLegacyIters, kernel.boundary, kFixedFormat);
+    const double reference_s =
+        std::min(seconds_since(t0), min_seconds(1, [&] {
+                     run_ir_fixed_reference(step, small, kLegacyIters,
+                                            kernel.boundary, kFixedFormat);
+                 }));
+    r.reference_mcells = cells / std::max(reference_s, 1e-9) / 1e6;
+
+    constexpr int kRepeats = 10;
+    const Fixed_frame_result engine_out =
+        engine.run_fixed(small, kLegacyIters, kernel.boundary, kFixedFormat);
+    const double engine_s = min_seconds(kRepeats, [&] {
+        engine.run_fixed(small, kLegacyIters, kernel.boundary, kFixedFormat);
+    });
+    r.engine_mcells = cells / std::max(engine_s, 1e-9) / 1e6;
+
+    r.word_identical = true;
+    for (std::size_t s = 0; s < step.state_fields().size(); ++s) {
+        if (std::memcmp(reference.raw[s].data(), engine_out.raw[s].data(),
+                        reference.raw[s].size() * sizeof(std::int64_t)) != 0) {
+            r.word_identical = false;
+        }
+    }
+    return r;
+}
+
 Kernel_result bench_kernel(const std::string& name) {
     const Kernel_def& kernel = kernel_by_name(name);
     const Stencil_step step = extract_stencil(kernel.c_source);
@@ -221,7 +279,8 @@ Kernel_result bench_kernel(const std::string& name) {
 // shift with whatever machine CI lands on, ratios only shift when the code
 // regresses.
 bool write_json(const std::string& path, const std::vector<Kernel_result>& results,
-                const Tiled_result& tiled, int hardware_threads) {
+                const Tiled_result& tiled, const Fixed_result& fixed,
+                int hardware_threads) {
     return islhls_bench::write_json_record(path, [&](std::ostream& out) {
         out << "{\n";
         out << "  \"bench\": \"micro_sim_throughput\",\n";
@@ -252,13 +311,21 @@ bool write_json(const std::string& path, const std::vector<Kernel_result>& resul
             << format_fixed(tiled.tiled_mcells, 3) << ", \"speedup\": "
             << format_fixed(tiled.speedup(), 2) << ", \"byte_identical\": "
             << (tiled.byte_identical ? "true" : "false") << "},\n";
+        out << "  \"fixed\": {\"kernel\": \"" << kFixedKernel << "\", \"format\": \""
+            << to_string(kFixedFormat) << "\", \"reference_1t\": "
+            << format_fixed(fixed.reference_mcells, 3) << ", \"engine_1t\": "
+            << format_fixed(fixed.engine_mcells, 3) << ", \"speedup\": "
+            << format_fixed(fixed.speedup(), 2) << ", \"word_identical\": "
+            << (fixed.word_identical ? "true" : "false") << "},\n";
         out << "  \"gated_metrics\": {\n";
         for (const Kernel_result& r : results) {
             out << "    \"" << r.name << "_speedup_1t\": "
                 << format_fixed(r.speedup_1t(), 2) << ",\n";
         }
         out << "    \"" << kTiledKernel
-            << "_tiled_speedup_1t\": " << format_fixed(tiled.speedup(), 2) << "\n";
+            << "_tiled_speedup_1t\": " << format_fixed(tiled.speedup(), 2) << ",\n";
+        out << "    \"fixed_row_speedup_1t\": " << format_fixed(fixed.speedup(), 2)
+            << "\n";
         out << "  }\n}\n";
     });
 }
@@ -299,7 +366,14 @@ int main(int argc, char** argv) {
               << kTiledIters << " iterations, depth " << tiled.depth << "): untiled 1t "
               << format_fixed(tiled.untiled_mcells, 2) << " Mcells/s, tiled 1t "
               << format_fixed(tiled.tiled_mcells, 2) << " Mcells/s ("
-              << format_fixed(tiled.speedup(), 2) << "x)\n\n";
+              << format_fixed(tiled.speedup(), 2) << "x)\n";
+
+    const Fixed_result fixed = bench_fixed();
+    std::cout << "[INFO] fixed-point row engine (" << kFixedKernel << ", "
+              << to_string(kFixedFormat) << "): per-pixel reference "
+              << format_fixed(fixed.reference_mcells, 2) << " Mcells/s vs engine "
+              << format_fixed(fixed.engine_mcells, 2) << " Mcells/s ("
+              << format_fixed(fixed.speedup(), 1) << "x)\n\n";
 
     int deviations = 0;
     for (const Kernel_result& r : results) {
@@ -329,9 +403,16 @@ int main(int argc, char** argv) {
         "temporal tiling >= 1.3x the untiled single-thread engine on the "
         "out-of-cache frame",
         tiled.speedup() >= 1.3);
+    deviations += islhls_bench::report_claim(
+        "fixed row engine raw words identical to the per-pixel run_fixed_raw "
+        "sweep",
+        fixed.word_identical);
+    deviations += islhls_bench::report_claim(
+        "fixed row engine >= 5x the per-pixel fixed reference",
+        fixed.speedup() >= 5.0);
 
     if (!json_path.empty()) {
-        if (write_json(json_path, results, tiled, hw)) {
+        if (write_json(json_path, results, tiled, fixed, hw)) {
             std::cout << "\nwrote " << json_path << "\n";
         } else {
             deviations += 1;

@@ -32,6 +32,70 @@ Sweep_session::Sweep_session(Sweep_config config) : config_(std::move(config)) {
         throw Error(cat("sweep frame ", config_.frame_width, "x",
                         config_.frame_height, " must be positive"));
     }
+    if (config_.validate_fixed) {
+        // The raw-word comparison reconstructs the simulator's words from
+        // its from_raw outputs, which is exact only while every raw word
+        // fits a double's 53-bit mantissa. Formats beyond that would report
+        // phantom LSB errors, so reject them up front (the search side is
+        // bounded by max_total_bits the same way).
+        const int widest = std::max(config_.format.total_bits(),
+                                    config_.search_formats
+                                        ? config_.format_search.max_total_bits
+                                        : 0);
+        if (widest > 53) {
+            throw Error(cat("--validate-fixed needs formats of at most 53 bits "
+                            "(raw words must be exactly representable in "
+                            "double), got ", widest));
+        }
+    }
+}
+
+double Sweep_session::validate_fit_fixed(Cone_library& library,
+                                         const Sweep_entry& entry,
+                                         const Fixed_format& format,
+                                         Thread_pool* pool,
+                                         Fixed_validation_cache& cache) const {
+    const Kernel_def& kernel = kernel_by_name(entry.kernel);
+    const auto key = std::make_tuple(entry.kernel, entry.iterations,
+                                     format.integer_bits, format.frac_bits);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        Frame_set initial = kernel.make_initial(
+            make_synthetic_scene(config_.validation_frame_width,
+                                 config_.validation_frame_height,
+                                 config_.validation_seed));
+        Fixed_frame_result golden =
+            run_ghost_ir(library.step(), initial, entry.iterations, kernel.boundary,
+                         format, Exec_options{1, 0, 0, pool});
+        it = cache.emplace(key, std::make_pair(std::move(initial), std::move(golden)))
+                 .first;
+    }
+    const Frame_set& initial = it->second.first;
+    const Fixed_frame_result& golden = it->second.second;
+    Arch_sim_options sim_options;
+    sim_options.boundary = kernel.boundary;
+    sim_options.fixed_point = true;
+    sim_options.format = format;
+    const Arch_sim_result sim =
+        simulate_architecture(library, entry.best.instance, initial, sim_options);
+    // The simulator hands fixed-mode results back as from_raw values, which
+    // round-trip exactly through to_raw for every format the constructor
+    // admits (<= 53 bits) — so the comparison really is raw word against
+    // raw word.
+    const Raw_quantizer to_raw_word(format);
+    std::int64_t max_err = 0;
+    for (const std::string& field : kernel.state_fields) {
+        const Frame& frame = sim.final_state.field(field);
+        const std::size_t index = static_cast<std::size_t>(
+            std::find(golden.names.begin(), golden.names.end(), field) -
+            golden.names.begin());
+        const std::vector<std::int64_t>& expected = golden.raw[index];
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            const std::int64_t d = to_raw_word(frame.data()[i]) - expected[i];
+            max_err = std::max(max_err, d < 0 ? -d : d);
+        }
+    }
+    return static_cast<double>(max_err);
 }
 
 double Sweep_session::validate_fit(Cone_library& library, const Sweep_entry& entry,
@@ -87,6 +151,7 @@ Sweep_report Sweep_session::run() {
     }
     Thread_pool* shared_pool = pool ? &*pool : nullptr;
     Validation_cache validation_cache;
+    Fixed_validation_cache fixed_validation_cache;
     for (const std::string& kernel : config_.kernels) {
         Cone_library& lib = library(kernel);
         for (const std::string& device_name : config_.devices) {
@@ -116,10 +181,81 @@ Sweep_report Sweep_session::run() {
                     entry.pareto_points = pareto.points.size();
                     entry.pareto_front_size = pareto.front.size();
                 }
+                if (config_.search_formats && entry.fits) {
+                    // The per-(window, depth) grid is device- and
+                    // N-independent: search it once per kernel, share it
+                    // across every later combination.
+                    auto grid_it = format_grids_.find(kernel);
+                    if (grid_it == format_grids_.end()) {
+                        const Kernel_def& def = kernel_by_name(kernel);
+                        const Frame_set content = def.make_initial(
+                            make_synthetic_scene(config_.validation_frame_width,
+                                                 config_.validation_frame_height,
+                                                 config_.validation_seed));
+                        grid_it = format_grids_
+                                      .emplace(kernel,
+                                               explorer.search_formats(
+                                                   content, def.boundary,
+                                                   config_.format_search))
+                                      .first;
+                    }
+                    // Narrowest format covering every depth class of the
+                    // fit: integer and fraction bits each take the max over
+                    // the classes' searched formats, the reported PSNR the
+                    // worst (each class achieves at least it at the covering
+                    // width — more fraction bits never hurt).
+                    const Explorer::Format_grid& grid = grid_it->second;
+                    entry.format_searched = true;
+                    entry.format_satisfiable = true;
+                    entry.format_psnr_db = 0.0;
+                    bool first = true;
+                    for (int d : entry.best.instance.depth_classes()) {
+                        const Format_search_result& cell =
+                            grid.at(entry.best.instance.window, d, space.max_depth)
+                                .result;
+                        entry.format_satisfiable &= cell.satisfiable;
+                        entry.fixed_format.integer_bits =
+                            first ? cell.format.integer_bits
+                                  : std::max(entry.fixed_format.integer_bits,
+                                             cell.format.integer_bits);
+                        entry.fixed_format.frac_bits =
+                            first ? cell.format.frac_bits
+                                  : std::max(entry.fixed_format.frac_bits,
+                                             cell.format.frac_bits);
+                        entry.format_psnr_db = first ? cell.psnr_db
+                                                     : std::min(entry.format_psnr_db,
+                                                                cell.psnr_db);
+                        first = false;
+                    }
+                    // Re-price the fit's estimated area at the searched
+                    // width: a fresh evaluator over the same library, whose
+                    // synthesis cache is format-aware, so calibration
+                    // syntheses at the new width memoize across N values.
+                    // An unsatisfiable search leaves only a failed width
+                    // behind — pricing at it would be meaningless, so the
+                    // column stays empty instead.
+                    if (entry.format_satisfiable) {
+                        Evaluator_options priced = evaluator_options;
+                        priced.format = entry.fixed_format;
+                        priced.synth.format = entry.fixed_format;
+                        const Arch_evaluator pricer(lib, device, priced);
+                        entry.searched_area_luts =
+                            pricer.evaluate(entry.best.instance).estimated_area_luts;
+                    }
+                }
                 if (config_.validate && entry.fits) {
                     entry.validation_max_abs_err =
                         validate_fit(lib, entry, shared_pool, validation_cache);
                     entry.validated = true;
+                }
+                if (config_.validate_fixed && entry.fits) {
+                    const Fixed_format fixed_fmt =
+                        entry.format_searched && entry.format_satisfiable
+                            ? entry.fixed_format
+                            : config_.format;
+                    entry.validation_max_raw_err = validate_fit_fixed(
+                        lib, entry, fixed_fmt, shared_pool, fixed_validation_cache);
+                    entry.validated_fixed = true;
                 }
                 report.entries.push_back(std::move(entry));
             }
@@ -141,8 +277,23 @@ Sweep_report Sweep_session::run() {
 }
 
 std::string to_string(const Sweep_report& report) {
-    Table table({"kernel", "device", "N", "fit", "architecture", "fps",
-                 "kLUTs (est)", "pareto", "golden"});
+    // The format and fixed-golden columns only appear when some entry
+    // carries them, so plain sweeps keep the classic nine-column layout.
+    bool any_format = false;
+    bool any_fixed = false;
+    for (const Sweep_entry& e : report.entries) {
+        any_format |= e.format_searched;
+        any_fixed |= e.validated_fixed;
+    }
+    std::vector<std::string> header = {"kernel", "device", "N", "fit",
+                                       "architecture", "fps", "kLUTs (est)",
+                                       "pareto", "golden"};
+    if (any_format) {
+        header.push_back("format");
+        header.push_back("kLUTs@fmt");
+    }
+    if (any_fixed) header.push_back("golden(fx)");
+    Table table(header);
     for (const Sweep_entry& e : report.entries) {
         const std::string pareto =
             e.pareto_points > 0
@@ -153,16 +304,41 @@ std::string to_string(const Sweep_report& report) {
                                ? std::string("exact")
                                : cat("err ", e.validation_max_abs_err))
                         : std::string("-");
+        std::vector<std::string> row;
         if (e.fits) {
-            table.add(e.kernel, e.device, e.iterations, "yes",
-                      to_string(e.best.instance),
-                      format_fixed(e.best.throughput.fps, 1),
-                      format_fixed(e.best.estimated_area_luts / 1e3, 1), pareto,
-                      golden);
+            row = {e.kernel,
+                   e.device,
+                   cat(e.iterations),
+                   "yes",
+                   to_string(e.best.instance),
+                   format_fixed(e.best.throughput.fps, 1),
+                   format_fixed(e.best.estimated_area_luts / 1e3, 1),
+                   pareto,
+                   golden};
         } else {
-            table.add(e.kernel, e.device, e.iterations, "no", "-", "-", "-", pareto,
-                      golden);
+            row = {e.kernel, e.device, cat(e.iterations), "no", "-", "-", "-",
+                   pareto, golden};
         }
+        if (any_format) {
+            if (e.format_searched && e.format_satisfiable) {
+                row.push_back(to_string(e.fixed_format));
+                row.push_back(format_fixed(e.searched_area_luts / 1e3, 1));
+            } else if (e.format_searched) {
+                row.push_back("unsat");
+                row.push_back("-");
+            } else {
+                row.push_back("-");
+                row.push_back("-");
+            }
+        }
+        if (any_fixed) {
+            row.push_back(e.validated_fixed
+                              ? (e.validation_max_raw_err == 0.0
+                                     ? std::string("exact")
+                                     : cat("err ", e.validation_max_raw_err, " lsb"))
+                              : std::string("-"));
+        }
+        table.add_row(std::move(row));
     }
     std::string out = table.to_text();
     const long long cone_hits = report.cone_lookups - report.cone_builds;

@@ -20,12 +20,15 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "backend/fixed_point.hpp"
 #include "dse/explorer.hpp"
 #include "estimate/throughput_model.hpp"
 #include "grid/frame_set.hpp"
+#include "sim/exec_engine.hpp"
 
 namespace islhls {
 
@@ -52,6 +55,19 @@ struct Sweep_config {
     int validation_frame_width = 48;
     int validation_frame_height = 36;
     std::uint64_t validation_seed = 17;
+    // Per-architecture fixed-point formats: run the format search over every
+    // (window, depth) cell once per kernel (the grid is device- and
+    // N-independent, so the session caches it), record the narrowest format
+    // covering each feasible fit's depth classes as a report column, and
+    // re-price the fit's estimated area at that width instead of the one
+    // global `format`.
+    bool search_formats = false;
+    Format_search_options format_search;
+    // Fixed-mode golden check of each feasible fit: simulate the fitted
+    // architecture under Qm.f quantization (the per-architecture format when
+    // search_formats found one, else `format`) and compare raw words against
+    // the fixed frame engine's ghost golden — must match word for word.
+    bool validate_fixed = false;
 };
 
 struct Sweep_entry {
@@ -67,6 +83,20 @@ struct Sweep_entry {
     // exactly, which double mode must).
     bool validated = false;
     double validation_max_abs_err = 0.0;
+    // Filled when Sweep_config::search_formats and `fits`: the narrowest
+    // searched format covering every depth class of the best fit, the worst
+    // achieved PSNR among those classes, and the fit's estimated area
+    // re-priced at that width.
+    bool format_searched = false;
+    bool format_satisfiable = false;
+    Fixed_format fixed_format;
+    double format_psnr_db = 0.0;
+    double searched_area_luts = 0.0;
+    // Filled when Sweep_config::validate_fixed and `fits`: max |sim - golden|
+    // in raw-word LSBs over all state fields (0 = the fixed-point
+    // architecture reproduces the frame engine's raw words exactly).
+    bool validated_fixed = false;
+    double validation_max_raw_err = 0.0;
 };
 
 struct Sweep_report {
@@ -100,6 +130,11 @@ private:
     // per pair no matter how many devices validate against it.
     using Validation_cache =
         std::map<std::pair<std::string, int>, std::pair<Frame_set, Frame_set>>;
+    // Fixed-mode twin, additionally keyed by the format (per-architecture
+    // formats vary across entries): initial frames + raw-word ghost golden.
+    using Fixed_validation_cache =
+        std::map<std::tuple<std::string, int, int, int>,
+                 std::pair<Frame_set, Fixed_frame_result>>;
 
     // Functional golden check of one feasible fit: simulate the fitted
     // architecture on a synthetic validation frame and return the max
@@ -107,9 +142,15 @@ private:
     // rows across `pool` when given).
     double validate_fit(Cone_library& library, const Sweep_entry& entry,
                         Thread_pool* pool, Validation_cache& cache) const;
+    // Fixed-mode twin: simulate under `format` and return the max raw-word
+    // deviation (LSBs) from the fixed frame engine's ghost golden.
+    double validate_fit_fixed(Cone_library& library, const Sweep_entry& entry,
+                              const Fixed_format& format, Thread_pool* pool,
+                              Fixed_validation_cache& cache) const;
 
     Sweep_config config_;
     std::map<std::string, std::unique_ptr<Cone_library>> libraries_;
+    std::map<std::string, Explorer::Format_grid> format_grids_;
 };
 
 // Renders the per-combination results and the cache totals as text tables.

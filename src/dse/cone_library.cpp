@@ -3,6 +3,7 @@
 #include <mutex>
 
 #include "support/error.hpp"
+#include "support/text.hpp"
 
 namespace islhls {
 
@@ -35,7 +36,14 @@ const Synthesis_report& Cone_library::synthesis(int window, int depth,
                                                 const Fpga_device& device,
                                                 const Synth_options& options) {
     synthesis_lookups_.fetch_add(1, std::memory_order_relaxed);
-    const auto key = std::make_tuple(window, depth, device.name);
+    // The synthesis result depends on the device AND the synthesis options
+    // (word width above all — the per-architecture format search re-prices
+    // cones at several widths through one library), so the options are part
+    // of the memoization key.
+    const auto key =
+        std::make_tuple(window, depth,
+                        cat(device.name, '|', to_string(options.format),
+                            options.use_dsp ? "|dsp" : "", '|', options.seed));
     {
         std::shared_lock<std::shared_mutex> lock(mutex_);
         auto it = syntheses_.find(key);

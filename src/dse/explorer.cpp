@@ -213,6 +213,38 @@ Explorer::Area_validation Explorer::validate_area_model() {
     return validation;
 }
 
+Explorer::Format_grid Explorer::search_formats(const Frame_set& content,
+                                               Boundary boundary,
+                                               Format_search_options options) {
+    // One search per cell inside the candidate fan-out; the search's own
+    // sample-window pool stays disabled (its parallelism would nest).
+    options.threads = 1;
+    // Pre-build the cone grid serially: cone construction extends the
+    // kernel's shared expression pool and must not race the parallel cells
+    // (the same discipline as Arch_evaluator::calibrate, without paying for
+    // syntheses this search never reads).
+    Cone_library& library = evaluator_.library();
+    for (int d = 1; d <= space_.max_depth; ++d) {
+        for (int w = 1; w <= space_.max_window; ++w) library.cone(w, d);
+    }
+
+    Format_grid grid;
+    const std::size_t cells = static_cast<std::size_t>(space_.max_window) *
+                              static_cast<std::size_t>(space_.max_depth);
+    grid.cells.resize(cells);
+    run_parallel(cells, [&](std::size_t i) {
+        // Row-major (window, depth), matching the fit grid.
+        const int w = static_cast<int>(i) / space_.max_depth + 1;
+        const int d = static_cast<int>(i) % space_.max_depth + 1;
+        Format_cell& cell = grid.cells[i];
+        cell.window = w;
+        cell.depth = d;
+        cell.result = search_fixed_format(library.cone(w, d), content, boundary,
+                                          options);
+    });
+    return grid;
+}
+
 // --- deterministic dumps ---------------------------------------------------------
 
 namespace {
@@ -290,6 +322,19 @@ std::string dump(const Explorer::Area_validation& validation) {
     }
     os << "avg=" << validation.avg_rel_error << " max=" << validation.max_rel_error
        << "\n";
+    return os.str();
+}
+
+std::string dump(const Explorer::Format_grid& grid) {
+    std::ostringstream os;
+    full_precision(os);
+    for (const Explorer::Format_cell& cell : grid.cells) {
+        os << "w" << cell.window << " d" << cell.depth << " "
+           << to_string(cell.result.format) << " psnr=" << cell.result.psnr_db
+           << " max_abs=" << cell.result.max_abs_value
+           << " tried=" << cell.result.formats_tried
+           << " sat=" << cell.result.satisfiable << "\n";
+    }
     return os.str();
 }
 

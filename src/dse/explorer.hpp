@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "dse/evaluator.hpp"
+#include "estimate/format_search.hpp"
 #include "support/parallel.hpp"
 
 namespace islhls {
@@ -91,6 +92,31 @@ public:
     };
     Area_validation validate_area_model();
 
+    // --- per-candidate fixed-point format search ------------------------------------
+    // The numeric axis of the design space: the narrowest passing Qm.f per
+    // (window, depth) cell, searched over sample windows of `content` (the
+    // same grid the fit/area explorations cover). Cells are independent, so
+    // they fan across the explorer's pool like any other candidate set; the
+    // per-cell search itself runs serially (options.threads is overridden to
+    // 1 — nested pools would oversubscribe) and each cell is seeded, so the
+    // grid is bit-identical at any thread count.
+    struct Format_cell {
+        int window = 0;
+        int depth = 0;
+        Format_search_result result;
+    };
+    struct Format_grid {
+        std::vector<Format_cell> cells;  // (window, primary depth) row-major
+
+        const Format_cell& at(int window, int depth, int max_depth) const {
+            return cells[static_cast<std::size_t>(window - 1) *
+                             static_cast<std::size_t>(max_depth) +
+                         static_cast<std::size_t>(depth - 1)];
+        }
+    };
+    Format_grid search_formats(const Frame_set& content, Boundary boundary,
+                               Format_search_options options = {});
+
     Arch_evaluator& evaluator() { return evaluator_; }
     const Space_options& space() const { return space_; }
 
@@ -128,5 +154,6 @@ std::string dump(const Arch_evaluation& eval);
 std::string dump(const Explorer::Pareto_result& result);
 std::string dump(const Explorer::Fit_result& result);
 std::string dump(const Explorer::Area_validation& validation);
+std::string dump(const Explorer::Format_grid& grid);
 
 }  // namespace islhls

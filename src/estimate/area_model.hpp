@@ -26,7 +26,11 @@ struct Area_sample {
 class Area_model {
 public:
     // `size_reg`: bits per register on the target (the paper's Size_reg);
-    // equals the fixed-point word width in this flow.
+    // equals the fixed-point word width in this flow. One Area_model prices
+    // one width — the per-architecture format search (core/sweep.hpp)
+    // re-prices a fit by fitting a second model at the searched width, so
+    // narrower formats shrink the estimate through both Size_reg and the
+    // cheaper calibration syntheses.
     explicit Area_model(double size_reg);
 
     // Adds a synthesized design to the calibration set.

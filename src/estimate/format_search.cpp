@@ -64,19 +64,28 @@ Format_search_result search_fixed_format(const Cone& cone, const Frame_set& cont
         2 + static_cast<int>(std::ceil(std::log2(std::max(1.0, max_abs))));
 
     // One batched tape pass per candidate format: quantize the flat inputs,
-    // run every sample window through the integer-lowered tape, then fold
-    // the PSNR serially in sample order (identical accumulation order to the
-    // per-sample interpreter search). Jobs own disjoint sample ranges and
-    // reuse their scratch across formats; the pool is built once for the
-    // whole search.
+    // run every sample window through the integer-lowered tape, and fold the
+    // squared error inside the SAME jobs that ran the batch. The job
+    // decomposition is a function of the sample count alone (at most
+    // kFoldJobs ranges, never smaller than one kLane block so the batch
+    // executor's lane passes stay full), each job accumulates its partial
+    // sum over its samples in sample order, and the partials combine in
+    // range order after the join — so the PSNR is bit-identical at any
+    // thread count, and the fold no longer runs as a serial epilogue after
+    // the parallel batch. Jobs reuse their scratch across formats; the pool
+    // is built once for the whole search.
+    constexpr std::size_t kFoldJobs = 16;
+    const std::size_t lane = static_cast<std::size_t>(Fixed_exec::kLane);
+    const std::size_t jobs = std::max<std::size_t>(
+        1, std::min(kFoldJobs, (samples + lane - 1) / lane));
     const int threads = resolve_thread_count(options.threads);
-    const std::size_t jobs =
-        threads > 1 ? std::min<std::size_t>(samples,
-                                            static_cast<std::size_t>(threads) * 2)
-                    : 1;
     std::optional<Thread_pool> pool;
-    if (jobs > 1) pool.emplace(threads);
-    std::vector<Fixed_exec::Scratch> scratch(jobs);
+    if (threads > 1 && jobs > 1) pool.emplace(threads);
+    // Per-job scratch is only needed when jobs really run concurrently; a
+    // serial pass keeps ONE cache-hot lane buffer across all ranges instead
+    // of cycling jobs-many cold ones. Scratch never influences results.
+    std::vector<Fixed_exec::Scratch> scratch(pool ? jobs : 1);
+    std::vector<double> partial_se(jobs, 0.0);
     std::vector<std::int64_t> raw_inputs(samples * in_count);
     std::vector<std::int64_t> raw_outputs(samples * out_count);
 
@@ -90,21 +99,23 @@ Format_search_result search_fixed_format(const Cone& cone, const Frame_set& cont
                 raw_inputs[k] = quantize(flat_inputs[k]);
             }
             exec.run_raw_batch(raw_inputs.data() + s0 * in_count, s1 - s0,
-                               raw_outputs.data() + s0 * out_count, scratch[j]);
+                               raw_outputs.data() + s0 * out_count,
+                               scratch[pool ? j : 0]);
+            double se = 0.0;
+            for (std::size_t k = s0 * out_count; k < s1 * out_count; ++k) {
+                const double d = from_raw(raw_outputs[k], fmt) - references[k];
+                se += d * d;
+            }
+            partial_se[j] = se;
         };
         if (pool) {
             pool->for_each_index(jobs, run_range);
         } else {
-            run_range(0);
+            for (std::size_t j = 0; j < jobs; ++j) run_range(j);
         }
         double se = 0.0;
-        long long count = 0;
-        for (std::size_t k = 0; k < samples * out_count; ++k) {
-            const double d = from_raw(raw_outputs[k], fmt) - references[k];
-            se += d * d;
-            count += 1;
-        }
-        const double mse = se / static_cast<double>(count);
+        for (std::size_t j = 0; j < jobs; ++j) se += partial_se[j];
+        const double mse = se / static_cast<double>(samples * out_count);
         if (mse == 0.0) return 1e9;
         return 10.0 * std::log10(options.peak_value * options.peak_value / mse);
     };

@@ -15,8 +15,11 @@
 // quantized into a flat raw buffer and advance kLane samples per tape
 // operation out of reusable per-job scratch, optionally fanned across a
 // thread pool — no per-sample interpreter run, no per-sample allocation.
-// The selected format, achieved PSNR and formats_tried are byte-identical
-// to the per-sample interpreter search at any thread count.
+// The PSNR fold rides inside the same jobs: every job accumulates the
+// squared error of its own fixed sample range (the decomposition depends
+// only on the sample count, never the thread count) and the partials
+// combine in range order after the join, so the selected format, achieved
+// PSNR and formats_tried are bit-identical at any thread count.
 #pragma once
 
 #include "backend/fixed_point.hpp"

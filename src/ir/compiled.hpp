@@ -157,8 +157,10 @@ inline std::int64_t apply_op_fixed(Op_kind kind, const std::int64_t* o,
 // format-derived operator parameters (wrap width, fraction shift, the raw
 // value of 1.0 the comparison ops produce) are folded ahead of execution.
 // One Fixed_tape serves any number of evaluations; eval_point is the scalar
-// path (allocation-free, caller-owned slots), the batched structure-of-
-// arrays executor lives in sim/fixed_exec.hpp.
+// path (allocation-free, caller-owned slots), the lane-batched structure-
+// of-arrays executor lives in sim/fixed_exec.hpp, and the whole-frame row
+// executor (raw int64 row buffers, one integer loop per tape op per row) is
+// Exec_engine::run_fixed in sim/exec_engine.hpp.
 class Fixed_tape {
 public:
     Fixed_tape(const Compiled_program& tape, const Fixed_format& format);

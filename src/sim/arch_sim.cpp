@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <optional>
 
 #include "ir/compiled.hpp"
 #include "sim/fixed_exec.hpp"
@@ -12,12 +11,17 @@ namespace islhls {
 
 namespace {
 
-// A dense per-field buffer over an absolute-coordinate rectangle.
+// A dense per-field buffer over an absolute-coordinate rectangle. The
+// element type is the simulation's value domain: doubles in double mode, raw
+// Qm.f words in fixed mode (the whole on-chip pipeline then stays in the
+// integer domain — the off-chip load quantizes once and nothing re-quantizes
+// per cone origin).
+template <typename T>
 class Region_buffer {
 public:
     Region_buffer(const Window& window, int fields)
         : window_(window),
-          data_(static_cast<std::size_t>(fields) * window.element_count(), 0.0) {}
+          data_(static_cast<std::size_t>(fields) * window.element_count(), T{}) {}
 
     const Window& window() const { return window_; }
 
@@ -26,10 +30,8 @@ public:
                y < window_.y0 + window_.height;
     }
 
-    double get(int field, int x, int y) const {
-        return data_[index(field, x, y)];
-    }
-    void set(int field, int x, int y, double v) { data_[index(field, x, y)] = v; }
+    T get(int field, int x, int y) const { return data_[index(field, x, y)]; }
+    void set(int field, int x, int y, T v) { data_[index(field, x, y)] = v; }
 
 private:
     std::size_t index(int field, int x, int y) const {
@@ -43,7 +45,7 @@ private:
     }
 
     Window window_;
-    std::vector<double> data_;
+    std::vector<T> data_;
 };
 
 // Flush tile origins covering `extent` with stride `w`: 0, w, 2w, ...,
@@ -64,12 +66,81 @@ std::vector<int> flush_origins(int extent, int w) {
     return origins;
 }
 
-}  // namespace
+// --- value domains ----------------------------------------------------------------
+//
+// One domain per arithmetic mode; the simulation loop below is templated on
+// it, so both modes run the identical tiling/coverage machinery and only the
+// element type, the off-chip conversions and the cone execution differ.
 
-Arch_sim_result simulate_architecture(Cone_library& library,
-                                      const Arch_instance& instance,
-                                      const Frame_set& initial,
-                                      const Arch_sim_options& options) {
+// IEEE doubles over the compiled tape's scalar path.
+struct Double_domain {
+    using Value = double;
+
+    struct Level {
+        const Cone* cone = nullptr;
+        const Compiled_program* tape = nullptr;
+        std::vector<double> slots;
+        std::vector<double> inputs;
+
+        void execute() { tape->eval_point(inputs.data(), slots.data()); }
+        double output(std::size_t o) const {
+            return slots[static_cast<std::size_t>(tape->output_slots()[o])];
+        }
+    };
+
+    void bind(Level& level, const Cone& cone) const {
+        level.cone = &cone;
+        level.tape = &cone.program().compiled();
+        level.slots.resize(static_cast<std::size_t>(level.tape->slot_count()));
+        level.inputs.resize(level.tape->inputs().size());
+    }
+    Value load(const Frame& f, int x, int y, Boundary b) const {
+        return f.sample(x, y, b);
+    }
+    double store(Value v) const { return v; }
+};
+
+// Raw Qm.f words over the integer-lowered tape (allocation-free Fixed_exec,
+// byte-identical to the run_fixed_raw reference interpreter). The off-chip
+// load quantizes every element exactly once; levels hand raw words to each
+// other directly, matching the fixed frame engine word for word.
+struct Fixed_domain {
+    using Value = std::int64_t;
+    Fixed_format format;
+    Raw_quantizer quantize;
+
+    explicit Fixed_domain(const Fixed_format& fmt) : format(fmt), quantize(fmt) {}
+
+    struct Level {
+        const Cone* cone = nullptr;
+        const Compiled_program* tape = nullptr;
+        std::unique_ptr<Fixed_exec> exec;
+        Fixed_exec::Scratch scratch;
+        std::vector<std::int64_t> inputs;
+        std::vector<std::int64_t> outputs;
+
+        void execute() { exec->eval_into(inputs.data(), outputs.data(), scratch); }
+        std::int64_t output(std::size_t o) const { return outputs[o]; }
+    };
+
+    void bind(Level& level, const Cone& cone) const {
+        level.cone = &cone;
+        level.tape = &cone.program().compiled();
+        level.exec = std::make_unique<Fixed_exec>(cone.program(), format);
+        level.inputs.resize(level.tape->inputs().size());
+        level.outputs.resize(level.tape->output_slots().size());
+    }
+    Value load(const Frame& f, int x, int y, Boundary b) const {
+        return quantize(f.sample(x, y, b));
+    }
+    double store(Value v) const { return from_raw(v, format); }
+};
+
+template <class Domain>
+Arch_sim_result simulate_impl(Cone_library& library, const Arch_instance& instance,
+                              const Frame_set& initial, const Arch_sim_options& options,
+                              const Domain& domain) {
+    using Value = typename Domain::Value;
     const Stencil_step& step = library.step();
     const Footprint fp = step.footprint();
     const int w = instance.window;
@@ -104,36 +175,12 @@ Arch_sim_result simulate_architecture(Cone_library& library,
     }
 
     // Per-level cone execution state, resolved once: the memoized cone, its
-    // compiled tape and a dedicated slot buffer (constants rebound per
-    // point by eval_point). Fixed mode carries the integer-lowered tape and
-    // raw-word buffers instead of the double slots. Cone executions below
-    // are then allocation-free in both modes.
-    struct Level_exec {
-        const Cone* cone = nullptr;
-        const Compiled_program* tape = nullptr;
-        std::vector<double> slots;
-        std::vector<double> inputs;
-        std::unique_ptr<Fixed_exec> fixed;
-        Fixed_exec::Scratch fixed_scratch;
-        std::vector<std::int64_t> fixed_inputs;
-        std::vector<std::int64_t> fixed_outputs;
-    };
-    std::vector<Level_exec> level_exec(level_count);
-    // One quantizer serves every level (they share the instance format).
-    std::optional<Raw_quantizer> quantize;
-    if (options.fixed_point) quantize.emplace(options.format);
+    // compiled tape and the domain's executor (double: a slot buffer for
+    // eval_point; fixed: the integer-lowered Fixed_exec). Cone executions
+    // below are then allocation-free in both modes.
+    std::vector<typename Domain::Level> level_exec(level_count);
     for (std::size_t k = 0; k < level_count; ++k) {
-        Level_exec& le = level_exec[k];
-        le.cone = &library.cone(w, instance.level_depths[k]);
-        le.tape = &le.cone->program().compiled();
-        if (options.fixed_point) {
-            le.fixed = std::make_unique<Fixed_exec>(le.cone->program(), options.format);
-            le.fixed_inputs.resize(le.tape->inputs().size());
-            le.fixed_outputs.resize(le.tape->output_slots().size());
-        } else {
-            le.slots.resize(static_cast<std::size_t>(le.tape->slot_count()));
-            le.inputs.resize(le.tape->inputs().size());
-        }
+        domain.bind(level_exec[k], library.cone(w, instance.level_depths[k]));
     }
     // Output coverage of level k (1-based like the architecture module):
     // the output window grown by suffix[k].
@@ -150,15 +197,15 @@ Arch_sim_result simulate_architecture(Cone_library& library,
             Window input_region{tx - total_halo.left, ty - total_halo.up,
                                 w + total_halo.width_growth(),
                                 w + total_halo.height_growth()};
-            Region_buffer current(input_region, fields_total);
+            Region_buffer<Value> current(input_region, fields_total);
             for (int f = 0; f < fields_total; ++f) {
                 for (int y = input_region.y0; y < input_region.y0 + input_region.height;
                      ++y) {
                     for (int x = input_region.x0;
                          x < input_region.x0 + input_region.width; ++x) {
                         current.set(f, x, y,
-                                    field_frames[static_cast<std::size_t>(f)]->sample(
-                                        x, y, options.boundary));
+                                    domain.load(*field_frames[static_cast<std::size_t>(f)],
+                                                x, y, options.boundary));
                     }
                 }
             }
@@ -167,14 +214,14 @@ Arch_sim_result simulate_architecture(Cone_library& library,
 
             // --- run the levels deep-first ---------------------------------------
             for (std::size_t k = 0; k < level_count; ++k) {
-                Level_exec& le = level_exec[k];
+                typename Domain::Level& le = level_exec[k];
                 const Cone& cone = *le.cone;
                 const Register_program& program = cone.program();
                 const Footprint out_halo = suffix[k + 1];
                 Window out_region{tx - out_halo.left, ty - out_halo.up,
                                   w + out_halo.width_growth(),
                                   w + out_halo.height_growth()};
-                Region_buffer next(out_region, fields_total);
+                Region_buffer<Value> next(out_region, fields_total);
 
                 // Constant fields survive level transitions: copy the slice
                 // the next levels may still read.
@@ -192,7 +239,6 @@ Arch_sim_result simulate_architecture(Cone_library& library,
                 const std::vector<int> sub_x = flush_origins(out_region.width, w);
                 const std::vector<int> sub_y = flush_origins(out_region.height, w);
                 const std::vector<Tape_input>& ports = le.tape->inputs();
-                const std::vector<std::int32_t>& out_slots = le.tape->output_slots();
                 for (int oy : sub_y) {
                     for (int ox : sub_x) {
                         const int origin_x = out_region.x0 + ox;
@@ -202,30 +248,12 @@ Arch_sim_result simulate_architecture(Cone_library& library,
                         result.stats.cone_executions += 1;
                         result.stats.operations_executed += program.register_count();
 
-                        if (options.fixed_point) {
-                            // Bit-accurate execution over the integer-lowered
-                            // tape: quantize the gathered inputs exactly like
-                            // run_fixed did, evaluate allocation-free, and
-                            // hand the raw outputs back as values (from_raw
-                            // round-trips exactly through the next level's
-                            // to_raw).
-                            for (std::size_t i = 0; i < ports.size(); ++i) {
-                                le.fixed_inputs[i] =
-                                    (*quantize)(current.get(ports[i].field,
-                                                            origin_x + ports[i].dx,
-                                                            origin_y + ports[i].dy));
-                            }
-                            le.fixed->eval_into(le.fixed_inputs.data(),
-                                                le.fixed_outputs.data(),
-                                                le.fixed_scratch);
-                        } else {
-                            for (std::size_t i = 0; i < ports.size(); ++i) {
-                                le.inputs[i] = current.get(ports[i].field,
-                                                           origin_x + ports[i].dx,
-                                                           origin_y + ports[i].dy);
-                            }
-                            le.tape->eval_point(le.inputs.data(), le.slots.data());
+                        for (std::size_t i = 0; i < ports.size(); ++i) {
+                            le.inputs[i] = current.get(ports[i].field,
+                                                       origin_x + ports[i].dx,
+                                                       origin_y + ports[i].dy);
                         }
+                        le.execute();
                         for (int s = 0; s < state_count; ++s) {
                             const int field =
                                 step.pool().find_field(step.state_fields()[static_cast<std::size_t>(s)]);
@@ -234,11 +262,7 @@ Arch_sim_result simulate_architecture(Cone_library& library,
                                     const auto o = static_cast<std::size_t>(
                                         cone.output_index(s, xx, yy));
                                     next.set(field, origin_x + xx, origin_y + yy,
-                                             options.fixed_point
-                                                 ? from_raw(le.fixed_outputs[o],
-                                                            options.format)
-                                                 : le.slots[static_cast<std::size_t>(
-                                                       out_slots[o])]);
+                                             le.output(o));
                                 }
                             }
                         }
@@ -254,7 +278,7 @@ Arch_sim_result simulate_architecture(Cone_library& library,
                 for (int yy = 0; yy < w && ty + yy < frame_h; ++yy) {
                     for (int xx = 0; xx < w && tx + xx < frame_w; ++xx) {
                         out_frames[static_cast<std::size_t>(s)]->at(tx + xx, ty + yy) =
-                            current.get(field, tx + xx, ty + yy);
+                            domain.store(current.get(field, tx + xx, ty + yy));
                     }
                 }
             }
@@ -264,6 +288,19 @@ Arch_sim_result simulate_architecture(Cone_library& library,
         }
     }
     return result;
+}
+
+}  // namespace
+
+Arch_sim_result simulate_architecture(Cone_library& library,
+                                      const Arch_instance& instance,
+                                      const Frame_set& initial,
+                                      const Arch_sim_options& options) {
+    if (options.fixed_point) {
+        return simulate_impl(library, instance, initial, options,
+                             Fixed_domain(options.format));
+    }
+    return simulate_impl(library, instance, initial, options, Double_domain{});
 }
 
 }  // namespace islhls

@@ -15,7 +15,11 @@
 // measures quantization error of a format choice. Both modes execute cones
 // over the same compiled tape — double mode through eval_point, fixed mode
 // through the integer-lowered Fixed_tape (allocation-free, byte-identical
-// to the run_fixed_raw reference interpreter).
+// to the run_fixed_raw reference interpreter). Fixed mode keeps the whole
+// on-chip pipeline in raw Qm.f words: the off-chip load quantizes each
+// element exactly once and the level regions hand raw words to each other
+// directly, so the result matches the fixed frame engine's ghost golden
+// (sim/golden.hpp run_ghost_ir fixed overload) word for word.
 #pragma once
 
 #include "backend/fixed_point.hpp"

@@ -15,12 +15,59 @@ namespace islhls {
 
 namespace {
 
+// --- value-domain policies --------------------------------------------------------
+//
+// One policy per arithmetic domain; everything below (contexts, workspaces,
+// row execution, banding, the double-buffered driver) is templated on it, so
+// the double and fixed-point engines are the same machine over different
+// element types and op semantics — they cannot diverge structurally.
+
+// IEEE double over the compiled tape (the classic golden engine).
+struct Double_policy {
+    using Value = double;
+    const Compiled_program* cp;
+
+    explicit Double_policy(const Compiled_program& tape) : cp(&tape) {}
+
+    Value constant(std::size_t i) const { return cp->constants()[i].value; }
+    void eval_point(const Value* inputs, Value* slots) const {
+        cp->eval_point(inputs, slots);
+    }
+};
+
+// Raw Qm.f words over the integer-lowered tape. Carries the format-derived
+// operator parameters (wrap, fraction shift, raw 1.0) resolved once per run,
+// exactly like Fixed_exec's lane loops.
+struct Fixed_policy {
+    using Value = std::int64_t;
+    const Compiled_program* cp;
+    const Fixed_tape* tape;
+    Bit_wrap wrap;
+    int frac;
+    std::int64_t one;
+
+    explicit Fixed_policy(const Fixed_tape& t)
+        : cp(&t.tape()),
+          tape(&t),
+          wrap(t.wrap()),
+          frac(t.frac_bits()),
+          one(t.fixed_one()) {}
+
+    Value constant(std::size_t i) const { return tape->constant_raw()[i]; }
+    void eval_point(const Value* inputs, Value* slots) const {
+        tape->eval_point(inputs, slots);
+    }
+};
+
 // Everything one step execution needs, fixed before the row loops start.
 // The banded path copies this per band and retargets the field bindings at
 // every fused level; `field_row_off` / `out_row_off` translate full-frame
 // row coordinates into band-buffer rows (zero when a binding points at a
 // whole frame).
+template <class Policy>
 struct Step_context {
+    using Value = typename Policy::Value;
+    const Policy* policy = nullptr;
     const Compiled_program* cp = nullptr;
     const std::vector<int>* scratch_index = nullptr;
     int scratch_rows = 0;
@@ -29,9 +76,9 @@ struct Step_context {
     int width = 0;
     int height = 0;
     Boundary boundary = Boundary::clamp;
-    std::vector<const double*> field_base;  // per pool field index
-    std::vector<int> field_row_off;         // per pool field index
-    std::vector<double*> out_base;          // per state field
+    std::vector<const Value*> field_base;  // per pool field index
+    std::vector<int> field_row_off;        // per pool field index
+    std::vector<Value*> out_base;          // per state field
     int out_row_off = 0;
     // Banded execution: pool field index of every state field (declaration
     // order), so levels can rebind just the advancing fields.
@@ -45,75 +92,85 @@ struct Step_context {
 // every later row execution. The two `band` buffers ping-pong the interim
 // levels of temporal tiling; they are sized lazily per band (edge bands
 // under Boundary::periodic can need more rows than interior bands).
+template <class Policy>
 struct Workspace {
-    std::vector<double> scratch;
-    std::vector<const double*> row;  // per slot: operand row base pointer;
-                                     // the value at column x is row[slot][x + col_off[slot]]
-    std::vector<int> col_off;        // per slot: static dx (inputs) or 0
-    std::vector<double> zero_row;
-    std::vector<double> point_slots;
-    std::vector<double> point_inputs;
-    std::array<std::vector<double>, 2> band;
+    using Value = typename Policy::Value;
+    std::vector<Value> scratch;
+    std::vector<const Value*> row;  // per slot: operand row base pointer;
+                                    // the value at column x is row[slot][x + col_off[slot]]
+    std::vector<int> col_off;       // per slot: static dx (inputs) or 0
+    std::vector<Value> zero_row;
+    std::vector<Value> point_slots;
+    std::vector<Value> point_inputs;
+    std::array<std::vector<Value>, 2> band;
 };
 
-void bind_workspace(Workspace& ws, const Step_context& c) {
+template <class Policy>
+void bind_workspace(Workspace<Policy>& ws, const Step_context<Policy>& c) {
+    using Value = typename Policy::Value;
     const auto w = static_cast<std::size_t>(c.width);
     const auto slots = static_cast<std::size_t>(c.cp->slot_count());
-    ws.scratch.assign(static_cast<std::size_t>(c.scratch_rows) * w, 0.0);
+    ws.scratch.assign(static_cast<std::size_t>(c.scratch_rows) * w, Value{});
     ws.row.assign(slots, nullptr);
     ws.col_off.assign(slots, 0);
     for (const Tape_input& in : c.cp->inputs()) {
         ws.col_off[static_cast<std::size_t>(in.slot)] = in.dx;
     }
-    ws.zero_row.assign(w, 0.0);
-    ws.point_slots.assign(slots, 0.0);
-    ws.point_inputs.assign(c.cp->inputs().size(), 0.0);
+    ws.zero_row.assign(w, Value{});
+    ws.point_slots.assign(slots, Value{});
+    ws.point_inputs.assign(c.cp->inputs().size(), Value{});
     for (std::size_t slot = 0; slot < slots; ++slot) {
         const int idx = (*c.scratch_index)[slot];
         if (idx >= 0) ws.row[slot] = ws.scratch.data() + static_cast<std::size_t>(idx) * w;
     }
-    for (const Tape_constant& k : c.cp->constants()) {
-        double* r = ws.scratch.data() +
-                    static_cast<std::size_t>((*c.scratch_index)[k.slot]) * w;
-        std::fill(r, r + w, k.value);
+    const std::vector<Tape_constant>& constants = c.cp->constants();
+    for (std::size_t i = 0; i < constants.size(); ++i) {
+        Value* r = ws.scratch.data() +
+                   static_cast<std::size_t>((*c.scratch_index)[constants[i].slot]) * w;
+        std::fill(r, r + w, c.policy->constant(i));
     }
 }
 
 // Reusable workspaces for the parallel row blocks; scratch contents never
 // influence results, so which worker gets which workspace is irrelevant to
 // the determinism contract.
+template <class Policy>
 class Workspace_pool {
 public:
-    explicit Workspace_pool(const Step_context& context) : context_(&context) {}
+    explicit Workspace_pool(const Step_context<Policy>& context) : context_(&context) {}
 
-    std::unique_ptr<Workspace> acquire() {
+    std::unique_ptr<Workspace<Policy>> acquire() {
         {
             const std::lock_guard<std::mutex> lock(mutex_);
             if (!free_.empty()) {
-                std::unique_ptr<Workspace> ws = std::move(free_.back());
+                std::unique_ptr<Workspace<Policy>> ws = std::move(free_.back());
                 free_.pop_back();
                 return ws;
             }
         }
-        auto ws = std::make_unique<Workspace>();
+        auto ws = std::make_unique<Workspace<Policy>>();
         bind_workspace(*ws, *context_);
         return ws;
     }
 
-    void release(std::unique_ptr<Workspace> ws) {
+    void release(std::unique_ptr<Workspace<Policy>> ws) {
         const std::lock_guard<std::mutex> lock(mutex_);
         free_.push_back(std::move(ws));
     }
 
 private:
-    const Step_context* context_;
+    const Step_context<Policy>* context_;
     std::mutex mutex_;
-    std::vector<std::unique_ptr<Workspace>> free_;
+    std::vector<std::unique_ptr<Workspace<Policy>>> free_;
 };
 
 // Scalar fallback for one border column: every read goes through the
-// Boundary policy, exactly like the reference interpreter.
-void eval_border_column(const Step_context& c, Workspace& ws, int x, int y) {
+// Boundary policy, exactly like the reference interpreter (raw 0 backs
+// Boundary::zero in the fixed domain, like run_fixed_raw's gathered zeros).
+template <class Policy>
+void eval_border_column(const Step_context<Policy>& c, Workspace<Policy>& ws, int x,
+                        int y) {
+    using Value = typename Policy::Value;
     const std::vector<Tape_input>& inputs = c.cp->inputs();
     for (std::size_t i = 0; i < inputs.size(); ++i) {
         const Tape_input& in = inputs[i];
@@ -121,7 +178,7 @@ void eval_border_column(const Step_context& c, Workspace& ws, int x, int y) {
         const int ry = resolve_coordinate(y + in.dy, c.height, c.boundary);
         ws.point_inputs[i] =
             (rx < 0 || ry < 0)
-                ? 0.0
+                ? Value{}
                 : c.field_base[static_cast<std::size_t>(in.field)]
                               [static_cast<std::size_t>(
                                    ry - c.field_row_off[static_cast<std::size_t>(
@@ -129,7 +186,7 @@ void eval_border_column(const Step_context& c, Workspace& ws, int x, int y) {
                                    c.width +
                                rx];
     }
-    c.cp->eval_point(ws.point_inputs.data(), ws.point_slots.data());
+    c.policy->eval_point(ws.point_inputs.data(), ws.point_slots.data());
     const std::vector<std::int32_t>& out_slots = c.cp->output_slots();
     for (std::size_t s = 0; s < c.out_base.size(); ++s) {
         c.out_base[s][static_cast<std::size_t>(y - c.out_row_off) * c.width + x] =
@@ -146,8 +203,9 @@ void eval_border_column(const Step_context& c, Workspace& ws, int x, int y) {
 // (dx for input slots, 0 otherwise) is applied at the indexing site, never
 // folded into the base pointer — x + col_off is in [0, width) for every
 // interior x, so no pointer outside its allocation is ever formed.
-void run_op_span(const Tape_op& op, const Workspace& ws, double* __restrict dst,
-                 int x0, int x1) {
+void run_op_span(const Double_policy&, const Tape_op& op,
+                 const Workspace<Double_policy>& ws, double* __restrict dst, int x0,
+                 int x1) {
     const double* a = ws.row[static_cast<std::size_t>(op.src[0])];
     const int oa = ws.col_off[static_cast<std::size_t>(op.src[0])];
     const double* b = nullptr;
@@ -209,7 +267,91 @@ void run_op_span(const Tape_op& op, const Workspace& ws, double* __restrict dst,
     }
 }
 
-void exec_rows(const Step_context& c, Workspace& ws, int y0, int y1) {
+// Fixed-point flavor: the arithmetic matches apply_op_fixed() case for case
+// (the same semantics Fixed_exec's lane loops implement), so the interior
+// raw words are bit-identical to the run_fixed_raw reference.
+void run_op_span(const Fixed_policy& p, const Tape_op& op,
+                 const Workspace<Fixed_policy>& ws, std::int64_t* __restrict dst,
+                 int x0, int x1) {
+    const Bit_wrap wrap = p.wrap;
+    const int frac = p.frac;
+    const std::int64_t one = p.one;
+    const std::int64_t* a = ws.row[static_cast<std::size_t>(op.src[0])];
+    const int oa = ws.col_off[static_cast<std::size_t>(op.src[0])];
+    const std::int64_t* b = nullptr;
+    int ob = 0;
+    if (op.src_count > 1) {
+        b = ws.row[static_cast<std::size_t>(op.src[1])];
+        ob = ws.col_off[static_cast<std::size_t>(op.src[1])];
+    }
+    switch (op.kind) {
+        case Op_kind::add:
+            for (int x = x0; x < x1; ++x) dst[x] = wrap(a[x + oa] + b[x + ob]);
+            break;
+        case Op_kind::sub:
+            for (int x = x0; x < x1; ++x) dst[x] = wrap(a[x + oa] - b[x + ob]);
+            break;
+        case Op_kind::mul:
+            for (int x = x0; x < x1; ++x) {
+                dst[x] = wrap((a[x + oa] * b[x + ob]) >> frac);
+            }
+            break;
+        case Op_kind::div:
+            for (int x = x0; x < x1; ++x) {
+                dst[x] = b[x + ob] == 0 ? 0 : wrap((a[x + oa] << frac) / b[x + ob]);
+            }
+            break;
+        case Op_kind::sqrt_op:
+            for (int x = x0; x < x1; ++x) {
+                dst[x] = a[x + oa] <= 0 ? 0 : wrap(isqrt_floor(a[x + oa] << frac));
+            }
+            break;
+        case Op_kind::min_op:
+            for (int x = x0; x < x1; ++x) {
+                dst[x] = a[x + oa] < b[x + ob] ? a[x + oa] : b[x + ob];
+            }
+            break;
+        case Op_kind::max_op:
+            for (int x = x0; x < x1; ++x) {
+                dst[x] = a[x + oa] > b[x + ob] ? a[x + oa] : b[x + ob];
+            }
+            break;
+        case Op_kind::neg:
+            for (int x = x0; x < x1; ++x) dst[x] = wrap(-a[x + oa]);
+            break;
+        case Op_kind::abs_op:
+            for (int x = x0; x < x1; ++x) {
+                dst[x] = wrap(a[x + oa] < 0 ? -a[x + oa] : a[x + oa]);
+            }
+            break;
+        case Op_kind::lt:
+            for (int x = x0; x < x1; ++x) dst[x] = a[x + oa] < b[x + ob] ? one : 0;
+            break;
+        case Op_kind::le:
+            for (int x = x0; x < x1; ++x) dst[x] = a[x + oa] <= b[x + ob] ? one : 0;
+            break;
+        case Op_kind::eq:
+            for (int x = x0; x < x1; ++x) dst[x] = a[x + oa] == b[x + ob] ? one : 0;
+            break;
+        case Op_kind::select: {
+            const std::int64_t* t = ws.row[static_cast<std::size_t>(op.src[1])];
+            const int ot = ws.col_off[static_cast<std::size_t>(op.src[1])];
+            const std::int64_t* f = ws.row[static_cast<std::size_t>(op.src[2])];
+            const int of = ws.col_off[static_cast<std::size_t>(op.src[2])];
+            for (int x = x0; x < x1; ++x) {
+                dst[x] = a[x + oa] != 0 ? t[x + ot] : f[x + of];
+            }
+            break;
+        }
+        case Op_kind::constant:
+        case Op_kind::input:
+            throw Internal_error("leaf kind on the operation tape");
+    }
+}
+
+template <class Policy>
+void exec_rows(const Step_context<Policy>& c, Workspace<Policy>& ws, int y0, int y1) {
+    using Value = typename Policy::Value;
     const int w = c.width;
     const int h = c.height;
     const std::vector<Tape_input>& inputs = c.cp->inputs();
@@ -235,19 +377,19 @@ void exec_rows(const Step_context& c, Workspace& ws, int y0, int y1) {
                                      w;
             }
             for (const Tape_op& op : ops) {
-                double* dst =
+                Value* dst =
                     ws.scratch.data() +
                     static_cast<std::size_t>(
                         (*c.scratch_index)[static_cast<std::size_t>(op.dest)]) *
                         w;
-                run_op_span(op, ws, dst, x0, x1);
+                run_op_span(*c.policy, op, ws, dst, x0, x1);
             }
             for (std::size_t s = 0; s < c.out_base.size(); ++s) {
                 const std::size_t slot = static_cast<std::size_t>(out_slots[s]);
-                const double* r = ws.row[slot] + (x0 + ws.col_off[slot]);
+                const Value* r = ws.row[slot] + (x0 + ws.col_off[slot]);
                 std::memcpy(c.out_base[s] +
                                 static_cast<std::size_t>(y - c.out_row_off) * w + x0,
-                            r, static_cast<std::size_t>(x1 - x0) * sizeof(double));
+                            r, static_cast<std::size_t>(x1 - x0) * sizeof(Value));
             }
         }
         for (int x = x1; x < w; ++x) eval_border_column(c, ws, x, y);
@@ -336,23 +478,26 @@ std::vector<Band_plan> plan_bands(int h, int band_rows, int depth, int up, int d
 // Const fields always read the full input frame, and every level runs the
 // same exec_rows code as the untiled sweep, so each cell value is computed
 // by the identical instruction sequence as in the double-buffered path.
-void exec_band(const Step_context& c, Workspace& ws, const Band_plan& plan) {
+template <class Policy>
+void exec_band(const Step_context<Policy>& c, Workspace<Policy>& ws,
+               const Band_plan& plan) {
+    using Value = typename Policy::Value;
     const int depth = static_cast<int>(plan.level.size()) - 1;
     const auto w = static_cast<std::size_t>(c.width);
     const std::size_t stride = static_cast<std::size_t>(plan.interim_rows) * w;
     const std::size_t states = c.state_pool_field.size();
     if (depth > 1) {
-        for (std::vector<double>& buf : ws.band) {
+        for (std::vector<Value>& buf : ws.band) {
             if (buf.size() < stride * states) buf.resize(stride * states);
         }
     }
 
-    Step_context local = c;
+    Step_context<Policy> local = c;
     for (int k = 1; k <= depth; ++k) {
         const Band_level out = plan.level[static_cast<std::size_t>(k)];
         if (k > 1) {
             const Band_level in = plan.level[static_cast<std::size_t>(k) - 1];
-            const double* base = ws.band[static_cast<std::size_t>((k - 1) & 1)].data();
+            const Value* base = ws.band[static_cast<std::size_t>((k - 1) & 1)].data();
             for (std::size_t s = 0; s < states; ++s) {
                 const auto f = static_cast<std::size_t>(c.state_pool_field[s]);
                 local.field_base[f] = base + s * stride;
@@ -363,7 +508,7 @@ void exec_band(const Step_context& c, Workspace& ws, const Band_plan& plan) {
             local.out_base = c.out_base;
             local.out_row_off = c.out_row_off;
         } else {
-            double* base = ws.band[static_cast<std::size_t>(k & 1)].data();
+            Value* base = ws.band[static_cast<std::size_t>(k & 1)].data();
             for (std::size_t s = 0; s < states; ++s) {
                 local.out_base[s] = base + s * stride;
             }
@@ -402,6 +547,126 @@ int auto_band_rows(int width, int h, int depth, int states, int growth, int thre
     return static_cast<int>(std::clamp(rows, 1L, static_cast<long>(h)));
 }
 
+// --- double-buffered driver -------------------------------------------------------
+
+// Runs `iterations` steps over a pair of pre-bound frame buffers. `bases[p]`
+// holds the per-pool-field base pointers of buffer parity p, `outs[p]` the
+// state-field output pointers written while parity p is current (i.e. into
+// the other buffer); const fields point at the same storage in both
+// parities when the caller shares it. Returns the parity holding the final
+// frames. `context` carries everything else (the policy, margins, scratch
+// layout) and is identical for the whole run apart from the per-block
+// pointer rebinding done here.
+template <class Policy>
+int run_buffers(Step_context<Policy>& context, int iterations, Boundary b,
+                const Exec_options& options, int state_up, int state_down,
+                const std::array<std::vector<const typename Policy::Value*>, 2>& bases,
+                const std::array<std::vector<typename Policy::Value*>, 2>& outs) {
+    using Value = typename Policy::Value;
+    const int w = context.width;
+    const int h = context.height;
+
+    const int total_threads = options.pool ? options.pool->thread_count()
+                                           : resolve_thread_count(options.threads);
+
+    // Resolve the tiling: fused depth first, band height second.
+    const std::size_t state_bytes =
+        static_cast<std::size_t>(w) * static_cast<std::size_t>(h) * sizeof(Value) *
+        std::max<std::size_t>(context.state_pool_field.size(), 1);
+    int depth = options.tile_iterations;
+    if (depth == 0) {
+        // Auto mode never tiles toroidal runs: under Boundary::periodic the
+        // edge bands' halos wrap to the opposite frame edge, widening their
+        // interim intervals (and band buffers) toward the whole frame —
+        // correct, but a net loss in time and memory. Explicit depths are
+        // honored; wrapped halo copies are the recorded follow-on.
+        depth = b == Boundary::periodic ? 1 : auto_tile_depth(state_bytes, iterations);
+    }
+    depth = std::clamp(depth, 1, iterations);
+    const int growth = state_up + state_down;
+    int band_rows = options.band_rows;
+    if (depth > 1) {
+        if (band_rows <= 0) {
+            band_rows = auto_band_rows(
+                w, h, depth, static_cast<int>(context.state_pool_field.size()), growth,
+                total_threads);
+        }
+        band_rows = std::clamp(band_rows, 1, h);
+    }
+
+    // A run has at most two distinct fused depths: the full blocks and one
+    // shorter tail block. Plan both up front; the plans are reused across
+    // every block of that depth.
+    const int tail_depth = depth > 1 ? iterations % depth : 0;
+    std::vector<Band_plan> full_plans;
+    std::vector<Band_plan> tail_plans;
+    if (depth > 1) full_plans = plan_bands(h, band_rows, depth, state_up, state_down, b);
+    if (tail_depth > 1) {
+        tail_plans = plan_bands(h, band_rows, tail_depth, state_up, state_down, b);
+    }
+
+    // The row/band fan-out: an external pool when the caller shares one,
+    // otherwise a pool owned by this run.
+    std::optional<Thread_pool> own_pool;
+    Thread_pool* thread_pool = nullptr;
+    if (total_threads > 1 && h > 1) {
+        if (options.pool) {
+            thread_pool = options.pool;
+        } else {
+            own_pool.emplace(total_threads);
+            thread_pool = &*own_pool;
+        }
+    }
+
+    Workspace<Policy> serial_ws;
+    if (!thread_pool) bind_workspace(serial_ws, context);
+    Workspace_pool<Policy> workspaces(context);
+
+    int cur = 0;
+    int it = 0;
+    while (it < iterations) {
+        const int block = std::min(depth, iterations - it);
+        context.field_base = bases[static_cast<std::size_t>(cur)];
+        context.out_base = outs[static_cast<std::size_t>(cur)];
+        if (block <= 1) {
+            // Classic untiled sweep: one pass over the frame, row blocks
+            // fanned across the pool.
+            if (!thread_pool) {
+                exec_rows(context, serial_ws, 0, h);
+            } else {
+                const std::size_t blocks = static_cast<std::size_t>(
+                    std::min(h, thread_pool->thread_count() * 4));
+                thread_pool->for_each_index(blocks, [&](std::size_t i) {
+                    std::unique_ptr<Workspace<Policy>> ws = workspaces.acquire();
+                    const int b0 =
+                        static_cast<int>(i * static_cast<std::size_t>(h) / blocks);
+                    const int b1 = static_cast<int>((i + 1) *
+                                                    static_cast<std::size_t>(h) / blocks);
+                    exec_rows(context, *ws, b0, b1);
+                    workspaces.release(std::move(ws));
+                });
+            }
+        } else {
+            const std::vector<Band_plan>& plans =
+                block == depth ? full_plans : tail_plans;
+            if (!thread_pool) {
+                for (const Band_plan& plan : plans) {
+                    exec_band(context, serial_ws, plan);
+                }
+            } else {
+                thread_pool->for_each_index(plans.size(), [&](std::size_t i) {
+                    std::unique_ptr<Workspace<Policy>> ws = workspaces.acquire();
+                    exec_band(context, *ws, plans[i]);
+                    workspaces.release(std::move(ws));
+                });
+            }
+        }
+        cur ^= 1;
+        it += block;
+    }
+    return cur;
+}
+
 }  // namespace
 
 Exec_engine::Exec_engine(const Stencil_step& step)
@@ -429,6 +694,10 @@ Exec_engine::Exec_engine(const Stencil_step& step)
 
 Frame_set Exec_engine::run(const Frame_set& initial, int iterations, Boundary b,
                            const Exec_options& options) const {
+    if (options.fixed_format) {
+        return run_fixed(initial, iterations, b, *options.fixed_format, options)
+            .to_frame_set();
+    }
     if (iterations <= 0) return initial;
     const int w = initial.width();
     const int h = initial.height();
@@ -448,7 +717,9 @@ Frame_set Exec_engine::run(const Frame_set& initial, int iterations, Boundary b,
     }
     if (w == 0 || h == 0) return buf_a;
 
-    Step_context context;
+    const Double_policy policy(program_.compiled());
+    Step_context<Double_policy> context;
+    context.policy = &policy;
     context.cp = &program_.compiled();
     context.scratch_index = &scratch_index_;
     context.scratch_rows = scratch_rows_;
@@ -466,119 +737,130 @@ Frame_set Exec_engine::run(const Frame_set& initial, int iterations, Boundary b,
     }
     // Both buffers were built with identical field order, so one positional
     // mapping (pool field -> buffer index) serves every rebinding below.
-    std::vector<int> buf_index(static_cast<std::size_t>(pool.field_count()), -1);
+    std::array<std::vector<const double*>, 2> bases;
+    std::array<std::vector<double*>, 2> outs;
+    bases[0].resize(static_cast<std::size_t>(pool.field_count()));
+    bases[1].resize(static_cast<std::size_t>(pool.field_count()));
     for (int f = 0; f < pool.field_count(); ++f) {
-        buf_index[static_cast<std::size_t>(f)] =
-            buf_a.index_of(intern_field(pool.field_name(f)));
+        const auto idx = static_cast<std::size_t>(
+            buf_a.index_of(intern_field(pool.field_name(f))));
+        bases[0][static_cast<std::size_t>(f)] = buf_a.frame_at(idx).data().data();
+        bases[1][static_cast<std::size_t>(f)] = buf_b.frame_at(idx).data().data();
+    }
+    outs[0].resize(step_->state_fields().size());
+    outs[1].resize(step_->state_fields().size());
+    for (std::size_t s = 0; s < step_->state_fields().size(); ++s) {
+        outs[0][s] = buf_b.frame_at(s).data().data();
+        outs[1][s] = buf_a.frame_at(s).data().data();
     }
 
-    const int total_threads = options.pool ? options.pool->thread_count()
-                                           : resolve_thread_count(options.threads);
+    const int final_parity =
+        run_buffers(context, iterations, b, options, state_up_, state_down_, bases, outs);
+    return std::move(final_parity == 0 ? buf_a : buf_b);
+}
 
-    // Resolve the tiling: fused depth first, band height second.
-    const std::size_t state_bytes = static_cast<std::size_t>(w) *
-                                    static_cast<std::size_t>(h) * sizeof(double) *
-                                    std::max<std::size_t>(context.state_pool_field.size(), 1);
-    int depth = options.tile_iterations;
-    if (depth == 0) {
-        // Auto mode never tiles toroidal runs: under Boundary::periodic the
-        // edge bands' halos wrap to the opposite frame edge, widening their
-        // interim intervals (and band buffers) toward the whole frame —
-        // correct, but a net loss in time and memory. Explicit depths are
-        // honored; wrapped halo copies are the recorded follow-on.
-        depth = b == Boundary::periodic ? 1 : auto_tile_depth(state_bytes, iterations);
+Fixed_frame_result Exec_engine::run_fixed(const Frame_set& initial, int iterations,
+                                          Boundary b, const Fixed_format& format,
+                                          const Exec_options& options) const {
+    const int w = initial.width();
+    const int h = initial.height();
+    const Expr_pool& pool = step_->pool();
+    const Raw_quantizer quantize(format);
+    const std::size_t elements = static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
+
+    Fixed_frame_result result;
+    result.width = w;
+    result.height = h;
+    result.format = format;
+
+    // Quantize once into raw buffers: state fields double-buffered, const
+    // fields shared by both parities (they are never rewritten).
+    auto quantize_field = [&](const Frame& frame) {
+        std::vector<std::int64_t> raw(elements);
+        const std::vector<double>& data = frame.data();
+        for (std::size_t i = 0; i < elements; ++i) raw[i] = quantize(data[i]);
+        return raw;
+    };
+    std::vector<std::vector<std::int64_t>> state_a;
+    std::vector<std::vector<std::int64_t>> state_b;
+    std::vector<std::vector<std::int64_t>> const_raw;
+    for (const std::string& name : step_->state_fields()) {
+        result.names.push_back(name);
+        state_a.push_back(quantize_field(initial.field(name)));
+        state_b.emplace_back(elements, 0);
     }
-    depth = std::clamp(depth, 1, iterations);
-    const int growth = state_up_ + state_down_;
-    int band_rows = options.band_rows;
-    if (depth > 1) {
-        if (band_rows <= 0) {
-            band_rows = auto_band_rows(
-                w, h, depth, static_cast<int>(context.state_pool_field.size()), growth,
-                total_threads);
+    for (const std::string& name : step_->const_fields()) {
+        result.names.push_back(name);
+        const_raw.push_back(quantize_field(initial.field(name)));
+    }
+
+    auto finish = [&](std::vector<std::vector<std::int64_t>>&& state) {
+        result.raw = std::move(state);
+        for (std::vector<std::int64_t>& raw : const_raw) {
+            result.raw.push_back(std::move(raw));
         }
-        band_rows = std::clamp(band_rows, 1, h);
+        return std::move(result);
+    };
+    if (iterations <= 0 || w == 0 || h == 0) return finish(std::move(state_a));
+
+    // One integer lowering per run; every fused level executes it.
+    const Fixed_tape tape(program_.compiled(), format);
+    const Fixed_policy policy(tape);
+    Step_context<Fixed_policy> context;
+    context.policy = &policy;
+    context.cp = &program_.compiled();
+    context.scratch_index = &scratch_index_;
+    context.scratch_rows = scratch_rows_;
+    context.left_margin = left_margin_;
+    context.right_margin = right_margin_;
+    context.width = w;
+    context.height = h;
+    context.boundary = b;
+    context.field_base.resize(static_cast<std::size_t>(pool.field_count()));
+    context.field_row_off.assign(static_cast<std::size_t>(pool.field_count()), 0);
+    context.out_base.resize(step_->state_fields().size());
+    context.state_pool_field.reserve(step_->state_fields().size());
+    for (const std::string& name : step_->state_fields()) {
+        context.state_pool_field.push_back(pool.find_field(name));
+    }
+    std::array<std::vector<const std::int64_t*>, 2> bases;
+    std::array<std::vector<std::int64_t*>, 2> outs;
+    bases[0].resize(static_cast<std::size_t>(pool.field_count()));
+    bases[1].resize(static_cast<std::size_t>(pool.field_count()));
+    for (std::size_t s = 0; s < state_a.size(); ++s) {
+        const auto f = static_cast<std::size_t>(context.state_pool_field[s]);
+        bases[0][f] = state_a[s].data();
+        bases[1][f] = state_b[s].data();
+    }
+    for (std::size_t k = 0; k < const_raw.size(); ++k) {
+        const auto f = static_cast<std::size_t>(
+            pool.find_field(step_->const_fields()[k]));
+        bases[0][f] = const_raw[k].data();
+        bases[1][f] = const_raw[k].data();
+    }
+    outs[0].resize(state_a.size());
+    outs[1].resize(state_a.size());
+    for (std::size_t s = 0; s < state_a.size(); ++s) {
+        outs[0][s] = state_b[s].data();
+        outs[1][s] = state_a[s].data();
     }
 
-    // A run has at most two distinct fused depths: the full blocks and one
-    // shorter tail block. Plan both up front; the plans are reused across
-    // every block of that depth.
-    const int tail_depth = depth > 1 ? iterations % depth : 0;
-    std::vector<Band_plan> full_plans;
-    std::vector<Band_plan> tail_plans;
-    if (depth > 1) full_plans = plan_bands(h, band_rows, depth, state_up_, state_down_, b);
-    if (tail_depth > 1) {
-        tail_plans = plan_bands(h, band_rows, tail_depth, state_up_, state_down_, b);
-    }
+    const int final_parity =
+        run_buffers(context, iterations, b, options, state_up_, state_down_, bases, outs);
+    return finish(final_parity == 0 ? std::move(state_a) : std::move(state_b));
+}
 
-    // The row/band fan-out: an external pool when the caller shares one,
-    // otherwise a pool owned by this run.
-    std::optional<Thread_pool> own_pool;
-    Thread_pool* thread_pool = nullptr;
-    if (total_threads > 1 && h > 1) {
-        if (options.pool) {
-            thread_pool = options.pool;
-        } else {
-            own_pool.emplace(total_threads);
-            thread_pool = &*own_pool;
+Frame_set Fixed_frame_result::to_frame_set() const {
+    Frame_set frames(width, height);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        Frame frame(width, height);
+        std::vector<double>& data = frame.data();
+        for (std::size_t j = 0; j < raw[i].size(); ++j) {
+            data[j] = from_raw(raw[i][j], format);
         }
+        frames.add_field(names[i], std::move(frame));
     }
-
-    Workspace serial_ws;
-    if (!thread_pool) bind_workspace(serial_ws, context);
-    Workspace_pool workspaces(context);
-
-    Frame_set* current = &buf_a;
-    Frame_set* next = &buf_b;
-    int it = 0;
-    while (it < iterations) {
-        const int block = std::min(depth, iterations - it);
-        for (int f = 0; f < pool.field_count(); ++f) {
-            context.field_base[static_cast<std::size_t>(f)] =
-                current->frame_at(static_cast<std::size_t>(buf_index[static_cast<std::size_t>(f)]))
-                    .data()
-                    .data();
-        }
-        for (std::size_t s = 0; s < step_->state_fields().size(); ++s) {
-            context.out_base[s] = next->frame_at(s).data().data();
-        }
-        if (block <= 1) {
-            // Classic untiled sweep: one pass over the frame, row blocks
-            // fanned across the pool.
-            if (!thread_pool) {
-                exec_rows(context, serial_ws, 0, h);
-            } else {
-                const std::size_t blocks = static_cast<std::size_t>(
-                    std::min(h, thread_pool->thread_count() * 4));
-                thread_pool->for_each_index(blocks, [&](std::size_t i) {
-                    std::unique_ptr<Workspace> ws = workspaces.acquire();
-                    const int b0 =
-                        static_cast<int>(i * static_cast<std::size_t>(h) / blocks);
-                    const int b1 = static_cast<int>((i + 1) *
-                                                    static_cast<std::size_t>(h) / blocks);
-                    exec_rows(context, *ws, b0, b1);
-                    workspaces.release(std::move(ws));
-                });
-            }
-        } else {
-            const std::vector<Band_plan>& plans =
-                block == depth ? full_plans : tail_plans;
-            if (!thread_pool) {
-                for (const Band_plan& plan : plans) {
-                    exec_band(context, serial_ws, plan);
-                }
-            } else {
-                thread_pool->for_each_index(plans.size(), [&](std::size_t i) {
-                    std::unique_ptr<Workspace> ws = workspaces.acquire();
-                    exec_band(context, *ws, plans[i]);
-                    workspaces.release(std::move(ws));
-                });
-            }
-        }
-        std::swap(current, next);
-        it += block;
-    }
-    return std::move(*current);
+    return frames;
 }
 
 }  // namespace islhls

@@ -38,7 +38,24 @@
 // support/parallel.hpp Thread_pool; every row is computed identically
 // regardless of the schedule, so results are byte-identical to a serial run
 // at any thread count (the same determinism contract the DSE engine holds).
+//
+// The engine runs in two value domains over the SAME row machinery (one
+// templated implementation, so the paths cannot diverge structurally):
+//
+//   - double (run): the tape's IEEE semantics, the classic golden engine;
+//   - fixed point (run_fixed / Exec_options::fixed_format): the program is
+//     lowered once per run into a Fixed_tape (ir/compiled.hpp) and executed
+//     over raw int64 Qm.f row buffers — the initial frames are quantized
+//     once, every iteration reads and writes raw words (no per-level
+//     re-quantization), the interior fast path runs one integer loop per
+//     tape op and the border pass goes through Fixed_tape::eval_point. The
+//     raw words are memcmp-identical to a per-pixel run_fixed_raw sweep for
+//     every kernel, boundary, format, thread count and tile depth.
 #pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "grid/frame_set.hpp"
 #include "ir/compiled.hpp"
@@ -49,8 +66,18 @@ namespace islhls {
 class Thread_pool;
 
 // Execution knobs. The defaults reproduce the classic engine behavior
-// (serial, one full-frame sweep per iteration).
+// (serial, one full-frame sweep per iteration). The positional constructor
+// keeps the pre-fixed_format brace call sites (threads, depth, band_rows
+// [, pool]) valid without partial-aggregate warnings.
 struct Exec_options {
+    Exec_options() = default;
+    Exec_options(int threads_, int tile_iterations_, int band_rows_ = 0,
+                 Thread_pool* pool_ = nullptr)
+        : threads(threads_),
+          tile_iterations(tile_iterations_),
+          band_rows(band_rows_),
+          pool(pool_) {}
+
     // Total parallelism, following resolve_thread_count (0 = all hardware
     // threads). Any thread count produces byte-identical frames.
     int threads = 1;
@@ -70,6 +97,25 @@ struct Exec_options {
     // way. The pool must not be running another job concurrently. Results
     // stay byte-identical to a serial run either way.
     Thread_pool* pool = nullptr;
+    // When set, run() executes the integer row path under this Qm.f format
+    // and returns the from_raw-decoded frames (run_fixed exposes the raw
+    // words). All other knobs apply unchanged.
+    std::optional<Fixed_format> fixed_format;
+};
+
+// Result of a whole-frame fixed-point run: the raw two's-complement Qm.f
+// words of every field after the final iteration, state fields first
+// (declaration order) then const fields — the same canonical order as the
+// double engine's Frame_set. The raw words are the ground truth the
+// architecture-simulator validation compares against; to_frame_set() decodes
+// them for callers that want values.
+struct Fixed_frame_result {
+    int width = 0;
+    int height = 0;
+    Fixed_format format;
+    std::vector<std::string> names;                   // canonical field order
+    std::vector<std::vector<std::int64_t>> raw;       // per field, row-major
+    Frame_set to_frame_set() const;
 };
 
 class Exec_engine {
@@ -99,6 +145,17 @@ public:
                   int threads = 1) const {
         return run(initial, iterations, b, Exec_options{threads, 1, 0});
     }
+
+    // Whole-frame fixed-point run: quantizes `initial` once (Raw_quantizer
+    // semantics, like every production caller), lowers the program into a
+    // Fixed_tape for `format`, and carries raw int64 words through all
+    // iterations — byte-identical to a per-pixel run_fixed_raw sweep at any
+    // thread count and tile depth. With iterations <= 0 the result holds the
+    // quantized initial frames. `options.fixed_format` is ignored here (the
+    // explicit `format` parameter wins).
+    Fixed_frame_result run_fixed(const Frame_set& initial, int iterations, Boundary b,
+                                 const Fixed_format& format,
+                                 const Exec_options& options = {}) const;
 
 private:
     const Stencil_step* step_;

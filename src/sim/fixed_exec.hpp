@@ -5,19 +5,22 @@
 // square root), so an expected-output vector computed here is exactly what
 // the emitted entity produces — the self-checking testbenches rely on it.
 //
-// Two execution styles share the same integer semantics (apply_op_fixed in
-// ir/compiled.hpp):
+// Three execution styles share the same integer semantics (apply_op_fixed
+// in ir/compiled.hpp):
 //
 //   - run_fixed_raw / run_fixed interpret the instruction vector one sample
 //     at a time, allocating a fresh register file per call. Kept as the
 //     scalar reference the compiled paths are validated against
 //     byte-for-byte; not a production path.
-//   - Fixed_exec executes the integer-lowered tape (Fixed_tape) structure-
-//     of-arrays: many samples advance through each tape operation in one
-//     tight loop over a reusable lane buffer, so evaluating thousands of
-//     sample windows (fixed-point format search, fixed-mode architecture
-//     simulation) performs no per-sample allocation and amortizes the
-//     per-operation dispatch across a whole lane block.
+//   - Fixed_exec (here) executes the integer-lowered tape (Fixed_tape)
+//     structure-of-arrays over sample lanes: many samples advance through
+//     each tape operation in one tight loop over a reusable lane buffer, so
+//     evaluating thousands of sample windows (fixed-point format search,
+//     fixed-mode architecture simulation) performs no per-sample allocation
+//     and amortizes the per-operation dispatch across a whole lane block.
+//   - Exec_engine::run_fixed (sim/exec_engine.hpp) executes the same tape
+//     structure-of-arrays over whole frame ROWS — the frame-scale twin of
+//     Fixed_exec, memcmp-identical to a per-pixel run_fixed_raw sweep.
 #pragma once
 
 #include <cstdint>

@@ -2,6 +2,7 @@
 
 #include "ir/program.hpp"
 #include "sim/exec_engine.hpp"
+#include "sim/fixed_exec.hpp"
 #include "support/error.hpp"
 
 namespace islhls {
@@ -64,6 +65,72 @@ Frame_set run_ir(const Stencil_step& step, const Frame_set& initial, int iterati
     // tiling whenever the frame outgrows the cache budget (results are
     // byte-identical either way).
     return run_ir(step, initial, iterations, b, Exec_options{threads, 0, 0});
+}
+
+Fixed_frame_result run_ir(const Stencil_step& step, const Frame_set& initial,
+                          int iterations, Boundary b, const Fixed_format& format,
+                          const Exec_options& options) {
+    return Exec_engine(step).run_fixed(initial, iterations, b, format, options);
+}
+
+Fixed_frame_result run_ir_fixed_reference(const Stencil_step& step,
+                                          const Frame_set& initial, int iterations,
+                                          Boundary b, const Fixed_format& format) {
+    const Register_program program = build_program(step.pool(), step.updates());
+    const int w = initial.width();
+    const int h = initial.height();
+    const Raw_quantizer quantize(format);
+
+    Fixed_frame_result frames;
+    frames.width = w;
+    frames.height = h;
+    frames.format = format;
+    // Canonical field order (state first), plus the pool-field -> raw-buffer
+    // mapping the per-pixel gathers resolve through.
+    std::vector<int> field_index(static_cast<std::size_t>(step.pool().field_count()),
+                                 -1);
+    auto add = [&](const std::string& name) {
+        const Frame& f = initial.field(name);
+        std::vector<std::int64_t> raw(f.element_count());
+        for (std::size_t i = 0; i < raw.size(); ++i) raw[i] = quantize(f.data()[i]);
+        field_index[static_cast<std::size_t>(step.pool().find_field(name))] =
+            static_cast<int>(frames.raw.size());
+        frames.names.push_back(name);
+        frames.raw.push_back(std::move(raw));
+    };
+    for (const std::string& name : step.state_fields()) add(name);
+    for (const std::string& name : step.const_fields()) add(name);
+
+    const std::size_t states = step.state_fields().size();
+    const auto& ports = program.input_ports();
+    std::vector<std::int64_t> inputs(ports.size());
+    for (int it = 0; it < iterations; ++it) {
+        std::vector<std::vector<std::int64_t>> next(states);
+        for (std::size_t s = 0; s < states; ++s) {
+            next[s].assign(static_cast<std::size_t>(w) * h, 0);
+        }
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                for (std::size_t i = 0; i < ports.size(); ++i) {
+                    const int rx = resolve_coordinate(x + ports[i].dx, w, b);
+                    const int ry = resolve_coordinate(y + ports[i].dy, h, b);
+                    const int fi =
+                        field_index[static_cast<std::size_t>(ports[i].field)];
+                    inputs[i] = (rx < 0 || ry < 0)
+                                    ? 0
+                                    : frames.raw[static_cast<std::size_t>(fi)]
+                                               [static_cast<std::size_t>(ry) * w + rx];
+                }
+                const std::vector<std::int64_t> out =
+                    run_fixed_raw(program, inputs, format);
+                for (std::size_t s = 0; s < states; ++s) {
+                    next[s][static_cast<std::size_t>(y) * w + x] = out[s];
+                }
+            }
+        }
+        for (std::size_t s = 0; s < states; ++s) frames.raw[s] = std::move(next[s]);
+    }
+    return frames;
 }
 
 Frame pad_frame(const Frame& frame, int left, int right, int up, int down, Boundary b) {
@@ -129,6 +196,35 @@ Frame_set run_ghost_ir(const Stencil_step& step, const Frame_set& initial,
                        int iterations, Boundary b) {
     // Auto tiling, serial — matching the legacy run_ir signature.
     return run_ghost_ir(step, initial, iterations, b, Exec_options{1, 0, 0});
+}
+
+Fixed_frame_result run_ghost_ir(const Stencil_step& step, const Frame_set& initial,
+                                int iterations, Boundary b, const Fixed_format& format,
+                                const Exec_options& options) {
+    const Footprint halo = repeat(step.footprint(), iterations);
+    const Frame_set padded = pad_set(initial, halo, b);
+    Fixed_frame_result run =
+        Exec_engine(step).run_fixed(padded, iterations, b, format, options);
+    // Crop the apron off the raw words (the raw-domain twin of crop_set).
+    Fixed_frame_result cropped;
+    cropped.width = run.width - halo.width_growth();
+    cropped.height = run.height - halo.height_growth();
+    cropped.format = run.format;
+    cropped.names = run.names;
+    cropped.raw.reserve(run.raw.size());
+    for (const std::vector<std::int64_t>& field : run.raw) {
+        std::vector<std::int64_t> inner(static_cast<std::size_t>(cropped.width) *
+                                        static_cast<std::size_t>(cropped.height));
+        for (int y = 0; y < cropped.height; ++y) {
+            const std::int64_t* src =
+                field.data() +
+                static_cast<std::size_t>(y + halo.up) * run.width + halo.left;
+            std::copy(src, src + cropped.width,
+                      inner.begin() + static_cast<std::size_t>(y) * cropped.width);
+        }
+        cropped.raw.push_back(std::move(inner));
+    }
+    return cropped;
 }
 
 Frame_set run_ghost_native(const Kernel_def& kernel, const Frame_set& initial,

@@ -33,6 +33,15 @@ Frame_set run_ir(const Stencil_step& step, const Frame_set& initial, int iterati
 Frame_set run_ir(const Stencil_step& step, const Frame_set& initial, int iterations,
                  Boundary b, int threads = 1);
 
+// Fixed-point overload: quantizes `initial` once and iterates the integer
+// row engine under `format`, returning the raw Qm.f words of every field
+// (sim/exec_engine.hpp). Byte-identical to a per-pixel run_fixed_raw sweep
+// for every boundary, thread count and tile depth — this is the whole-frame
+// fixed-point golden the DSE's fixed-mode validation compares against.
+Fixed_frame_result run_ir(const Stencil_step& step, const Frame_set& initial,
+                          int iterations, Boundary b, const Fixed_format& format,
+                          const Exec_options& options = {});
+
 // Legacy per-pixel interpreter path: field lookups by name, a boundary-
 // resolved sample per read, and an interpreted, trace-allocating program
 // execution per element — independent of the compiled tape. Kept as the
@@ -42,6 +51,16 @@ Frame_set run_step_ir_reference(const Stencil_step& step, const Frame_set& curre
                                 Boundary b);
 Frame_set run_ir_reference(const Stencil_step& step, const Frame_set& initial,
                            int iterations, Boundary b);
+
+// Per-pixel fixed-point reference: quantizes `initial` once (Raw_quantizer
+// semantics), then advances raw words by interpreting run_fixed_raw at
+// every pixel with boundary-resolved gathers (raw 0 backs Boundary::zero).
+// The one source of the frame-scale scalar sweep the integer row engine's
+// memcmp suite and the throughput bench both compare against; not a
+// production path. iterations <= 0 returns the quantized initial frames.
+Fixed_frame_result run_ir_fixed_reference(const Stencil_step& step,
+                                          const Frame_set& initial, int iterations,
+                                          Boundary b, const Fixed_format& format);
 
 // Pads `frame` by the margins, filling the apron via the boundary policy.
 Frame pad_frame(const Frame& frame, int left, int right, int up, int down, Boundary b);
@@ -57,6 +76,15 @@ Frame_set run_ghost_ir(const Stencil_step& step, const Frame_set& initial,
                        int iterations, Boundary b, const Exec_options& options);
 Frame_set run_ghost_ir(const Stencil_step& step, const Frame_set& initial,
                        int iterations, Boundary b);
+
+// Fixed-point ghost golden: pads the initial frames by the N-iteration halo
+// (boundary applied once, in the double domain — exactly the off-chip
+// coverage the cone architecture loads), quantizes, iterates the integer row
+// engine, and crops the apron off the raw words again. The architecture
+// simulator's fixed mode must reproduce these raw words exactly.
+Fixed_frame_result run_ghost_ir(const Stencil_step& step, const Frame_set& initial,
+                                int iterations, Boundary b, const Fixed_format& format,
+                                const Exec_options& options = {});
 
 // Ghost-zone golden using a kernel's native step.
 Frame_set run_ghost_native(const Kernel_def& kernel, const Frame_set& initial,

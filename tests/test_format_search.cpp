@@ -56,15 +56,30 @@ Format_search_result search_fixed_format_reference(
         2 + static_cast<int>(std::ceil(std::log2(std::max(1.0, max_abs))));
 
     auto psnr_of = [&](const Fixed_format& fmt) {
+        // The fold-order contract of the batched search: partial squared-
+        // error sums over at most 16 fixed contiguous sample ranges, never
+        // smaller than one lane block (a function of the sample count
+        // alone), combined in range order.
+        const std::size_t samples = input_sets.size();
+        const std::size_t lane = static_cast<std::size_t>(Fixed_exec::kLane);
+        const std::size_t jobs = std::max<std::size_t>(
+            1, std::min<std::size_t>(16, (samples + lane - 1) / lane));
         double se = 0.0;
         long long count = 0;
-        for (std::size_t s = 0; s < input_sets.size(); ++s) {
-            const std::vector<double> fixed = run_fixed(program, input_sets[s], fmt);
-            for (std::size_t o = 0; o < fixed.size(); ++o) {
-                const double d = fixed[o] - references[s][o];
-                se += d * d;
-                count += 1;
+        for (std::size_t j = 0; j < jobs; ++j) {
+            const std::size_t s0 = j * samples / jobs;
+            const std::size_t s1 = (j + 1) * samples / jobs;
+            double partial = 0.0;
+            for (std::size_t s = s0; s < s1; ++s) {
+                const std::vector<double> fixed =
+                    run_fixed(program, input_sets[s], fmt);
+                for (std::size_t o = 0; o < fixed.size(); ++o) {
+                    const double d = fixed[o] - references[s][o];
+                    partial += d * d;
+                    count += 1;
+                }
             }
+            se += partial;
         }
         const double mse = se / static_cast<double>(count);
         if (mse == 0.0) return 1e9;
@@ -173,16 +188,23 @@ TEST_F(Format_search_fixture, batched_search_identical_to_interpreter_reference)
 }
 
 TEST_F(Format_search_fixture, result_is_thread_count_invariant) {
-    Format_search_options base;
-    base.sample_windows = 70;  // more windows than one lane block
-    const Format_search_result serial =
-        search_fixed_format(cone, content, Boundary::clamp, base);
-    for (int threads : {2, 8, 0}) {
-        SCOPED_TRACE(threads);
-        Format_search_options options = base;
-        options.threads = threads;
-        expect_same_result(serial,
-                           search_fixed_format(cone, content, Boundary::clamp, options));
+    // The partial-sum fold must be a function of the sample set alone:
+    // 1/2/8 threads (and all-hardware 0) return the bit-identical
+    // Format_search_result, for window counts below, at and well above the
+    // fixed fold-job count (16) — including ranges that do not divide evenly.
+    for (int sample_windows : {5, 16, 70, 131}) {
+        SCOPED_TRACE(sample_windows);
+        Format_search_options base;
+        base.sample_windows = sample_windows;
+        const Format_search_result serial =
+            search_fixed_format(cone, content, Boundary::clamp, base);
+        for (int threads : {2, 8, 0}) {
+            SCOPED_TRACE(threads);
+            Format_search_options options = base;
+            options.threads = threads;
+            expect_same_result(
+                serial, search_fixed_format(cone, content, Boundary::clamp, options));
+        }
     }
 }
 

@@ -14,9 +14,12 @@ gets faster or slower. A metric regresses when
 Usage: check_bench.py <baseline-dir> <fresh-dir> [--max-regression 0.30]
 
 Exit status is non-zero when any baseline metric regressed, lost its fresh
-counterpart, or a baseline record has no fresh record at all. Metrics that
-exist only in the fresh record are reported as new and do not fail the gate
-(they become binding once the record is committed as the new baseline).
+counterpart (a gated metric silently disappearing from a bench record is a
+gate failure, not a skip), a record is unreadable or malformed, or a
+baseline record has no fresh record at all. Metrics that exist only in the
+fresh record are reported as new and do not fail the gate (they become
+binding once the record is committed as the new baseline); fresh records
+with no baseline counterpart are reported the same way.
 """
 
 import argparse
@@ -27,22 +30,32 @@ import sys
 
 
 def load_metrics(path):
-    with open(path) as f:
-        record = json.load(f)
+    """Returns the record's gated_metrics dict, or raises ValueError with a
+    one-line reason (unreadable file, invalid JSON, non-numeric values)."""
+    try:
+        with open(path) as f:
+            record = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise ValueError(f"unreadable record: {err}") from err
+    if not isinstance(record, dict):
+        raise ValueError("record is not a JSON object")
     metrics = record.get("gated_metrics", {})
-    bad = {k: v for k, v in metrics.items() if not isinstance(v, (int, float))}
+    if not isinstance(metrics, dict):
+        raise ValueError("gated_metrics is not an object")
+    bad = {k: v for k, v in metrics.items()
+           if not isinstance(v, (int, float)) or isinstance(v, bool)}
     if bad:
-        raise ValueError(f"{path}: non-numeric gated_metrics {sorted(bad)}")
+        raise ValueError(f"non-numeric gated_metrics {sorted(bad)}")
     return metrics
 
 
-def main():
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline_dir", help="directory holding the committed BENCH_*.json")
     parser.add_argument("fresh_dir", help="directory holding the freshly measured BENCH_*.json")
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="allowed fractional drop before failing (default 0.30)")
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
     baselines = sorted(glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json")))
     if not baselines:
@@ -58,13 +71,24 @@ def main():
             print(f"  FAIL: no freshly measured {name} (bench not run?)")
             failures += 1
             continue
-        baseline = load_metrics(baseline_path)
-        fresh = load_metrics(fresh_path)
+        try:
+            baseline = load_metrics(baseline_path)
+        except ValueError as err:
+            print(f"  FAIL: baseline: {err}")
+            failures += 1
+            continue
+        try:
+            fresh = load_metrics(fresh_path)
+        except ValueError as err:
+            print(f"  FAIL: fresh: {err}")
+            failures += 1
+            continue
         if not baseline:
             print("  note: baseline has no gated_metrics; nothing to enforce")
         for metric, base_value in sorted(baseline.items()):
             if metric not in fresh:
-                print(f"  FAIL: {metric}: missing from fresh record")
+                print(f"  FAIL: {metric}: gated metric disappeared from the fresh "
+                      f"record (renamed or dropped without updating the baseline?)")
                 failures += 1
                 continue
             fresh_value = fresh[metric]
@@ -78,9 +102,15 @@ def main():
         for metric in sorted(set(fresh) - set(baseline)):
             print(f"  new: {metric}: {fresh[metric]:g} (unenforced until committed)")
 
+    baseline_names = {os.path.basename(p) for p in baselines}
+    for fresh_path in sorted(glob.glob(os.path.join(args.fresh_dir, "BENCH_*.json"))):
+        name = os.path.basename(fresh_path)
+        if name not in baseline_names:
+            print(f"== {name}\n  new record (unenforced until committed)")
+
     if failures:
         print(f"\n{failures} gated metric(s) regressed beyond "
-              f"{args.max_regression:.0%} — failing the perf gate.")
+              f"{args.max_regression:.0%} or went missing — failing the perf gate.")
         return 1
     print("\nperf gate clean.")
     return 0

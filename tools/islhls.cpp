@@ -26,6 +26,11 @@
 //   --frame WxH, --format Qm.f, --threads N   as above
 //   --pareto              additionally run the Pareto sweep per combination
 //   --validate            golden-check each feasible fit against the simulator
+//   --search-formats      per-(window, depth) fixed-point format search; each
+//                         fit reports its covering format + re-priced area
+//   --psnr DB             format search accuracy target (default 50)
+//   --validate-fixed      fixed-mode golden check against the integer frame
+//                         engine (raw words must match exactly)
 //
 // Examples:
 //   islhls my_stencil.c --iterations 8 --fit
@@ -70,6 +75,12 @@ sweep options:
   --pareto             additionally run the Pareto sweep per combination
   --validate           golden-check each feasible fit (simulated architecture
                        vs ghost golden on a small frame; must be exact)
+  --search-formats     search the narrowest passing Qm.f per (window, depth),
+                       report each fit's covering format and its re-priced area
+  --psnr DB            format search accuracy target (default 50)
+  --validate-fixed     fixed-point golden check: simulate each feasible fit
+                       under quantization vs the fixed frame engine (raw words
+                       must match exactly)
 )";
     std::exit(code);
 }
@@ -233,6 +244,19 @@ int run_sweep(int argc, char** argv) {
             config.with_pareto = true;
         } else if (arg == "--validate") {
             config.validate = true;
+        } else if (arg == "--search-formats") {
+            config.search_formats = true;
+        } else if (arg == "--psnr") {
+            const std::string value = next_value();
+            try {
+                std::size_t consumed = 0;
+                config.format_search.target_psnr_db = std::stod(value, &consumed);
+                if (consumed != value.size()) throw Error("");
+            } catch (const std::exception&) {
+                throw Error(cat("bad PSNR target '", value, "', expected a number"));
+            }
+        } else if (arg == "--validate-fixed") {
+            config.validate_fixed = true;
         } else {
             std::cerr << "unknown sweep option " << arg << "\n";
             usage(2);

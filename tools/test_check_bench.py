@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Behavior lock for tools/check_bench.py, run as a ctest: the perf gate must
+fail when a gated metric regresses, disappears, or a record is missing or
+malformed — and must pass regressions within tolerance and fresh-only
+additions. Uses only the standard library (tempdirs of fixture JSON)."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench  # noqa: E402
+
+
+def write_record(directory, name, metrics, raw=None):
+    path = os.path.join(directory, name)
+    with open(path, "w") as f:
+        if raw is not None:
+            f.write(raw)
+        else:
+            json.dump({"bench": name, "gated_metrics": metrics}, f)
+    return path
+
+
+class Check_bench_gate(unittest.TestCase):
+    def setUp(self):
+        self._baseline = tempfile.TemporaryDirectory()
+        self._fresh = tempfile.TemporaryDirectory()
+        self.baseline = self._baseline.name
+        self.fresh = self._fresh.name
+        self.addCleanup(self._baseline.cleanup)
+        self.addCleanup(self._fresh.cleanup)
+
+    def run_gate(self, max_regression=0.30):
+        return check_bench.main(
+            [self.baseline, self.fresh, "--max-regression", str(max_regression)])
+
+    def test_clean_pass_within_tolerance(self):
+        write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0})
+        write_record(self.fresh, "BENCH_a.json", {"speedup": 8.0})  # -20% < 30%
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_regression_beyond_tolerance_fails(self):
+        write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0})
+        write_record(self.fresh, "BENCH_a.json", {"speedup": 6.0})  # -40%
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_disappeared_metric_fails(self):
+        # The satellite case: a gated metric silently dropped from the fresh
+        # record (e.g. a bench renamed its metric) must fail the gate even
+        # when every surviving metric is healthy.
+        write_record(self.baseline, "BENCH_a.json",
+                     {"speedup": 10.0, "tiled_speedup": 1.5})
+        write_record(self.fresh, "BENCH_a.json", {"speedup": 12.0})
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_missing_fresh_record_fails(self):
+        write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0})
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_empty_gated_metrics_object_fails_when_baseline_has_metrics(self):
+        write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0})
+        write_record(self.fresh, "BENCH_a.json", {})
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_new_metric_and_new_record_do_not_fail(self):
+        write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0})
+        write_record(self.fresh, "BENCH_a.json", {"speedup": 10.5, "extra": 2.0})
+        write_record(self.fresh, "BENCH_b.json", {"novel": 1.0})
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_invalid_json_fails_cleanly(self):
+        write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0})
+        write_record(self.fresh, "BENCH_a.json", None, raw="{not json")
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_non_numeric_metric_fails_cleanly(self):
+        write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0})
+        write_record(self.fresh, "BENCH_a.json", {"speedup": "fast"})
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_no_baselines_is_a_usage_error(self):
+        self.assertEqual(self.run_gate(), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
