@@ -8,6 +8,8 @@
 #include <mutex>
 #include <optional>
 
+#include "sim/tape_lanes.hpp"
+#include "support/cache_info.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 
@@ -25,6 +27,8 @@ namespace {
 // IEEE double over the compiled tape (the classic golden engine).
 struct Double_policy {
     using Value = double;
+    // Interior style: full-width scratch rows, one op-span per operation.
+    static constexpr bool lane_interior = false;
     const Compiled_program* cp;
 
     explicit Double_policy(const Compiled_program& tape) : cp(&tape) {}
@@ -40,18 +44,25 @@ struct Double_policy {
 // exactly like Fixed_exec's lane loops.
 struct Fixed_policy {
     using Value = std::int64_t;
+    // Interior style: compact kTapeLane-wide lane blocks through the shared
+    // per-ISA lane kernels (sim/tape_lanes.hpp) — the intermediates of the
+    // whole tape fit in L1 regardless of frame width, and the int64
+    // arithmetic runs the widest vector body the host supports.
+    static constexpr bool lane_interior = true;
     const Compiled_program* cp;
     const Fixed_tape* tape;
     Bit_wrap wrap;
     int frac;
     std::int64_t one;
+    Fixed_lane_fn lane_fn;
 
     explicit Fixed_policy(const Fixed_tape& t)
         : cp(&t.tape()),
           tape(&t),
           wrap(t.wrap()),
           frac(t.frac_bits()),
-          one(t.fixed_one()) {}
+          one(t.fixed_one()),
+          lane_fn(fixed_lane_kernel()) {}
 
     Value constant(std::size_t i) const { return tape->constant_raw()[i]; }
     void eval_point(const Value* inputs, Value* slots) const {
@@ -75,9 +86,17 @@ struct Step_context {
     int right_margin = 0;
     int width = 0;
     int height = 0;
+    // Interior column-panel width; <= 0 runs the whole interior as one
+    // panel. Panels only split the x loop, so every width is byte-identical.
+    int panel_cols = 0;
     Boundary boundary = Boundary::clamp;
     std::vector<const Value*> field_base;  // per pool field index
     std::vector<int> field_row_off;        // per pool field index
+    // Per pool field: nonzero when row reads index the binding directly at
+    // the unclamped row (y + dy - row_off) with no boundary resolution —
+    // the wrapped-halo band buffers of Boundary::periodic, whose rows past
+    // the frame edge hold the opposite edge's content.
+    std::vector<std::uint8_t> field_direct_rows;
     std::vector<Value*> out_base;          // per state field
     int out_row_off = 0;
     // Banded execution: pool field index of every state field (declaration
@@ -102,6 +121,9 @@ struct Workspace {
     std::vector<Value> zero_row;
     std::vector<Value> point_slots;
     std::vector<Value> point_inputs;
+    // Lane-interior policies: kTapeLane contiguous samples per tape slot
+    // (lanes[slot * kTapeLane + lane]), constant lanes filled at bind time.
+    std::vector<Value> lanes;
     std::array<std::vector<Value>, 2> band;
 };
 
@@ -110,7 +132,6 @@ void bind_workspace(Workspace<Policy>& ws, const Step_context<Policy>& c) {
     using Value = typename Policy::Value;
     const auto w = static_cast<std::size_t>(c.width);
     const auto slots = static_cast<std::size_t>(c.cp->slot_count());
-    ws.scratch.assign(static_cast<std::size_t>(c.scratch_rows) * w, Value{});
     ws.row.assign(slots, nullptr);
     ws.col_off.assign(slots, 0);
     for (const Tape_input& in : c.cp->inputs()) {
@@ -119,15 +140,30 @@ void bind_workspace(Workspace<Policy>& ws, const Step_context<Policy>& c) {
     ws.zero_row.assign(w, Value{});
     ws.point_slots.assign(slots, Value{});
     ws.point_inputs.assign(c.cp->inputs().size(), Value{});
-    for (std::size_t slot = 0; slot < slots; ++slot) {
-        const int idx = (*c.scratch_index)[slot];
-        if (idx >= 0) ws.row[slot] = ws.scratch.data() + static_cast<std::size_t>(idx) * w;
-    }
     const std::vector<Tape_constant>& constants = c.cp->constants();
-    for (std::size_t i = 0; i < constants.size(); ++i) {
-        Value* r = ws.scratch.data() +
-                   static_cast<std::size_t>((*c.scratch_index)[constants[i].slot]) * w;
-        std::fill(r, r + w, c.policy->constant(i));
+    if constexpr (Policy::lane_interior) {
+        // Lane interior: the compact lane block replaces the full-width
+        // scratch rows; constant lanes are single-assignment, filled once.
+        ws.lanes.assign(slots * static_cast<std::size_t>(kTapeLane), Value{});
+        for (std::size_t i = 0; i < constants.size(); ++i) {
+            Value* r = ws.lanes.data() +
+                       static_cast<std::size_t>(constants[i].slot) * kTapeLane;
+            std::fill(r, r + kTapeLane, c.policy->constant(i));
+        }
+    } else {
+        ws.scratch.assign(static_cast<std::size_t>(c.scratch_rows) * w, Value{});
+        for (std::size_t slot = 0; slot < slots; ++slot) {
+            const int idx = (*c.scratch_index)[slot];
+            if (idx >= 0) {
+                ws.row[slot] = ws.scratch.data() + static_cast<std::size_t>(idx) * w;
+            }
+        }
+        for (std::size_t i = 0; i < constants.size(); ++i) {
+            Value* r =
+                ws.scratch.data() +
+                static_cast<std::size_t>((*c.scratch_index)[constants[i].slot]) * w;
+            std::fill(r, r + w, c.policy->constant(i));
+        }
     }
 }
 
@@ -174,17 +210,28 @@ void eval_border_column(const Step_context<Policy>& c, Workspace<Policy>& ws, in
     const std::vector<Tape_input>& inputs = c.cp->inputs();
     for (std::size_t i = 0; i < inputs.size(); ++i) {
         const Tape_input& in = inputs[i];
+        const auto f = static_cast<std::size_t>(in.field);
         const int rx = resolve_coordinate(x + in.dx, c.width, c.boundary);
-        const int ry = resolve_coordinate(y + in.dy, c.height, c.boundary);
-        ws.point_inputs[i] =
-            (rx < 0 || ry < 0)
-                ? Value{}
-                : c.field_base[static_cast<std::size_t>(in.field)]
-                              [static_cast<std::size_t>(
-                                   ry - c.field_row_off[static_cast<std::size_t>(
-                                            in.field)]) *
-                                   c.width +
-                               rx];
+        Value v{};
+        if (c.field_direct_rows[f]) {
+            // Wrapped-halo band buffer: the read row sits at its unclamped
+            // coordinate (possibly negative) — no boundary resolution, the
+            // buffer row already holds the torus content.
+            const int ry = y + in.dy;
+            if (rx >= 0) {
+                v = c.field_base[f][static_cast<std::size_t>(ry - c.field_row_off[f]) *
+                                        c.width +
+                                    rx];
+            }
+        } else {
+            const int ry = resolve_coordinate(y + in.dy, c.height, c.boundary);
+            if (rx >= 0 && ry >= 0) {
+                v = c.field_base[f][static_cast<std::size_t>(ry - c.field_row_off[f]) *
+                                        c.width +
+                                    rx];
+            }
+        }
+        ws.point_inputs[i] = v;
     }
     c.policy->eval_point(ws.point_inputs.data(), ws.point_slots.data());
     const std::vector<std::int32_t>& out_slots = c.cp->output_slots();
@@ -267,85 +314,66 @@ void run_op_span(const Double_policy&, const Tape_op& op,
     }
 }
 
-// Fixed-point flavor: the arithmetic matches apply_op_fixed() case for case
-// (the same semantics Fixed_exec's lane loops implement), so the interior
-// raw words are bit-identical to the run_fixed_raw reference.
-void run_op_span(const Fixed_policy& p, const Tape_op& op,
-                 const Workspace<Fixed_policy>& ws, std::int64_t* __restrict dst,
-                 int x0, int x1) {
-    const Bit_wrap wrap = p.wrap;
-    const int frac = p.frac;
-    const std::int64_t one = p.one;
-    const std::int64_t* a = ws.row[static_cast<std::size_t>(op.src[0])];
-    const int oa = ws.col_off[static_cast<std::size_t>(op.src[0])];
-    const std::int64_t* b = nullptr;
-    int ob = 0;
-    if (op.src_count > 1) {
-        b = ws.row[static_cast<std::size_t>(op.src[1])];
-        ob = ws.col_off[static_cast<std::size_t>(op.src[1])];
+// Interior panel [p0, p1) of one row, scratch-row style (double domain):
+// one op-span per tape operation into the full-width scratch rows, then the
+// panel's output sub-spans are copied out of the producing rows.
+void exec_interior(const Step_context<Double_policy>& c, Workspace<Double_policy>& ws,
+                   int y, int p0, int p1) {
+    const int w = c.width;
+    const std::vector<Tape_op>& ops = c.cp->ops();
+    const std::vector<std::int32_t>& out_slots = c.cp->output_slots();
+    for (const Tape_op& op : ops) {
+        double* dst = ws.scratch.data() +
+                      static_cast<std::size_t>(
+                          (*c.scratch_index)[static_cast<std::size_t>(op.dest)]) *
+                          w;
+        run_op_span(*c.policy, op, ws, dst, p0, p1);
     }
-    switch (op.kind) {
-        case Op_kind::add:
-            for (int x = x0; x < x1; ++x) dst[x] = wrap(a[x + oa] + b[x + ob]);
-            break;
-        case Op_kind::sub:
-            for (int x = x0; x < x1; ++x) dst[x] = wrap(a[x + oa] - b[x + ob]);
-            break;
-        case Op_kind::mul:
-            for (int x = x0; x < x1; ++x) {
-                dst[x] = wrap((a[x + oa] * b[x + ob]) >> frac);
-            }
-            break;
-        case Op_kind::div:
-            for (int x = x0; x < x1; ++x) {
-                dst[x] = b[x + ob] == 0 ? 0 : wrap((a[x + oa] << frac) / b[x + ob]);
-            }
-            break;
-        case Op_kind::sqrt_op:
-            for (int x = x0; x < x1; ++x) {
-                dst[x] = a[x + oa] <= 0 ? 0 : wrap(isqrt_floor(a[x + oa] << frac));
-            }
-            break;
-        case Op_kind::min_op:
-            for (int x = x0; x < x1; ++x) {
-                dst[x] = a[x + oa] < b[x + ob] ? a[x + oa] : b[x + ob];
-            }
-            break;
-        case Op_kind::max_op:
-            for (int x = x0; x < x1; ++x) {
-                dst[x] = a[x + oa] > b[x + ob] ? a[x + oa] : b[x + ob];
-            }
-            break;
-        case Op_kind::neg:
-            for (int x = x0; x < x1; ++x) dst[x] = wrap(-a[x + oa]);
-            break;
-        case Op_kind::abs_op:
-            for (int x = x0; x < x1; ++x) {
-                dst[x] = wrap(a[x + oa] < 0 ? -a[x + oa] : a[x + oa]);
-            }
-            break;
-        case Op_kind::lt:
-            for (int x = x0; x < x1; ++x) dst[x] = a[x + oa] < b[x + ob] ? one : 0;
-            break;
-        case Op_kind::le:
-            for (int x = x0; x < x1; ++x) dst[x] = a[x + oa] <= b[x + ob] ? one : 0;
-            break;
-        case Op_kind::eq:
-            for (int x = x0; x < x1; ++x) dst[x] = a[x + oa] == b[x + ob] ? one : 0;
-            break;
-        case Op_kind::select: {
-            const std::int64_t* t = ws.row[static_cast<std::size_t>(op.src[1])];
-            const int ot = ws.col_off[static_cast<std::size_t>(op.src[1])];
-            const std::int64_t* f = ws.row[static_cast<std::size_t>(op.src[2])];
-            const int of = ws.col_off[static_cast<std::size_t>(op.src[2])];
-            for (int x = x0; x < x1; ++x) {
-                dst[x] = a[x + oa] != 0 ? t[x + ot] : f[x + of];
-            }
-            break;
+    for (std::size_t s = 0; s < c.out_base.size(); ++s) {
+        const std::size_t slot = static_cast<std::size_t>(out_slots[s]);
+        const double* r = ws.row[slot] + (p0 + ws.col_off[slot]);
+        std::memcpy(c.out_base[s] + static_cast<std::size_t>(y - c.out_row_off) * w + p0,
+                    r, static_cast<std::size_t>(p1 - p0) * sizeof(double));
+    }
+}
+
+// Interior panel [p0, p1) of one row, lane-block style (fixed domain): the
+// panel advances in kTapeLane-wide chunks through the shared per-ISA lane
+// kernels. Per chunk the input slots are copied (contiguously — the static
+// dx offset makes the source span contiguous) into the compact lane block,
+// one kernel call executes each tape operation over the live lanes, and the
+// output lanes are copied to the destination rows. The kernel cases match
+// apply_op_fixed() one for one (like Fixed_exec's batch path), so the raw
+// words stay bit-identical to the run_fixed_raw reference at every chunk
+// and panel width. Frame words are already wrapped (quantization and every
+// producing op wrap), so the gather needs no re-wrap, exactly like the old
+// full-width span path.
+void exec_interior(const Step_context<Fixed_policy>& c, Workspace<Fixed_policy>& ws,
+                   int y, int p0, int p1) {
+    const int w = c.width;
+    const std::vector<Tape_input>& inputs = c.cp->inputs();
+    const std::vector<Tape_op>& ops = c.cp->ops();
+    const std::vector<std::int32_t>& out_slots = c.cp->output_slots();
+    const Fixed_lane_fn kernel = c.policy->lane_fn;
+    const Bit_wrap wrap = c.policy->wrap;
+    const int frac = c.policy->frac;
+    const std::int64_t one = c.policy->one;
+    std::int64_t* lanes = ws.lanes.data();
+    const std::size_t out_row =
+        static_cast<std::size_t>(y - c.out_row_off) * static_cast<std::size_t>(w);
+    for (int xb = p0; xb < p1; xb += kTapeLane) {
+        const int n = std::min(kTapeLane, p1 - xb);
+        for (const Tape_input& in : inputs) {
+            const std::size_t slot = static_cast<std::size_t>(in.slot);
+            std::memcpy(lanes + slot * kTapeLane, ws.row[slot] + (xb + ws.col_off[slot]),
+                        static_cast<std::size_t>(n) * sizeof(std::int64_t));
         }
-        case Op_kind::constant:
-        case Op_kind::input:
-            throw Internal_error("leaf kind on the operation tape");
+        for (const Tape_op& op : ops) kernel(op, lanes, n, wrap, frac, one);
+        for (std::size_t s = 0; s < c.out_base.size(); ++s) {
+            const std::size_t slot = static_cast<std::size_t>(out_slots[s]);
+            std::memcpy(c.out_base[s] + out_row + xb, lanes + slot * kTapeLane,
+                        static_cast<std::size_t>(n) * sizeof(std::int64_t));
+        }
     }
 }
 
@@ -355,41 +383,40 @@ void exec_rows(const Step_context<Policy>& c, Workspace<Policy>& ws, int y0, int
     const int w = c.width;
     const int h = c.height;
     const std::vector<Tape_input>& inputs = c.cp->inputs();
-    const std::vector<Tape_op>& ops = c.cp->ops();
-    const std::vector<std::int32_t>& out_slots = c.cp->output_slots();
     // Interior columns: [x0, x1) reads in-range for every input offset.
     const int x0 = std::min(c.left_margin, w);
     const int x1 = std::max(x0, w - c.right_margin);
+    const int panel = c.panel_cols > 0 ? c.panel_cols : std::max(x1 - x0, 1);
 
     for (int y = y0; y < y1; ++y) {
         for (int x = 0; x < x0; ++x) eval_border_column(c, ws, x, y);
         if (x1 > x0) {
             // Resolve the input row bases once per row; the static column
             // offsets bound in the workspace complete the addressing.
+            // Direct-row bindings (wrapped-halo band buffers) skip the
+            // boundary policy — they hold the unclamped row itself.
             for (const Tape_input& in : inputs) {
-                const int ry = resolve_coordinate(y + in.dy, h, c.boundary);
-                ws.row[static_cast<std::size_t>(in.slot)] =
-                    ry < 0 ? ws.zero_row.data()
-                           : c.field_base[static_cast<std::size_t>(in.field)] +
-                                 static_cast<std::size_t>(
-                                     ry - c.field_row_off[static_cast<std::size_t>(
-                                              in.field)]) *
-                                     w;
+                const auto f = static_cast<std::size_t>(in.field);
+                const Value* base;
+                if (c.field_direct_rows[f]) {
+                    base = c.field_base[f] +
+                           static_cast<std::size_t>(y + in.dy - c.field_row_off[f]) * w;
+                } else {
+                    const int ry = resolve_coordinate(y + in.dy, h, c.boundary);
+                    base = ry < 0
+                               ? ws.zero_row.data()
+                               : c.field_base[f] +
+                                     static_cast<std::size_t>(ry - c.field_row_off[f]) *
+                                         w;
+                }
+                ws.row[static_cast<std::size_t>(in.slot)] = base;
             }
-            for (const Tape_op& op : ops) {
-                Value* dst =
-                    ws.scratch.data() +
-                    static_cast<std::size_t>(
-                        (*c.scratch_index)[static_cast<std::size_t>(op.dest)]) *
-                        w;
-                run_op_span(*c.policy, op, ws, dst, x0, x1);
-            }
-            for (std::size_t s = 0; s < c.out_base.size(); ++s) {
-                const std::size_t slot = static_cast<std::size_t>(out_slots[s]);
-                const Value* r = ws.row[slot] + (x0 + ws.col_off[slot]);
-                std::memcpy(c.out_base[s] +
-                                static_cast<std::size_t>(y - c.out_row_off) * w + x0,
-                            r, static_cast<std::size_t>(x1 - x0) * sizeof(Value));
+            // Column panels: each panel runs the whole tape before moving
+            // right, bounding the per-operation working set; the split only
+            // partitions the x loop, so results are byte-identical at any
+            // panel width.
+            for (int p0 = x0; p0 < x1; p0 += panel) {
+                exec_interior(c, ws, y, p0, std::min(x1, p0 + panel));
             }
         }
         for (int x = x1; x < w; ++x) eval_border_column(c, ws, x, y);
@@ -415,10 +442,10 @@ struct Band_plan {
 };
 
 // Minimal in-frame interval covering every boundary-resolved read of the
-// unclamped rows [lo, hi). The in-range part is always non-empty for the
-// intervals the planner produces; out-of-range overhang rows resolve to
-// edge-adjacent rows (clamp/mirror), drop out entirely (zero), or wrap to
-// the opposite edge (periodic — which is what widens edge bands).
+// unclamped rows [lo, hi), for the non-periodic boundaries: out-of-range
+// overhang rows resolve to edge-adjacent rows (clamp/mirror) or drop out
+// entirely (zero). Periodic bands never come here — their interim levels
+// keep the unclamped interval itself and carry wrapped halo rows.
 Band_level resolve_row_interval(int lo, int hi, int h, Boundary b) {
     int a = std::max(lo, 0);
     int z = std::min(hi, h) - 1;  // inclusive
@@ -442,7 +469,13 @@ Band_level resolve_row_interval(int lo, int hi, int h, Boundary b) {
 
 // Plans the bands of one fused block: output rows are split into bands of
 // `band_rows`, and each band's interim levels grow by the per-step state
-// halo (up rows above, down rows below), boundary-resolved into the frame.
+// halo (up rows above, down rows below). Non-periodic boundaries resolve
+// each level into the frame; under Boundary::periodic the levels keep their
+// unclamped intervals — on a torus row r and row r mod h are the same row
+// at every fused level, so a band buffer can carry its out-of-frame halo
+// rows directly (computed like any other row, reading level 1 through the
+// wrapping boundary policy) and the interim intervals stay band-sized at
+// the frame edges instead of widening toward the whole frame.
 std::vector<Band_plan> plan_bands(int h, int band_rows, int depth, int up, int down,
                                   Boundary b) {
     std::vector<Band_plan> plans;
@@ -455,7 +488,9 @@ std::vector<Band_plan> plan_bands(int h, int band_rows, int depth, int up, int d
         for (int k = depth - 1; k >= 0; --k) {
             const Band_level& next = plan.level[static_cast<std::size_t>(k) + 1];
             plan.level[static_cast<std::size_t>(k)] =
-                resolve_row_interval(next.lo - up, next.hi + down, h, b);
+                b == Boundary::periodic
+                    ? Band_level{next.lo - up, next.hi + down}
+                    : resolve_row_interval(next.lo - up, next.hi + down, h, b);
         }
         for (int k = 1; k < depth; ++k) {
             const Band_level& lv = plan.level[static_cast<std::size_t>(k)];
@@ -478,6 +513,11 @@ std::vector<Band_plan> plan_bands(int h, int band_rows, int depth, int up, int d
 // Const fields always read the full input frame, and every level runs the
 // same exec_rows code as the untiled sweep, so each cell value is computed
 // by the identical instruction sequence as in the double-buffered path.
+// Under Boundary::periodic the band-buffer bindings are marked direct-row:
+// the buffers hold unclamped (wrapped-halo) intervals, so reads between
+// interim levels index them at the unclamped row with no boundary
+// resolution, while level-1 reads and const-field reads still wrap against
+// the frame.
 template <class Policy>
 void exec_band(const Step_context<Policy>& c, Workspace<Policy>& ws,
                const Band_plan& plan) {
@@ -493,6 +533,7 @@ void exec_band(const Step_context<Policy>& c, Workspace<Policy>& ws,
     }
 
     Step_context<Policy> local = c;
+    const bool direct = c.boundary == Boundary::periodic;
     for (int k = 1; k <= depth; ++k) {
         const Band_level out = plan.level[static_cast<std::size_t>(k)];
         if (k > 1) {
@@ -502,6 +543,7 @@ void exec_band(const Step_context<Policy>& c, Workspace<Policy>& ws,
                 const auto f = static_cast<std::size_t>(c.state_pool_field[s]);
                 local.field_base[f] = base + s * stride;
                 local.field_row_off[f] = in.lo;
+                if (direct) local.field_direct_rows[f] = 1;
             }
         }
         if (k == depth) {
@@ -518,26 +560,44 @@ void exec_band(const Step_context<Policy>& c, Workspace<Policy>& ws,
     }
 }
 
+// Resolved auto-tiling budgets: explicit (pinned) fields win, zero fields
+// come from the probed cache topology. The probe's own fallbacks reproduce
+// the engine's historical fixed budgets (LLC fallback 32 MiB = the old tile
+// constant, /4 = the old 8 MiB band constant).
+struct Resolved_budgets {
+    std::size_t tile_bytes;
+    std::size_t band_bytes;
+    std::size_t panel_bytes;
+};
+
+Resolved_budgets resolve_budgets(const Exec_budgets& pinned) {
+    const Cache_topology& cache = cache_topology();
+    Resolved_budgets r;
+    r.tile_bytes = pinned.tile_bytes ? pinned.tile_bytes : cache.llc_bytes;
+    r.band_bytes = pinned.band_bytes ? pinned.band_bytes : cache.llc_bytes / 4;
+    r.panel_bytes = pinned.panel_bytes ? pinned.panel_bytes : cache.l1d_bytes / 2;
+    return r;
+}
+
 // Auto tile depth: fusing is pure overhead while both frame buffers sit in
-// cache, so stay untiled below a conservative working-set budget; above it,
-// eight fused steps capture most of the traffic reduction (1/8th of the
-// memory round trips) while keeping the trapezoid recompute low.
-int auto_tile_depth(std::size_t state_bytes, int iterations) {
-    constexpr std::size_t kCacheBudget = 32u << 20;
-    if (iterations <= 1 || 2 * state_bytes <= kCacheBudget) return 1;
+// cache, so stay untiled below the tile budget; above it, eight fused steps
+// capture most of the traffic reduction (1/8th of the memory round trips)
+// while keeping the trapezoid recompute low.
+int auto_tile_depth(std::size_t state_bytes, int iterations, std::size_t tile_budget) {
+    if (iterations <= 1 || 2 * state_bytes <= tile_budget) return 1;
     return std::min(iterations, 8);
 }
 
 // Auto band height: size a band so its working set (two interim buffers of
-// every state field) stays well inside the last-level cache, keep the halo
-// recompute overhead bounded (band at least 4x the total halo growth), and
-// leave at least two bands per thread for load balance.
-int auto_band_rows(int width, int h, int depth, int states, int growth, int threads) {
-    constexpr std::size_t kBandBudget = 8u << 20;
+// every state field) stays inside the band budget, keep the halo recompute
+// overhead bounded (band at least 4x the total halo growth), and leave at
+// least two bands per thread for load balance.
+int auto_band_rows(int width, int h, int depth, int states, int growth, int threads,
+                   std::size_t band_budget) {
     const std::size_t level_row_bytes = 2 * static_cast<std::size_t>(states) *
                                         static_cast<std::size_t>(width) *
                                         sizeof(double);
-    long rows = static_cast<long>(kBandBudget / std::max<std::size_t>(level_row_bytes, 1));
+    long rows = static_cast<long>(band_budget / std::max<std::size_t>(level_row_bytes, 1));
     rows -= static_cast<long>(depth - 1) * growth;
     rows = std::max(rows, 4L * (depth - 1) * growth);
     rows = std::max(rows, 16L);
@@ -545,6 +605,22 @@ int auto_band_rows(int width, int h, int depth, int states, int growth, int thre
         rows = std::min(rows, static_cast<long>((h + 2 * threads - 1) / (2 * threads)));
     }
     return static_cast<int>(std::clamp(rows, 1L, static_cast<long>(h)));
+}
+
+// Auto panel width for scratch-row interiors: when one interior sweep's op
+// working set (every scratch row across the panel) would spill the panel
+// budget, split the interior into panels sized to fit, rounded down to a
+// multiple of the lane width. Returns 0 (unpaneled) while the whole width
+// fits. Lane-interior policies never need this — their working set is the
+// lane block itself.
+int auto_panel_cols(int width, int scratch_rows, std::size_t value_bytes,
+                    std::size_t panel_budget) {
+    const std::size_t col_bytes =
+        std::max<std::size_t>(static_cast<std::size_t>(scratch_rows), 1) * value_bytes;
+    if (static_cast<std::size_t>(width) * col_bytes <= panel_budget) return 0;
+    long cols = static_cast<long>(panel_budget / col_bytes);
+    cols -= cols % kTapeLane;
+    return static_cast<int>(std::max(cols, static_cast<long>(kTapeLane)));
 }
 
 // --- double-buffered driver -------------------------------------------------------
@@ -569,18 +645,17 @@ int run_buffers(Step_context<Policy>& context, int iterations, Boundary b,
     const int total_threads = options.pool ? options.pool->thread_count()
                                            : resolve_thread_count(options.threads);
 
-    // Resolve the tiling: fused depth first, band height second.
+    // Resolve the tiling: fused depth first, band height second, panel
+    // width last. Budgets come pinned from the options or from the probed
+    // cache topology; either way they only pick the schedule — every
+    // (depth, band, panel) choice is byte-identical.
+    const Resolved_budgets budgets = resolve_budgets(options.budgets);
     const std::size_t state_bytes =
         static_cast<std::size_t>(w) * static_cast<std::size_t>(h) * sizeof(Value) *
         std::max<std::size_t>(context.state_pool_field.size(), 1);
     int depth = options.tile_iterations;
     if (depth == 0) {
-        // Auto mode never tiles toroidal runs: under Boundary::periodic the
-        // edge bands' halos wrap to the opposite frame edge, widening their
-        // interim intervals (and band buffers) toward the whole frame —
-        // correct, but a net loss in time and memory. Explicit depths are
-        // honored; wrapped halo copies are the recorded follow-on.
-        depth = b == Boundary::periodic ? 1 : auto_tile_depth(state_bytes, iterations);
+        depth = auto_tile_depth(state_bytes, iterations, budgets.tile_bytes);
     }
     depth = std::clamp(depth, 1, iterations);
     const int growth = state_up + state_down;
@@ -589,10 +664,16 @@ int run_buffers(Step_context<Policy>& context, int iterations, Boundary b,
         if (band_rows <= 0) {
             band_rows = auto_band_rows(
                 w, h, depth, static_cast<int>(context.state_pool_field.size()), growth,
-                total_threads);
+                total_threads, budgets.band_bytes);
         }
         band_rows = std::clamp(band_rows, 1, h);
     }
+    int panel = options.panel_cols;
+    if (panel <= 0 && depth > 1 && !Policy::lane_interior) {
+        panel = auto_panel_cols(w, context.scratch_rows, sizeof(Value),
+                                budgets.panel_bytes);
+    }
+    context.panel_cols = panel;
 
     // A run has at most two distinct fused depths: the full blocks and one
     // shorter tail block. Plan both up front; the plans are reused across
@@ -692,6 +773,17 @@ Exec_engine::Exec_engine(const Stencil_step& step)
     }
 }
 
+int Exec_engine::planned_interim_rows(int height, int band_rows, int depth,
+                                      Boundary b) const {
+    check_internal(height > 0 && depth >= 1, "planned_interim_rows: bad geometry");
+    band_rows = std::clamp(band_rows, 1, height);
+    const std::vector<Band_plan> plans =
+        plan_bands(height, band_rows, depth, state_up_, state_down_, b);
+    int rows = 0;
+    for (const Band_plan& plan : plans) rows = std::max(rows, plan.interim_rows);
+    return rows;
+}
+
 Frame_set Exec_engine::run(const Frame_set& initial, int iterations, Boundary b,
                            const Exec_options& options) const {
     if (options.fixed_format) {
@@ -730,6 +822,7 @@ Frame_set Exec_engine::run(const Frame_set& initial, int iterations, Boundary b,
     context.boundary = b;
     context.field_base.resize(static_cast<std::size_t>(pool.field_count()));
     context.field_row_off.assign(static_cast<std::size_t>(pool.field_count()), 0);
+    context.field_direct_rows.assign(static_cast<std::size_t>(pool.field_count()), 0);
     context.out_base.resize(step_->state_fields().size());
     context.state_pool_field.reserve(step_->state_fields().size());
     for (const std::string& name : step_->state_fields()) {
@@ -818,6 +911,7 @@ Fixed_frame_result Exec_engine::run_fixed(const Frame_set& initial, int iteratio
     context.boundary = b;
     context.field_base.resize(static_cast<std::size_t>(pool.field_count()));
     context.field_row_off.assign(static_cast<std::size_t>(pool.field_count()), 0);
+    context.field_direct_rows.assign(static_cast<std::size_t>(pool.field_count()), 0);
     context.out_base.resize(step_->state_fields().size());
     context.state_pool_field.reserve(step_->state_fields().size());
     for (const std::string& name : step_->state_fields()) {

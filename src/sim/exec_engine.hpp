@@ -29,10 +29,31 @@
 // row code as the untiled sweep (interior fast path + scalar border pass),
 // so the result is byte-identical to the double-buffered path for every
 // boundary mode, tile depth, band height and thread count. Under
-// Boundary::periodic a band touching a frame edge wraps to rows at the
-// opposite edge; its interim intervals (and band buffers) widen up to the
-// whole frame, which stays correct but trims the traffic win for those
-// bands.
+// Boundary::periodic the interim levels of a band keep UNCLAMPED row
+// intervals: a band touching a frame edge carries a wrapped halo — its
+// buffer rows extend past the frame edge and hold the opposite edge's
+// content (on a torus, row r and row r mod h are the same row at every
+// fused level), reads between interim levels index the band buffer
+// directly, and only level-1 reads resolve against the frame. Band buffers
+// therefore stay band-sized at every boundary mode instead of widening to
+// the whole frame at the edges, and auto tiling applies to toroidal runs
+// too.
+//
+// Within a band (or any row sweep) the interior columns can additionally be
+// processed in column panels (Exec_options::panel_cols): each panel runs
+// the whole tape before moving right, so per-operation traffic stays in L1
+// on very wide frames. Panels only split the x loop — each element sees the
+// identical arithmetic — so every panel width is byte-identical. The fixed
+// domain goes one step further and always executes its interior in
+// kTapeLane-wide lane blocks through the shared per-ISA lane kernels
+// (sim/tape_lanes.hpp), the same kernels the format-search batch executor
+// uses.
+//
+// The auto-tiling heuristics (tile depth, band height, panel width) are
+// sized from the probed cache topology (support/cache_info.hpp);
+// Exec_options::budgets pins them for deterministic cross-host behavior.
+// Budgets only steer the schedule, never the values: every budget choice is
+// byte-identical.
 //
 // Work (row blocks untiled, whole bands tiled) is fanned across a
 // support/parallel.hpp Thread_pool; every row is computed identically
@@ -53,6 +74,7 @@
 //     every kernel, boundary, format, thread count and tile depth.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
@@ -64,6 +86,19 @@
 namespace islhls {
 
 class Thread_pool;
+
+// Cache budgets steering the auto-tiling heuristics. Zero fields resolve
+// from the probed cache topology (support/cache_info.hpp): tile_bytes from
+// the last-level cache, band_bytes from a quarter of it, panel_bytes from
+// half the L1 data cache. When probing fails the fallbacks reproduce the
+// engine's historical fixed budgets (32 MiB / 8 MiB / 16 KiB). Budgets only
+// pick the schedule — results are byte-identical at every setting — so
+// tests pin them to make auto decisions deterministic across hosts.
+struct Exec_budgets {
+    std::size_t tile_bytes = 0;   // working set above which auto mode tiles
+    std::size_t band_bytes = 0;   // target working set of one band
+    std::size_t panel_bytes = 0;  // target per-row op working set of a panel
+};
 
 // Execution knobs. The defaults reproduce the classic engine behavior
 // (serial, one full-frame sweep per iteration). The positional constructor
@@ -83,13 +118,21 @@ struct Exec_options {
     int threads = 1;
     // Fused iterations per band sweep: 1 = untiled double-buffered sweeps,
     // n > 1 = carry n iterations through each row band, 0 = auto (tile only
-    // when the double-buffered working set overflows the cache budget, and
-    // never under Boundary::periodic, where wrapped edge halos erase the
-    // traffic win). Every depth produces byte-identical frames.
+    // when the double-buffered working set overflows the tile budget —
+    // Boundary::periodic included, edge bands carry wrapped halos). Every
+    // depth produces byte-identical frames.
     int tile_iterations = 1;
     // Output rows per band when tiling; 0 = auto (sized so a band's working
     // set stays cache-resident and the halo recompute overhead stays small).
     int band_rows = 0;
+    // Interior column-panel width: 0 = auto (panel banded sweeps whose
+    // per-row op working set spills the panel budget; untiled sweeps stay
+    // unpaneled), n > 0 = force n-column panels everywhere. Every width
+    // produces byte-identical frames.
+    int panel_cols = 0;
+    // Cache budgets for the auto heuristics above; zero fields resolve from
+    // the probed topology.
+    Exec_budgets budgets;
     // External thread pool to fan row blocks / bands across. When set, the
     // engine reuses it instead of constructing a pool per run() call and
     // the pool's thread count supersedes `threads`; callers batching many
@@ -133,6 +176,13 @@ public:
     // per-field extents.
     int state_halo_up() const { return state_up_; }
     int state_halo_down() const { return state_down_; }
+
+    // Planning introspection for tests: the tallest interim band buffer (in
+    // rows) the tiled path would allocate for this geometry. Under
+    // Boundary::periodic this stays band-sized (band_rows plus the
+    // trapezoid's halo growth) instead of widening toward `height` at the
+    // frame edges.
+    int planned_interim_rows(int height, int band_rows, int depth, Boundary b) const;
 
     // Runs `iterations` steps with per-iteration boundary resolution.
     // `initial` must contain every field of the step; the result holds the

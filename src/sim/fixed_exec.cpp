@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/tape_lanes.hpp"
 #include "support/error.hpp"
 
 namespace islhls {
@@ -107,76 +108,12 @@ std::vector<double> run_fixed(const Register_program& program,
     return out;
 }
 
-namespace {
-
-// One tape operation over `n` lanes. Each case is a single loop of one
-// integer operation over contiguous lanes — the form the compiler
-// auto-vectorizes. The arithmetic matches apply_op_fixed() case for case, so
-// results are bit-identical to the scalar path (the memcmp equivalence suite
-// enforces this).
-void run_fixed_op_lanes(const Tape_op& op, std::int64_t* lanes, int n,
-                        const Bit_wrap wrap, int frac, std::int64_t fixed_one) {
-    constexpr int kLane = Fixed_exec::kLane;
-    auto lane = [&](std::int32_t slot) {
-        return lanes + static_cast<std::size_t>(slot) * kLane;
-    };
-    std::int64_t* __restrict dst = lane(op.dest);
-    const std::int64_t* a = lane(op.src[0]);
-    const std::int64_t* b = op.src_count > 1 ? lane(op.src[1]) : nullptr;
-    switch (op.kind) {
-        case Op_kind::add:
-            for (int l = 0; l < n; ++l) dst[l] = wrap(a[l] + b[l]);
-            break;
-        case Op_kind::sub:
-            for (int l = 0; l < n; ++l) dst[l] = wrap(a[l] - b[l]);
-            break;
-        case Op_kind::mul:
-            for (int l = 0; l < n; ++l) dst[l] = wrap((a[l] * b[l]) >> frac);
-            break;
-        case Op_kind::div:
-            for (int l = 0; l < n; ++l) {
-                dst[l] = b[l] == 0 ? 0 : wrap((a[l] << frac) / b[l]);
-            }
-            break;
-        case Op_kind::sqrt_op:
-            for (int l = 0; l < n; ++l) {
-                dst[l] = a[l] <= 0 ? 0 : wrap(isqrt_floor(a[l] << frac));
-            }
-            break;
-        case Op_kind::min_op:
-            for (int l = 0; l < n; ++l) dst[l] = a[l] < b[l] ? a[l] : b[l];
-            break;
-        case Op_kind::max_op:
-            for (int l = 0; l < n; ++l) dst[l] = a[l] > b[l] ? a[l] : b[l];
-            break;
-        case Op_kind::neg:
-            for (int l = 0; l < n; ++l) dst[l] = wrap(-a[l]);
-            break;
-        case Op_kind::abs_op:
-            for (int l = 0; l < n; ++l) dst[l] = wrap(a[l] < 0 ? -a[l] : a[l]);
-            break;
-        case Op_kind::lt:
-            for (int l = 0; l < n; ++l) dst[l] = a[l] < b[l] ? fixed_one : 0;
-            break;
-        case Op_kind::le:
-            for (int l = 0; l < n; ++l) dst[l] = a[l] <= b[l] ? fixed_one : 0;
-            break;
-        case Op_kind::eq:
-            for (int l = 0; l < n; ++l) dst[l] = a[l] == b[l] ? fixed_one : 0;
-            break;
-        case Op_kind::select: {
-            const std::int64_t* t = lane(op.src[1]);
-            const std::int64_t* f = lane(op.src[2]);
-            for (int l = 0; l < n; ++l) dst[l] = a[l] != 0 ? t[l] : f[l];
-            break;
-        }
-        case Op_kind::constant:
-        case Op_kind::input:
-            throw Internal_error("leaf kind on the operation tape");
-    }
-}
-
-}  // namespace
+// The per-op lane bodies moved to sim/tape_lanes.hpp (shared with the
+// lane-blocked frame interior and the region-tiled architecture simulator,
+// and compiled per ISA level there); the batch driver below binds lanes and
+// walks the tape.
+static_assert(Fixed_exec::kLane == kTapeLane,
+              "Fixed_exec lane width must match the shared lane kernels");
 
 Fixed_exec::Fixed_exec(const Register_program& program, const Fixed_format& format)
     : program_(&program), fixed_(program.compiled(), format) {}

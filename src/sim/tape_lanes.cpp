@@ -1,0 +1,76 @@
+#include "sim/tape_lanes.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+// Multi-ISA lane bodies: on x86-64 under gcc/clang the bodies are compiled
+// three times (baseline, AVX2, AVX-512) via function target attributes and
+// resolved once per process with __builtin_cpu_supports. This is plain
+// function-pointer dispatch — no ifunc, so it stays friendly to sanitizers
+// and static initialization order. Everywhere else the baseline body is the
+// only clone and the resolver is a constant.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define ISLHLS_LANE_MULTIARCH 1
+#endif
+
+namespace islhls {
+
+namespace lanes_base {
+#define ISLHLS_LANE_ATTR
+#include "sim/tape_lanes_body.inc"
+#undef ISLHLS_LANE_ATTR
+}  // namespace lanes_base
+
+#if defined(ISLHLS_LANE_MULTIARCH)
+namespace lanes_avx2 {
+#define ISLHLS_LANE_ATTR __attribute__((target("avx2")))
+#include "sim/tape_lanes_body.inc"
+#undef ISLHLS_LANE_ATTR
+}  // namespace lanes_avx2
+
+namespace lanes_avx512 {
+// DQ provides the vector 64-bit multiply (vpmullq), VL the 128/256-bit
+// forms of the EVEX ops the tail loops want.
+#define ISLHLS_LANE_ATTR \
+    __attribute__((target("avx512f,avx512dq,avx512vl,avx512bw")))
+#include "sim/tape_lanes_body.inc"
+#undef ISLHLS_LANE_ATTR
+}  // namespace lanes_avx512
+#endif  // ISLHLS_LANE_MULTIARCH
+
+namespace {
+
+struct Lane_dispatch {
+    Fixed_lane_fn fixed;
+    Double_lane_fn dbl;
+    const char* isa;
+};
+
+Lane_dispatch resolve_lane_dispatch() {
+#if defined(ISLHLS_LANE_MULTIARCH)
+    if (__builtin_cpu_supports("avx512dq") && __builtin_cpu_supports("avx512vl") &&
+        __builtin_cpu_supports("avx512bw")) {
+        return {&lanes_avx512::fixed_op_lanes, &lanes_avx512::double_op_lanes,
+                "avx512"};
+    }
+    if (__builtin_cpu_supports("avx2")) {
+        return {&lanes_avx2::fixed_op_lanes, &lanes_avx2::double_op_lanes, "avx2"};
+    }
+#endif
+    return {&lanes_base::fixed_op_lanes, &lanes_base::double_op_lanes, "default"};
+}
+
+const Lane_dispatch& lane_dispatch() {
+    // Magic statics: resolved exactly once, thread-safe.
+    static const Lane_dispatch dispatch = resolve_lane_dispatch();
+    return dispatch;
+}
+
+}  // namespace
+
+Fixed_lane_fn fixed_lane_kernel() { return lane_dispatch().fixed; }
+Double_lane_fn double_lane_kernel() { return lane_dispatch().dbl; }
+const char* tape_lane_isa() { return lane_dispatch().isa; }
+
+}  // namespace islhls

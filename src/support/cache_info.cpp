@@ -1,0 +1,136 @@
+#include "support/cache_info.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace islhls {
+
+namespace {
+
+// Parses sysfs cache-size strings: "48K", "2048K", "2M", plain bytes.
+// Returns 0 when the string is empty or malformed.
+std::size_t parse_size_string(const std::string& text) {
+    std::size_t value = 0;
+    std::size_t i = 0;
+    if (i >= text.size() || text[i] < '0' || text[i] > '9') return 0;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+        value = value * 10 + static_cast<std::size_t>(text[i] - '0');
+        ++i;
+    }
+    if (i < text.size()) {
+        switch (text[i]) {
+            case 'K': case 'k': value *= 1024; break;
+            case 'M': case 'm': value *= 1024 * 1024; break;
+            case 'G': case 'g': value *= 1024 * 1024 * 1024; break;
+            default: break;  // trailing newline/units noise: keep the digits
+        }
+    }
+    return value;
+}
+
+std::string read_first_line(const std::string& path) {
+    std::ifstream in(path);
+    std::string line;
+    if (!in || !std::getline(in, line)) return {};
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+    }
+    return line;
+}
+
+// Linux sysfs: one directory per cache of cpu0. Instruction caches are
+// skipped; for each remaining level the largest reported size wins (some
+// topologies list a slice per core cluster).
+bool probe_sysfs(Cache_topology& t) {
+    bool any = false;
+    for (int index = 0; index < 16; ++index) {
+        const std::string dir = "/sys/devices/system/cpu/cpu0/cache/index" +
+                                std::to_string(index) + "/";
+        const std::string level_text = read_first_line(dir + "level");
+        if (level_text.empty()) break;  // indices are contiguous
+        const std::string type = read_first_line(dir + "type");
+        if (type == "Instruction") continue;
+        const std::size_t size = parse_size_string(read_first_line(dir + "size"));
+        if (size == 0) continue;
+        const int level = static_cast<int>(parse_size_string(level_text));
+        if (level == 1) {
+            t.l1d_bytes = std::max(t.l1d_bytes, size);
+        } else if (level == 2) {
+            t.l2_bytes = std::max(t.l2_bytes, size);
+        }
+        if (level >= 2) t.llc_bytes = std::max(t.llc_bytes, size);
+        any = true;
+    }
+    return any;
+}
+
+bool probe_sysconf(Cache_topology& t) {
+    bool any = false;
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+    const auto take = [&any](std::size_t& slot, int name) {
+        const long v = sysconf(name);
+        if (v > 0) {
+            slot = std::max(slot, static_cast<std::size_t>(v));
+            any = true;
+        }
+    };
+    take(t.l1d_bytes, _SC_LEVEL1_DCACHE_SIZE);
+    take(t.l2_bytes, _SC_LEVEL2_CACHE_SIZE);
+    take(t.llc_bytes, _SC_LEVEL2_CACHE_SIZE);
+    take(t.llc_bytes, _SC_LEVEL3_CACHE_SIZE);
+#if defined(_SC_LEVEL4_CACHE_SIZE)
+    take(t.llc_bytes, _SC_LEVEL4_CACHE_SIZE);
+#endif
+#else
+    (void)t;
+#endif
+    return any;
+}
+
+Cache_topology probe() {
+    Cache_topology t;
+    t.probed = probe_sysfs(t);
+    if (!t.probed) t.probed = probe_sysconf(t);
+    if (t.l1d_bytes == 0) t.l1d_bytes = kFallback_l1d;
+    if (t.l2_bytes == 0) t.l2_bytes = kFallback_l2;
+    if (t.llc_bytes == 0) t.llc_bytes = kFallback_llc;
+    // A last-level slice smaller than L2 only happens on malformed tables;
+    // normalize so consumers can treat llc as "the biggest shared level".
+    t.llc_bytes = std::max(t.llc_bytes, t.l2_bytes);
+    return t;
+}
+
+std::string format_bytes(std::size_t bytes) {
+    std::ostringstream out;
+    if (bytes >= 1024u * 1024 && bytes % (512u * 1024) == 0) {
+        const double mib = static_cast<double>(bytes) / (1024.0 * 1024.0);
+        out << mib << " MiB";
+    } else if (bytes >= 1024 && bytes % 512 == 0) {
+        out << static_cast<double>(bytes) / 1024.0 << " KiB";
+    } else {
+        out << bytes << " B";
+    }
+    return out.str();
+}
+
+}  // namespace
+
+const Cache_topology& cache_topology() {
+    // Magic-statics give the one-shot, thread-safe probe.
+    static const Cache_topology topology = probe();
+    return topology;
+}
+
+std::string to_string(const Cache_topology& topology) {
+    return "L1d " + format_bytes(topology.l1d_bytes) + ", L2 " +
+           format_bytes(topology.l2_bytes) + ", LLC " +
+           format_bytes(topology.llc_bytes) +
+           (topology.probed ? " (probed)" : " (fallback)");
+}
+
+}  // namespace islhls

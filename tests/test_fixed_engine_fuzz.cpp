@@ -19,6 +19,7 @@
 #include "grid/frame_ops.hpp"
 #include "sim/exec_engine.hpp"
 #include "sim/fixed_exec.hpp"
+#include "sim/tape_lanes.hpp"
 #include "support/prng.hpp"
 #include "support/text.hpp"
 
@@ -115,6 +116,17 @@ TEST(Fixed_engine_fuzz, random_programs_agree_across_all_three_paths) {
         options.threads = rng.next_int(0, 1) ? 2 : 1;
         options.tile_iterations = rng.next_int(0, 1) ? 2 : 1;
         options.band_rows = rng.next_int(1, 3);
+        // Column panels and pinned budgets only reshape the schedule; the
+        // raw words must not notice. Panel widths cover degenerate (1),
+        // misaligned (3), lane-sized (kTapeLane > w, so the whole span) and
+        // auto (0).
+        const int panels[] = {0, 1, 3, kTapeLane};
+        options.panel_cols = panels[rng.next_int(0, 3)];
+        if (rng.next_int(0, 1)) {
+            options.budgets.tile_bytes = 1;
+            options.budgets.band_bytes = 1u << 10;
+            options.budgets.panel_bytes = 1;
+        }
         const Fixed_frame_result engine_out =
             engine.run_fixed(initial, iterations, b, fmt, options);
 
@@ -197,7 +209,8 @@ TEST(Fixed_engine_fuzz, random_programs_agree_across_all_three_paths) {
                 << "row engine vs interpreter diverged: seed=" << seed << " field "
                 << engine_out.names[i] << " (" << w << "x" << h << " "
                 << to_string(fmt) << " " << to_string(b) << " threads "
-                << options.threads << " depth " << options.tile_iterations << ")";
+                << options.threads << " depth " << options.tile_iterations
+                << " panel " << options.panel_cols << ")";
         }
     }
 }

@@ -233,6 +233,50 @@ TEST(Arch_sim, fixed_point_mode_close_to_double) {
               45.0);
 }
 
+TEST(Arch_sim, lane_batched_region_rows_exact_in_both_domains) {
+    // Region rows wider than one lane block (kTapeLane = 64 cone origins)
+    // force the batched region executor through a full lane block plus a
+    // partial tail; both domains must still reproduce their ghost goldens
+    // exactly (0 LSB), and the batching must be invisible in the stats-free
+    // output either way.
+    const Kernel_def& kernel = kernel_by_name("heat");
+    Cone_library library(extract_stencil(kernel.c_source), kernel.name);
+    Arch_instance instance;
+    instance.window = 72;  // depth-2 coverage is 76 wide -> 72 origins per row
+    instance.level_depths = {2};
+    const int iterations = 2;
+    const Frame content = make_synthetic_scene(96, 20, 5);
+    const Frame_set initial = kernel.make_initial(content);
+
+    Arch_sim_options options;
+    options.boundary = kernel.boundary;
+    const Arch_sim_result dbl =
+        simulate_architecture(library, instance, initial, options);
+    const Frame_set golden =
+        run_ghost_ir(library.step(), initial, iterations, kernel.boundary);
+    for (const std::string& field : kernel.state_fields) {
+        SCOPED_TRACE(field);
+        EXPECT_EQ(
+            max_abs_diff(dbl.final_state.field(field), golden.field(field)), 0.0);
+    }
+
+    Arch_sim_options fx = options;
+    fx.fixed_point = true;
+    fx.format = Fixed_format{12, 6};
+    const Arch_sim_result fixed =
+        simulate_architecture(library, instance, initial, fx);
+    const Frame_set fixed_golden =
+        run_ghost_ir(library.step(), initial, iterations, kernel.boundary,
+                     fx.format)
+            .to_frame_set();
+    for (const std::string& field : kernel.state_fields) {
+        SCOPED_TRACE(field);
+        EXPECT_EQ(max_abs_diff(fixed.final_state.field(field),
+                               fixed_golden.field(field)),
+                  0.0);
+    }
+}
+
 TEST(Arch_sim, window_larger_than_frame_is_handled) {
     const Kernel_def& kernel = kernel_by_name("jacobi");
     Cone_library library(extract_stencil(kernel.c_source), kernel.name);

@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "support/cache_info.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/prng.hpp"
@@ -107,6 +108,20 @@ TEST(Log, threshold_round_trip) {
     EXPECT_EQ(log_threshold(), Log_level::error);
     log_debug("suppressed");  // must not crash; nothing asserted on output
     set_log_threshold(before);
+}
+
+TEST(Cache_info, probe_is_sane_and_stable) {
+    const Cache_topology& t = cache_topology();
+    // Every level is filled (probe or fallback), the struct normalizes
+    // llc >= l2, and the one-shot probe hands back the same object forever.
+    EXPECT_GE(t.l1d_bytes, 1u * 1024);
+    EXPECT_GE(t.l2_bytes, t.l1d_bytes / 8);
+    EXPECT_GE(t.llc_bytes, t.l2_bytes);
+    EXPECT_EQ(&t, &cache_topology());
+    const std::string text = to_string(t);
+    EXPECT_NE(text.find("L1d"), std::string::npos);
+    EXPECT_NE(text.find("LLC"), std::string::npos);
+    EXPECT_NE(text.find(t.probed ? "probed" : "fallback"), std::string::npos);
 }
 
 }  // namespace

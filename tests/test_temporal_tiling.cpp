@@ -5,6 +5,7 @@
 // frames smaller than one band and single-row/single-column frames.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <string>
 
@@ -112,6 +113,96 @@ TEST(Temporal_tiling, run_ir_options_overload_agrees) {
     const Frame_set legacy = run_ir(step, initial, 4, kernel.boundary, 1);
     expect_sets_identical(legacy, run_ir(step, initial, 4, kernel.boundary,
                                          Exec_options{2, 4, 3}));
+}
+
+TEST(Temporal_tiling, column_panels_identical_at_lane_boundaries) {
+    // Frame widths straddling the 64-column lane block and panel widths from
+    // degenerate (1) through misaligned (7) to lane-sized (64) and
+    // frame-wide: panels only split the x loop, so every width must be
+    // byte-identical to the unpaneled run — tiled and untiled, double and
+    // fixed domains alike.
+    const Kernel_def& kernel = kernel_by_name("heat");
+    const Stencil_step step = extract_stencil(kernel.c_source);
+    const Exec_engine engine(step);
+    const Fixed_format fmt{10, 6};
+    std::uint64_t seed = 91;
+    for (const int w : {63, 64, 65}) {
+        SCOPED_TRACE("width " + std::to_string(w));
+        const Frame_set initial =
+            kernel.make_initial(make_noise(w, 21, seed++, 0.0, 255.0));
+        for (const Boundary b : {Boundary::clamp, Boundary::periodic}) {
+            SCOPED_TRACE(to_string(b));
+            const Frame_set untiled =
+                engine.run(initial, kIterations, b, Exec_options{1, 1, 0});
+            const Fixed_frame_result fixed_ref =
+                engine.run_fixed(initial, kIterations, b, fmt);
+            for (const int panel : {1, 7, 64, w}) {
+                SCOPED_TRACE("panel " + std::to_string(panel));
+                Exec_options tiled{1, 3, 4};
+                tiled.panel_cols = panel;
+                expect_sets_identical(untiled,
+                                      engine.run(initial, kIterations, b, tiled));
+                Exec_options flat{2, 1, 0};
+                flat.panel_cols = panel;
+                expect_sets_identical(untiled,
+                                      engine.run(initial, kIterations, b, flat));
+                const Fixed_frame_result fixed_panel =
+                    engine.run_fixed(initial, kIterations, b, fmt, tiled);
+                ASSERT_EQ(fixed_ref.raw.size(), fixed_panel.raw.size());
+                for (std::size_t i = 0; i < fixed_ref.raw.size(); ++i) {
+                    EXPECT_EQ(0, std::memcmp(fixed_ref.raw[i].data(),
+                                             fixed_panel.raw[i].data(),
+                                             fixed_ref.raw[i].size() *
+                                                 sizeof(std::int64_t)))
+                        << "fixed field " << fixed_ref.names[i];
+                }
+            }
+        }
+    }
+}
+
+TEST(Temporal_tiling, budgets_steer_schedule_not_values) {
+    // Auto decisions sized from pinned budgets at both extremes (tiny: tile,
+    // band and panel everything; huge: nothing tiles) against the probed
+    // defaults — budgets pick the schedule, never the values.
+    const Kernel_def& kernel = kernel_by_name("jacobi");
+    const Stencil_step step = extract_stencil(kernel.c_source);
+    const Exec_engine engine(step);
+    const Frame_set initial = kernel.make_initial(make_noise(97, 43, 5, 0.0, 255.0));
+    for (const Boundary b : {Boundary::clamp, Boundary::periodic}) {
+        SCOPED_TRACE(to_string(b));
+        const Frame_set probed = engine.run(initial, kIterations, b, Exec_options{0, 0, 0});
+        Exec_options tiny{0, 0, 0};
+        tiny.budgets.tile_bytes = 1;
+        tiny.budgets.band_bytes = 4u * 1024;
+        tiny.budgets.panel_bytes = 1;
+        expect_sets_identical(probed, engine.run(initial, kIterations, b, tiny));
+        Exec_options huge{0, 0, 0};
+        huge.budgets.tile_bytes = 1u << 30;
+        huge.budgets.band_bytes = 1u << 28;
+        huge.budgets.panel_bytes = 1u << 30;
+        expect_sets_identical(probed, engine.run(initial, kIterations, b, huge));
+    }
+}
+
+TEST(Temporal_tiling, periodic_interim_bands_stay_band_sized) {
+    // Wrapped halos keep periodic interim buffers at the clamp-mode
+    // trapezoid height (band rows plus per-level halo growth) instead of
+    // widening toward the whole frame at the edges.
+    const Stencil_step step = extract_stencil(kernel_by_name("heat").c_source);
+    const Exec_engine heat(step);
+    const int halo = heat.state_halo_up() + heat.state_halo_down();
+    constexpr int kHeight = 4096, kBand = 8;
+    for (const int depth : {2, 4, 8}) {
+        SCOPED_TRACE("depth " + std::to_string(depth));
+        const int clamped = heat.planned_interim_rows(kHeight, kBand, depth,
+                                                      Boundary::clamp);
+        const int periodic = heat.planned_interim_rows(kHeight, kBand, depth,
+                                                       Boundary::periodic);
+        EXPECT_EQ(periodic, clamped);
+        EXPECT_LE(periodic, kBand + depth * halo);
+        EXPECT_LT(periodic, kHeight / 8);
+    }
 }
 
 TEST(Temporal_tiling, state_halo_from_compiled_extents) {

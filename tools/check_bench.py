@@ -20,6 +20,12 @@ baseline record has no fresh record at all. Metrics that exist only in the
 fresh record are reported as new and do not fail the gate (they become
 binding once the record is committed as the new baseline); fresh records
 with no baseline counterpart are reported the same way.
+
+Records may additionally carry an "optional_gated_metrics" object for
+metrics that only exist on capable hosts (e.g. multi-thread scaling that a
+single-core CI runner cannot measure). An optional metric is enforced with
+the same regression floor when it is present in BOTH records, and merely
+noted — never failed — when either side lacks it.
 """
 
 import argparse
@@ -30,8 +36,9 @@ import sys
 
 
 def load_metrics(path):
-    """Returns the record's gated_metrics dict, or raises ValueError with a
-    one-line reason (unreadable file, invalid JSON, non-numeric values)."""
+    """Returns the record's (gated_metrics, optional_gated_metrics) dicts, or
+    raises ValueError with a one-line reason (unreadable file, invalid JSON,
+    non-numeric values)."""
     try:
         with open(path) as f:
             record = json.load(f)
@@ -39,14 +46,17 @@ def load_metrics(path):
         raise ValueError(f"unreadable record: {err}") from err
     if not isinstance(record, dict):
         raise ValueError("record is not a JSON object")
-    metrics = record.get("gated_metrics", {})
-    if not isinstance(metrics, dict):
-        raise ValueError("gated_metrics is not an object")
-    bad = {k: v for k, v in metrics.items()
-           if not isinstance(v, (int, float)) or isinstance(v, bool)}
-    if bad:
-        raise ValueError(f"non-numeric gated_metrics {sorted(bad)}")
-    return metrics
+    out = []
+    for key in ("gated_metrics", "optional_gated_metrics"):
+        metrics = record.get(key, {})
+        if not isinstance(metrics, dict):
+            raise ValueError(f"{key} is not an object")
+        bad = {k: v for k, v in metrics.items()
+               if not isinstance(v, (int, float)) or isinstance(v, bool)}
+        if bad:
+            raise ValueError(f"non-numeric {key} {sorted(bad)}")
+        out.append(metrics)
+    return tuple(out)
 
 
 def main(argv=None):
@@ -72,13 +82,13 @@ def main(argv=None):
             failures += 1
             continue
         try:
-            baseline = load_metrics(baseline_path)
+            baseline, baseline_opt = load_metrics(baseline_path)
         except ValueError as err:
             print(f"  FAIL: baseline: {err}")
             failures += 1
             continue
         try:
-            fresh = load_metrics(fresh_path)
+            fresh, fresh_opt = load_metrics(fresh_path)
         except ValueError as err:
             print(f"  FAIL: fresh: {err}")
             failures += 1
@@ -101,6 +111,25 @@ def main(argv=None):
                   f"({change:+.1f}%, floor {floor:g})")
         for metric in sorted(set(fresh) - set(baseline)):
             print(f"  new: {metric}: {fresh[metric]:g} (unenforced until committed)")
+        # Optional metrics: host-dependent, enforced only when both sides
+        # measured them. A missing side is noted, never failed — a baseline
+        # recorded on a 4-core host must not fail CI on a 1-core runner.
+        for metric, base_value in sorted(baseline_opt.items()):
+            if metric not in fresh_opt:
+                print(f"  note: {metric}: optional metric not measured on this "
+                      f"host (baseline {base_value:g}); skipping")
+                continue
+            fresh_value = fresh_opt[metric]
+            floor = base_value * (1.0 - args.max_regression)
+            status = "ok" if fresh_value >= floor else "FAIL"
+            if status == "FAIL":
+                failures += 1
+            change = (fresh_value / base_value - 1.0) * 100.0 if base_value else 0.0
+            print(f"  {status}: {metric} (optional): baseline {base_value:g}, "
+                  f"fresh {fresh_value:g} ({change:+.1f}%, floor {floor:g})")
+        for metric in sorted(set(fresh_opt) - set(baseline_opt)):
+            print(f"  new: {metric} (optional): {fresh_opt[metric]:g} "
+                  f"(unenforced until committed)")
 
     baseline_names = {os.path.basename(p) for p in baselines}
     for fresh_path in sorted(glob.glob(os.path.join(args.fresh_dir, "BENCH_*.json"))):

@@ -14,13 +14,16 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import check_bench  # noqa: E402
 
 
-def write_record(directory, name, metrics, raw=None):
+def write_record(directory, name, metrics, raw=None, optional=None):
     path = os.path.join(directory, name)
     with open(path, "w") as f:
         if raw is not None:
             f.write(raw)
         else:
-            json.dump({"bench": name, "gated_metrics": metrics}, f)
+            record = {"bench": name, "gated_metrics": metrics}
+            if optional is not None:
+                record["optional_gated_metrics"] = optional
+            json.dump(record, f)
     return path
 
 
@@ -83,6 +86,44 @@ class Check_bench_gate(unittest.TestCase):
 
     def test_no_baselines_is_a_usage_error(self):
         self.assertEqual(self.run_gate(), 2)
+
+    def test_optional_metric_enforced_when_both_sides_have_it(self):
+        write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0},
+                     optional={"scaling_4t": 3.0})
+        write_record(self.fresh, "BENCH_a.json", {"speedup": 10.0},
+                     optional={"scaling_4t": 1.5})  # -50% > 30%
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_optional_metric_within_tolerance_passes(self):
+        write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0},
+                     optional={"scaling_4t": 3.0})
+        write_record(self.fresh, "BENCH_a.json", {"speedup": 10.0},
+                     optional={"scaling_4t": 2.5})  # -17% < 30%
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_optional_metric_missing_fresh_is_tolerated(self):
+        # The host-capability case: a 4-thread scaling metric recorded on a
+        # capable host must not fail the gate on a 1-core CI runner that
+        # cannot measure it (empty optional object or none at all).
+        write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0},
+                     optional={"scaling_4t": 3.0})
+        write_record(self.fresh, "BENCH_a.json", {"speedup": 10.0},
+                     optional={})
+        self.assertEqual(self.run_gate(), 0)
+        write_record(self.fresh, "BENCH_a.json", {"speedup": 10.0})
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_optional_metric_only_fresh_is_tolerated(self):
+        write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0})
+        write_record(self.fresh, "BENCH_a.json", {"speedup": 10.0},
+                     optional={"scaling_4t": 3.0})
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_non_numeric_optional_metric_fails_cleanly(self):
+        write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0})
+        write_record(self.fresh, "BENCH_a.json", {"speedup": 10.0},
+                     optional={"scaling_4t": "fast"})
+        self.assertEqual(self.run_gate(), 1)
 
 
 if __name__ == "__main__":
