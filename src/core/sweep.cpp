@@ -1,282 +1,66 @@
 #include "core/sweep.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <optional>
 
-#include "dse/architecture.hpp"
-#include "grid/frame_ops.hpp"
-#include "kernels/kernels.hpp"
-#include "sim/arch_sim.hpp"
-#include "sim/golden.hpp"
+#include "core/service.hpp"
 #include "support/error.hpp"
-#include "support/parallel.hpp"
 #include "support/table.hpp"
 #include "support/text.hpp"
-#include "symexec/executor.hpp"
-#include "synth/device.hpp"
 
 namespace islhls {
 
-Sweep_session::Sweep_session(Sweep_config config) : config_(std::move(config)) {
+void validate_config(const Sweep_config& config) {
     // User-facing configuration errors, not internal invariants.
-    if (config_.kernels.empty()) throw Error("sweep needs at least one kernel");
-    if (config_.devices.empty()) throw Error("sweep needs at least one device");
-    if (config_.iteration_counts.empty()) {
-        throw Error("sweep needs at least one iteration count");
+    if (config.kernels.empty()) {
+        throw User_error("sweep needs at least one kernel");
     }
-    for (int n : config_.iteration_counts) {
-        if (n < 1) throw Error(cat("sweep iteration count ", n, " must be >= 1"));
+    if (config.devices.empty()) {
+        throw User_error("sweep needs at least one device");
     }
-    if (config_.frame_width < 1 || config_.frame_height < 1) {
-        throw Error(cat("sweep frame ", config_.frame_width, "x",
-                        config_.frame_height, " must be positive"));
+    if (config.iteration_counts.empty()) {
+        throw User_error("sweep needs at least one iteration count");
     }
-    if (config_.validate_fixed) {
+    for (int n : config.iteration_counts) {
+        if (n < 1) {
+            throw User_error(cat("sweep iteration count ", n, " must be >= 1"));
+        }
+    }
+    if (config.frame_width < 1 || config.frame_height < 1) {
+        throw User_error(cat("sweep frame ", config.frame_width, "x",
+                             config.frame_height, " must be positive"));
+    }
+    if (config.validate_fixed) {
         // The raw-word comparison reconstructs the simulator's words from
         // its from_raw outputs, which is exact only while every raw word
         // fits a double's 53-bit mantissa. Formats beyond that would report
         // phantom LSB errors, so reject them up front (the search side is
         // bounded by max_total_bits the same way).
-        const int widest = std::max(config_.format.total_bits(),
-                                    config_.search_formats
-                                        ? config_.format_search.max_total_bits
+        const int widest = std::max(config.format.total_bits(),
+                                    config.search_formats
+                                        ? config.format_search.max_total_bits
                                         : 0);
         if (widest > 53) {
-            throw Error(cat("--validate-fixed needs formats of at most 53 bits "
-                            "(raw words must be exactly representable in "
-                            "double), got ", widest));
+            throw User_error(cat("--validate-fixed needs formats of at most 53 "
+                                 "bits (raw words must be exactly representable "
+                                 "in double), got ", widest));
         }
     }
 }
 
-double Sweep_session::validate_fit_fixed(Cone_library& library,
-                                         const Sweep_entry& entry,
-                                         const Fixed_format& format,
-                                         Thread_pool* pool,
-                                         Fixed_validation_cache& cache) const {
-    const Kernel_def& kernel = kernel_by_name(entry.kernel);
-    const auto key = std::make_tuple(entry.kernel, entry.iterations,
-                                     format.integer_bits, format.frac_bits);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        Frame_set initial = kernel.make_initial(
-            make_synthetic_scene(config_.validation_frame_width,
-                                 config_.validation_frame_height,
-                                 config_.validation_seed));
-        Fixed_frame_result golden =
-            run_ghost_ir(library.step(), initial, entry.iterations, kernel.boundary,
-                         format, Exec_options{1, 0, 0, pool});
-        it = cache.emplace(key, std::make_pair(std::move(initial), std::move(golden)))
-                 .first;
-    }
-    const Frame_set& initial = it->second.first;
-    const Fixed_frame_result& golden = it->second.second;
-    Arch_sim_options sim_options;
-    sim_options.boundary = kernel.boundary;
-    sim_options.fixed_point = true;
-    sim_options.format = format;
-    const Arch_sim_result sim =
-        simulate_architecture(library, entry.best.instance, initial, sim_options);
-    // The simulator hands fixed-mode results back as from_raw values, which
-    // round-trip exactly through to_raw for every format the constructor
-    // admits (<= 53 bits) — so the comparison really is raw word against
-    // raw word.
-    const Raw_quantizer to_raw_word(format);
-    std::int64_t max_err = 0;
-    for (const std::string& field : kernel.state_fields) {
-        const Frame& frame = sim.final_state.field(field);
-        const std::size_t index = static_cast<std::size_t>(
-            std::find(golden.names.begin(), golden.names.end(), field) -
-            golden.names.begin());
-        const std::vector<std::int64_t>& expected = golden.raw[index];
-        for (std::size_t i = 0; i < expected.size(); ++i) {
-            const std::int64_t d = to_raw_word(frame.data()[i]) - expected[i];
-            max_err = std::max(max_err, d < 0 ? -d : d);
-        }
-    }
-    return static_cast<double>(max_err);
+Sweep_session::Sweep_session(Sweep_config config) : config_(std::move(config)) {
+    validate_config(config_);
+    service_ = std::make_unique<Sweep_service>();
 }
 
-double Sweep_session::validate_fit(Cone_library& library, const Sweep_entry& entry,
-                                   Thread_pool* pool,
-                                   Validation_cache& cache) const {
-    const Kernel_def& kernel = kernel_by_name(entry.kernel);
-    auto it = cache.find({entry.kernel, entry.iterations});
-    if (it == cache.end()) {
-        Frame_set initial = kernel.make_initial(
-            make_synthetic_scene(config_.validation_frame_width,
-                                 config_.validation_frame_height,
-                                 config_.validation_seed));
-        Frame_set golden =
-            run_ghost_ir(library.step(), initial, entry.iterations, kernel.boundary,
-                         Exec_options{1, 0, 0, pool});
-        it = cache.emplace(std::make_pair(entry.kernel, entry.iterations),
-                           std::make_pair(std::move(initial), std::move(golden)))
-                 .first;
-    }
-    const Frame_set& initial = it->second.first;
-    const Frame_set& golden = it->second.second;
-    Arch_sim_options sim_options;
-    sim_options.boundary = kernel.boundary;
-    const Arch_sim_result sim =
-        simulate_architecture(library, entry.best.instance, initial, sim_options);
-    double max_err = 0.0;
-    for (const std::string& field : kernel.state_fields) {
-        max_err = std::max(max_err, max_abs_diff(sim.final_state.field(field),
-                                                 golden.field(field)));
-    }
-    return max_err;
-}
+Sweep_session::~Sweep_session() = default;
+
+Sweep_report Sweep_session::run() { return service_->run(config_); }
 
 Cone_library& Sweep_session::library(const std::string& kernel) {
-    auto it = libraries_.find(kernel);
-    if (it == libraries_.end()) {
-        const Kernel_def& def = kernel_by_name(kernel);
-        Stencil_step step = extract_stencil(def.c_source);
-        auto built = std::make_unique<Cone_library>(std::move(step), def.name);
-        it = libraries_.emplace(kernel, std::move(built)).first;
-    }
-    return *it->second;
+    return service_->library(kernel);
 }
 
-Sweep_report Sweep_session::run() {
-    const auto start = std::chrono::steady_clock::now();
-    Sweep_report report;
-    // One pool for the whole session: Explorer candidate fan-outs and the
-    // validation runs' row fan-outs all share it.
-    std::optional<Thread_pool> pool;
-    if (resolve_thread_count(config_.space.threads) > 1) {
-        pool.emplace(config_.space.threads);
-    }
-    Thread_pool* shared_pool = pool ? &*pool : nullptr;
-    Validation_cache validation_cache;
-    Fixed_validation_cache fixed_validation_cache;
-    for (const std::string& kernel : config_.kernels) {
-        Cone_library& lib = library(kernel);
-        for (const std::string& device_name : config_.devices) {
-            const Fpga_device& device = device_by_name(device_name);
-            for (int iterations : config_.iteration_counts) {
-                Evaluator_options evaluator_options;
-                evaluator_options.frame_width = config_.frame_width;
-                evaluator_options.frame_height = config_.frame_height;
-                evaluator_options.format = config_.format;
-                evaluator_options.synth.format = config_.format;
-                evaluator_options.throughput = config_.throughput;
-                evaluator_options.calibration_windows = config_.calibration_windows;
-
-                Space_options space = config_.space;
-                space.iterations = iterations;
-
-                Explorer explorer(lib, device, evaluator_options, space, shared_pool);
-                Sweep_entry entry;
-                entry.kernel = kernel;
-                entry.device = device_name;
-                entry.iterations = iterations;
-                const Explorer::Fit_result fit = explorer.fit_device();
-                entry.fits = fit.has_best;
-                if (fit.has_best) entry.best = fit.best;
-                if (config_.with_pareto) {
-                    const Explorer::Pareto_result pareto = explorer.explore_pareto();
-                    entry.pareto_points = pareto.points.size();
-                    entry.pareto_front_size = pareto.front.size();
-                }
-                if (config_.search_formats && entry.fits) {
-                    // The per-(window, depth) grid is device- and
-                    // N-independent: search it once per kernel, share it
-                    // across every later combination.
-                    auto grid_it = format_grids_.find(kernel);
-                    if (grid_it == format_grids_.end()) {
-                        const Kernel_def& def = kernel_by_name(kernel);
-                        const Frame_set content = def.make_initial(
-                            make_synthetic_scene(config_.validation_frame_width,
-                                                 config_.validation_frame_height,
-                                                 config_.validation_seed));
-                        grid_it = format_grids_
-                                      .emplace(kernel,
-                                               explorer.search_formats(
-                                                   content, def.boundary,
-                                                   config_.format_search))
-                                      .first;
-                    }
-                    // Narrowest format covering every depth class of the
-                    // fit: integer and fraction bits each take the max over
-                    // the classes' searched formats, the reported PSNR the
-                    // worst (each class achieves at least it at the covering
-                    // width — more fraction bits never hurt).
-                    const Explorer::Format_grid& grid = grid_it->second;
-                    entry.format_searched = true;
-                    entry.format_satisfiable = true;
-                    entry.format_psnr_db = 0.0;
-                    bool first = true;
-                    for (int d : entry.best.instance.depth_classes()) {
-                        const Format_search_result& cell =
-                            grid.at(entry.best.instance.window, d, space.max_depth)
-                                .result;
-                        entry.format_satisfiable &= cell.satisfiable;
-                        entry.fixed_format.integer_bits =
-                            first ? cell.format.integer_bits
-                                  : std::max(entry.fixed_format.integer_bits,
-                                             cell.format.integer_bits);
-                        entry.fixed_format.frac_bits =
-                            first ? cell.format.frac_bits
-                                  : std::max(entry.fixed_format.frac_bits,
-                                             cell.format.frac_bits);
-                        entry.format_psnr_db = first ? cell.psnr_db
-                                                     : std::min(entry.format_psnr_db,
-                                                                cell.psnr_db);
-                        first = false;
-                    }
-                    // Re-price the fit's estimated area at the searched
-                    // width: a fresh evaluator over the same library, whose
-                    // synthesis cache is format-aware, so calibration
-                    // syntheses at the new width memoize across N values.
-                    // An unsatisfiable search leaves only a failed width
-                    // behind — pricing at it would be meaningless, so the
-                    // column stays empty instead.
-                    if (entry.format_satisfiable) {
-                        Evaluator_options priced = evaluator_options;
-                        priced.format = entry.fixed_format;
-                        priced.synth.format = entry.fixed_format;
-                        const Arch_evaluator pricer(lib, device, priced);
-                        entry.searched_area_luts =
-                            pricer.evaluate(entry.best.instance).estimated_area_luts;
-                    }
-                }
-                if (config_.validate && entry.fits) {
-                    entry.validation_max_abs_err =
-                        validate_fit(lib, entry, shared_pool, validation_cache);
-                    entry.validated = true;
-                }
-                if (config_.validate_fixed && entry.fits) {
-                    const Fixed_format fixed_fmt =
-                        entry.format_searched && entry.format_satisfiable
-                            ? entry.fixed_format
-                            : config_.format;
-                    entry.validation_max_raw_err = validate_fit_fixed(
-                        lib, entry, fixed_fmt, shared_pool, fixed_validation_cache);
-                    entry.validated_fixed = true;
-                }
-                report.entries.push_back(std::move(entry));
-            }
-        }
-    }
-    // Totals over the distinct session caches — not per occurrence in
-    // config_.kernels, which may repeat a name.
-    for (const auto& [name, lib] : libraries_) {
-        report.cone_builds += lib->cone_builds();
-        report.cone_lookups += lib->cone_lookups();
-        report.synthesis_runs += lib->synthesis_runs();
-        report.synthesis_lookups += lib->synthesis_lookups();
-        report.synthesis_cpu_seconds += lib->synthesis_cpu_seconds();
-    }
-    report.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    return report;
-}
-
-std::string to_string(const Sweep_report& report) {
+std::string report_table(const Sweep_report& report) {
     // The format and fixed-golden columns only appear when some entry
     // carries them, so plain sweeps keep the classic nine-column layout.
     bool any_format = false;
@@ -340,12 +124,26 @@ std::string to_string(const Sweep_report& report) {
         }
         table.add_row(std::move(row));
     }
-    std::string out = table.to_text();
+    return table.to_text();
+}
+
+std::string to_string(const Sweep_report& report) {
+    std::string out = report_table(report);
     const long long cone_hits = report.cone_lookups - report.cone_builds;
-    const long long synth_hits = report.synthesis_lookups - report.synthesis_runs;
+    const long long synth_hits = report.synthesis_lookups - report.synthesis_runs -
+                                 report.synthesis_loads;
     out += cat("\ncache: ", report.cone_builds, " cones built, ", cone_hits,
                " cone hits; ", report.synthesis_runs, " syntheses run, ",
                synth_hits, " synthesis hits\n");
+    if (report.entry_hits + report.entry_misses + report.grid_hits +
+            report.grid_misses + report.synthesis_loads >
+        0) {
+        out += cat("result cache: ", report.entry_hits, " entry hits, ",
+                   report.entry_misses, " entry misses, ", report.entry_stores,
+                   " stored; ", report.grid_hits, " grid hits, ",
+                   report.grid_misses, " grid misses; ", report.synthesis_loads,
+                   " syntheses loaded\n");
+    }
     out += cat("virtual synthesis time ",
                format_fixed(report.synthesis_cpu_seconds / 3600.0, 2),
                " tool-hours; sweep wall time ",

@@ -15,20 +15,20 @@
 // architecture simulation checked against the ghost golden, executed by the
 // compiled engine) route their row fan-out through the same pool via
 // Exec_options::pool — no per-run() pool construction anywhere in a sweep.
+//
+// The sweep machinery itself lives in Sweep_service (core/service.hpp),
+// which additionally offers a persistent content-addressed result cache and
+// a fault-tolerant batch front-end; Sweep_session is the one-shot in-memory
+// wrapper that the tests and the classic `islhls sweep` path drive.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
-#include <tuple>
-#include <utility>
 #include <vector>
 
 #include "backend/fixed_point.hpp"
 #include "dse/explorer.hpp"
 #include "estimate/throughput_model.hpp"
-#include "grid/frame_set.hpp"
-#include "sim/exec_engine.hpp"
 
 namespace islhls {
 
@@ -101,18 +101,37 @@ struct Sweep_entry {
 
 struct Sweep_report {
     std::vector<Sweep_entry> entries;  // kernel-major, then device, then N
-    // Shared-cache effectiveness over the whole session.
+    // Shared-cache effectiveness over this run (in-process memoization).
     int cone_builds = 0;
     long long cone_lookups = 0;
     int synthesis_runs = 0;
     long long synthesis_lookups = 0;
     double synthesis_cpu_seconds = 0.0;  // simulated tool time actually spent
     double wall_seconds = 0.0;           // host time for the whole run
+    // Persistent result-cache effectiveness over this run (all zero when no
+    // cache is attached). A fully warm run shows entry_hits == entries.size()
+    // with zero synthesis_runs and zero cone_builds: every combination was
+    // served without recomputing anything.
+    int entry_hits = 0;
+    int entry_misses = 0;
+    int entry_stores = 0;
+    int grid_hits = 0;
+    int grid_misses = 0;
+    int synthesis_loads = 0;  // syntheses served from the persistent cache
 };
+
+// Validates a sweep configuration, throwing a named user error (kind
+// Error_kind::user) for each way a config can be malformed. Shared by
+// Sweep_session (at construction) and Sweep_service (per request).
+void validate_config(const Sweep_config& config);
+
+class Sweep_service;
 
 class Sweep_session {
 public:
+    // Throws (kind user) for invalid configs.
     explicit Sweep_session(Sweep_config config);
+    ~Sweep_session();
 
     // Runs every kernel × device × iteration-count combination.
     Sweep_report run();
@@ -125,35 +144,18 @@ public:
     const Sweep_config& config() const { return config_; }
 
 private:
-    // Initial frames + ghost golden for one (kernel, iterations) pair: the
-    // golden does not depend on the device, so the session computes it once
-    // per pair no matter how many devices validate against it.
-    using Validation_cache =
-        std::map<std::pair<std::string, int>, std::pair<Frame_set, Frame_set>>;
-    // Fixed-mode twin, additionally keyed by the format (per-architecture
-    // formats vary across entries): initial frames + raw-word ghost golden.
-    using Fixed_validation_cache =
-        std::map<std::tuple<std::string, int, int, int>,
-                 std::pair<Frame_set, Fixed_frame_result>>;
-
-    // Functional golden check of one feasible fit: simulate the fitted
-    // architecture on a synthetic validation frame and return the max
-    // absolute deviation from the ghost golden (whose engine run fans its
-    // rows across `pool` when given).
-    double validate_fit(Cone_library& library, const Sweep_entry& entry,
-                        Thread_pool* pool, Validation_cache& cache) const;
-    // Fixed-mode twin: simulate under `format` and return the max raw-word
-    // deviation (LSBs) from the fixed frame engine's ghost golden.
-    double validate_fit_fixed(Cone_library& library, const Sweep_entry& entry,
-                              const Fixed_format& format, Thread_pool* pool,
-                              Fixed_validation_cache& cache) const;
-
     Sweep_config config_;
-    std::map<std::string, std::unique_ptr<Cone_library>> libraries_;
-    std::map<std::string, Explorer::Format_grid> format_grids_;
+    // The engine: a private, cache-less (in-memory) sweep service. Long-
+    // lived callers wanting the persistent result cache and the batch
+    // front-end use core/service.hpp directly.
+    std::unique_ptr<Sweep_service> service_;
 };
 
-// Renders the per-combination results and the cache totals as text tables.
+// The deterministic per-combination table alone: byte-identical across
+// reruns of the same config (cold or warm cache, any thread count).
+std::string report_table(const Sweep_report& report);
+
+// report_table() plus the volatile footer (cache meters, wall time).
 std::string to_string(const Sweep_report& report);
 
 }  // namespace islhls

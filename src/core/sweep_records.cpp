@@ -1,0 +1,597 @@
+#include "core/sweep_records.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "ir/print.hpp"
+#include "support/text.hpp"
+
+namespace islhls {
+
+std::string encode_double_bits(double value) {
+    char out[17];
+    std::snprintf(out, sizeof out, "%016llx",
+                  static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(value)));
+    return out;
+}
+
+bool decode_double_bits(const std::string& text, double* value) {
+    if (text.size() != 16) return false;
+    std::uint64_t bits = 0;
+    for (char c : text) {
+        int digit;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else return false;
+        bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+    }
+    *value = std::bit_cast<double>(bits);
+    return true;
+}
+
+namespace {
+
+// --- strict line-oriented reading -------------------------------------------------
+// Records are `name value...` lines read in a fixed order; any deviation
+// (wrong name, malformed value, trailing garbage) fails the whole parse and
+// the caller recomputes.
+class Line_reader {
+public:
+    explicit Line_reader(const std::string& text) {
+        for (const std::string& line : split(text, '\n')) lines_.push_back(line);
+        // A well-formed record ends with "end\n", so split leaves one empty
+        // trailing element; drop it.
+        if (!lines_.empty() && lines_.back().empty()) lines_.pop_back();
+    }
+
+    // Consumes the next line, requiring its first token to be `name`;
+    // `*rest` receives everything after the single separating space ("" for
+    // a bare `name` line).
+    bool expect(const std::string& name, std::string* rest) {
+        if (failed_ || next_ >= lines_.size()) return fail(name, "<end>");
+        const std::string& line = lines_[next_];
+        if (line == name) {
+            ++next_;
+            *rest = "";
+            return true;
+        }
+        if (line.size() > name.size() && line.compare(0, name.size(), name) == 0 &&
+            line[name.size()] == ' ') {
+            ++next_;
+            *rest = line.substr(name.size() + 1);
+            return true;
+        }
+        return fail(name, line);
+    }
+
+    bool done() {
+        if (failed_) return false;
+        if (next_ != lines_.size()) return fail("<end>", lines_[next_]);
+        return true;
+    }
+
+    bool fail(const std::string& wanted, const std::string& got) {
+        if (!failed_) {
+            failed_ = true;
+            error_ = cat("line ", next_ + 1, ": expected '", wanted, "', got '",
+                         got, "'");
+        }
+        return false;
+    }
+
+    void fail_value(const std::string& what) {
+        if (!failed_) {
+            failed_ = true;
+            error_ = cat("line ", next_, ": bad ", what, " value");
+        }
+    }
+
+    bool failed() const { return failed_; }
+    const std::string& error() const { return error_; }
+
+private:
+    std::vector<std::string> lines_;
+    std::size_t next_ = 0;
+    bool failed_ = false;
+    std::string error_;
+};
+
+bool parse_ll_strict(const std::string& text, long long* value) {
+    if (text.empty()) return false;
+    char* end = nullptr;
+    *value = std::strtoll(text.c_str(), &end, 10);
+    return end == text.c_str() + text.size();
+}
+
+// Field helpers over the reader: each consumes one `name value` line.
+bool read_ll(Line_reader& r, const std::string& name, long long* value) {
+    std::string rest;
+    if (!r.expect(name, &rest)) return false;
+    if (!parse_ll_strict(rest, value)) {
+        r.fail_value(name);
+        return false;
+    }
+    return true;
+}
+
+bool read_int(Line_reader& r, const std::string& name, int* value) {
+    long long wide = 0;
+    if (!read_ll(r, name, &wide)) return false;
+    *value = static_cast<int>(wide);
+    return true;
+}
+
+bool read_size(Line_reader& r, const std::string& name, std::size_t* value) {
+    long long wide = 0;
+    if (!read_ll(r, name, &wide) || wide < 0) return false;
+    *value = static_cast<std::size_t>(wide);
+    return true;
+}
+
+bool read_bool(Line_reader& r, const std::string& name, bool* value) {
+    std::string rest;
+    if (!r.expect(name, &rest)) return false;
+    if (rest != "0" && rest != "1") {
+        r.fail_value(name);
+        return false;
+    }
+    *value = rest == "1";
+    return true;
+}
+
+bool read_double(Line_reader& r, const std::string& name, double* value) {
+    std::string rest;
+    if (!r.expect(name, &rest)) return false;
+    if (!decode_double_bits(rest, value)) {
+        r.fail_value(name);
+        return false;
+    }
+    return true;
+}
+
+bool read_text(Line_reader& r, const std::string& name, std::string* value) {
+    return r.expect(name, value);
+}
+
+// --- Arch_evaluation block --------------------------------------------------------
+
+void write_evaluation(std::ostringstream& os, const Arch_evaluation& e) {
+    os << "eval.window " << e.instance.window << "\n";
+    os << "eval.depths";
+    for (int d : e.instance.level_depths) os << " " << d;
+    os << "\n";
+    os << "eval.cores";
+    for (const auto& [depth, cores] : e.instance.cores_per_depth) {
+        os << " " << depth << ":" << cores;
+    }
+    os << "\n";
+    os << "eval.feasible " << (e.feasible ? 1 : 0) << "\n";
+    os << "eval.reason";
+    if (!e.infeasible_reason.empty()) os << " " << e.infeasible_reason;
+    os << "\n";
+    os << "eval.estimated_area_luts " << encode_double_bits(e.estimated_area_luts)
+       << "\n";
+    os << "eval.actual_area_luts " << encode_double_bits(e.actual_area_luts) << "\n";
+    os << "eval.f_max_mhz " << encode_double_bits(e.f_max_mhz) << "\n";
+    os << "eval.windows_per_frame " << e.windows_per_frame << "\n";
+    os << "eval.tp.cycles_per_window "
+       << encode_double_bits(e.throughput.cycles_per_window) << "\n";
+    os << "eval.tp.core_bound " << encode_double_bits(e.throughput.core_bound_cycles)
+       << "\n";
+    os << "eval.tp.onchip_bound "
+       << encode_double_bits(e.throughput.onchip_bound_cycles) << "\n";
+    os << "eval.tp.offchip_bound "
+       << encode_double_bits(e.throughput.offchip_bound_cycles) << "\n";
+    os << "eval.tp.bottleneck";
+    if (!e.throughput.bottleneck.empty()) os << " " << e.throughput.bottleneck;
+    os << "\n";
+    os << "eval.tp.seconds_per_frame "
+       << encode_double_bits(e.throughput.seconds_per_frame) << "\n";
+    os << "eval.tp.fps " << encode_double_bits(e.throughput.fps) << "\n";
+    os << "eval.tp.class_cycles";
+    for (const auto& [depth, cycles] : e.throughput.class_cycles) {
+        os << " " << depth << ":" << encode_double_bits(cycles);
+    }
+    os << "\n";
+    os << "eval.mem.input " << encode_double_bits(e.memory.input_buffer_kbits)
+       << "\n";
+    os << "eval.mem.intermediate " << encode_double_bits(e.memory.intermediate_kbits)
+       << "\n";
+    os << "eval.mem.output " << encode_double_bits(e.memory.output_buffer_kbits)
+       << "\n";
+    os << "eval.mem.total " << encode_double_bits(e.memory.total_kbits) << "\n";
+    os << "eval.mem.whole_frame " << encode_double_bits(e.memory.whole_frame_kbits)
+       << "\n";
+    os << "eval.mem.saving " << encode_double_bits(e.memory.saving_factor) << "\n";
+}
+
+bool read_evaluation(Line_reader& r, Arch_evaluation* e) {
+    if (!read_int(r, "eval.window", &e->instance.window)) return false;
+    std::string rest;
+    if (!r.expect("eval.depths", &rest)) return false;
+    e->instance.level_depths.clear();
+    if (!rest.empty()) {
+        for (const std::string& part : split(rest, ' ')) {
+            long long depth = 0;
+            if (!parse_ll_strict(part, &depth)) {
+                r.fail_value("eval.depths");
+                return false;
+            }
+            e->instance.level_depths.push_back(static_cast<int>(depth));
+        }
+    }
+    if (!r.expect("eval.cores", &rest)) return false;
+    e->instance.cores_per_depth.clear();
+    if (!rest.empty()) {
+        for (const std::string& part : split(rest, ' ')) {
+            const auto colon = part.find(':');
+            long long depth = 0;
+            long long cores = 0;
+            if (colon == std::string::npos ||
+                !parse_ll_strict(part.substr(0, colon), &depth) ||
+                !parse_ll_strict(part.substr(colon + 1), &cores)) {
+                r.fail_value("eval.cores");
+                return false;
+            }
+            e->instance.cores_per_depth[static_cast<int>(depth)] =
+                static_cast<int>(cores);
+        }
+    }
+    if (!read_bool(r, "eval.feasible", &e->feasible)) return false;
+    if (!read_text(r, "eval.reason", &e->infeasible_reason)) return false;
+    if (!read_double(r, "eval.estimated_area_luts", &e->estimated_area_luts)) {
+        return false;
+    }
+    if (!read_double(r, "eval.actual_area_luts", &e->actual_area_luts)) return false;
+    if (!read_double(r, "eval.f_max_mhz", &e->f_max_mhz)) return false;
+    if (!read_ll(r, "eval.windows_per_frame", &e->windows_per_frame)) return false;
+    if (!read_double(r, "eval.tp.cycles_per_window",
+                     &e->throughput.cycles_per_window)) {
+        return false;
+    }
+    if (!read_double(r, "eval.tp.core_bound", &e->throughput.core_bound_cycles)) {
+        return false;
+    }
+    if (!read_double(r, "eval.tp.onchip_bound", &e->throughput.onchip_bound_cycles)) {
+        return false;
+    }
+    if (!read_double(r, "eval.tp.offchip_bound",
+                     &e->throughput.offchip_bound_cycles)) {
+        return false;
+    }
+    if (!read_text(r, "eval.tp.bottleneck", &e->throughput.bottleneck)) return false;
+    if (!read_double(r, "eval.tp.seconds_per_frame",
+                     &e->throughput.seconds_per_frame)) {
+        return false;
+    }
+    if (!read_double(r, "eval.tp.fps", &e->throughput.fps)) return false;
+    if (!r.expect("eval.tp.class_cycles", &rest)) return false;
+    e->throughput.class_cycles.clear();
+    if (!rest.empty()) {
+        for (const std::string& part : split(rest, ' ')) {
+            const auto colon = part.find(':');
+            long long depth = 0;
+            double cycles = 0.0;
+            if (colon == std::string::npos ||
+                !parse_ll_strict(part.substr(0, colon), &depth) ||
+                !decode_double_bits(part.substr(colon + 1), &cycles)) {
+                r.fail_value("eval.tp.class_cycles");
+                return false;
+            }
+            e->throughput.class_cycles[static_cast<int>(depth)] = cycles;
+        }
+    }
+    if (!read_double(r, "eval.mem.input", &e->memory.input_buffer_kbits)) {
+        return false;
+    }
+    if (!read_double(r, "eval.mem.intermediate", &e->memory.intermediate_kbits)) {
+        return false;
+    }
+    if (!read_double(r, "eval.mem.output", &e->memory.output_buffer_kbits)) {
+        return false;
+    }
+    if (!read_double(r, "eval.mem.total", &e->memory.total_kbits)) return false;
+    if (!read_double(r, "eval.mem.whole_frame", &e->memory.whole_frame_kbits)) {
+        return false;
+    }
+    if (!read_double(r, "eval.mem.saving", &e->memory.saving_factor)) return false;
+    return true;
+}
+
+}  // namespace
+
+// --- Sweep_entry ------------------------------------------------------------------
+
+std::string serialize_record(const Sweep_entry& entry) {
+    std::ostringstream os;
+    os << "sweep-entry v1\n";
+    os << "kernel " << entry.kernel << "\n";
+    os << "device " << entry.device << "\n";
+    os << "iterations " << entry.iterations << "\n";
+    os << "fits " << (entry.fits ? 1 : 0) << "\n";
+    if (entry.fits) write_evaluation(os, entry.best);
+    os << "pareto_points " << entry.pareto_points << "\n";
+    os << "pareto_front " << entry.pareto_front_size << "\n";
+    os << "validated " << (entry.validated ? 1 : 0) << "\n";
+    os << "validation_max_abs_err " << encode_double_bits(entry.validation_max_abs_err)
+       << "\n";
+    os << "format_searched " << (entry.format_searched ? 1 : 0) << "\n";
+    os << "format_satisfiable " << (entry.format_satisfiable ? 1 : 0) << "\n";
+    os << "format " << entry.fixed_format.integer_bits << " "
+       << entry.fixed_format.frac_bits << "\n";
+    os << "format_psnr_db " << encode_double_bits(entry.format_psnr_db) << "\n";
+    os << "searched_area_luts " << encode_double_bits(entry.searched_area_luts)
+       << "\n";
+    os << "validated_fixed " << (entry.validated_fixed ? 1 : 0) << "\n";
+    os << "validation_max_raw_err "
+       << encode_double_bits(entry.validation_max_raw_err) << "\n";
+    os << "end\n";
+    return os.str();
+}
+
+bool parse_record(const std::string& text, Sweep_entry* entry, std::string* error) {
+    Line_reader r(text);
+    Sweep_entry out;
+    std::string rest;
+    bool ok = r.expect("sweep-entry", &rest) && rest == "v1";
+    if (!ok) {
+        if (!r.failed()) r.fail_value("sweep-entry version");
+        *error = r.error();
+        return false;
+    }
+    ok = read_text(r, "kernel", &out.kernel) && read_text(r, "device", &out.device) &&
+         read_int(r, "iterations", &out.iterations) &&
+         read_bool(r, "fits", &out.fits);
+    if (ok && out.fits) ok = read_evaluation(r, &out.best);
+    ok = ok && read_size(r, "pareto_points", &out.pareto_points) &&
+         read_size(r, "pareto_front", &out.pareto_front_size) &&
+         read_bool(r, "validated", &out.validated) &&
+         read_double(r, "validation_max_abs_err", &out.validation_max_abs_err) &&
+         read_bool(r, "format_searched", &out.format_searched) &&
+         read_bool(r, "format_satisfiable", &out.format_satisfiable);
+    if (ok) {
+        if (!r.expect("format", &rest)) {
+            ok = false;
+        } else {
+            const std::vector<std::string> parts = split(rest, ' ');
+            long long integer_bits = 0;
+            long long frac_bits = 0;
+            if (parts.size() != 2 || !parse_ll_strict(parts[0], &integer_bits) ||
+                !parse_ll_strict(parts[1], &frac_bits)) {
+                r.fail_value("format");
+                ok = false;
+            } else {
+                out.fixed_format.integer_bits = static_cast<int>(integer_bits);
+                out.fixed_format.frac_bits = static_cast<int>(frac_bits);
+            }
+        }
+    }
+    ok = ok && read_double(r, "format_psnr_db", &out.format_psnr_db) &&
+         read_double(r, "searched_area_luts", &out.searched_area_luts) &&
+         read_bool(r, "validated_fixed", &out.validated_fixed) &&
+         read_double(r, "validation_max_raw_err", &out.validation_max_raw_err) &&
+         r.expect("end", &rest) && r.done();
+    if (!ok) {
+        *error = r.error();
+        return false;
+    }
+    *entry = std::move(out);
+    return true;
+}
+
+// --- Format_grid ------------------------------------------------------------------
+
+std::string serialize_record(const Explorer::Format_grid& grid) {
+    std::ostringstream os;
+    os << "format-grid v1\n";
+    os << "cells " << grid.cells.size() << "\n";
+    for (const Explorer::Format_cell& cell : grid.cells) {
+        os << "cell " << cell.window << " " << cell.depth << " "
+           << cell.result.format.integer_bits << " " << cell.result.format.frac_bits
+           << " " << encode_double_bits(cell.result.psnr_db) << " "
+           << encode_double_bits(cell.result.max_abs_value) << " "
+           << cell.result.formats_tried << " " << (cell.result.satisfiable ? 1 : 0)
+           << "\n";
+    }
+    os << "end\n";
+    return os.str();
+}
+
+bool parse_record(const std::string& text, Explorer::Format_grid* grid,
+                  std::string* error) {
+    Line_reader r(text);
+    Explorer::Format_grid out;
+    std::string rest;
+    if (!r.expect("format-grid", &rest) || rest != "v1") {
+        if (!r.failed()) r.fail_value("format-grid version");
+        *error = r.error();
+        return false;
+    }
+    std::size_t count = 0;
+    if (!read_size(r, "cells", &count)) {
+        *error = r.error();
+        return false;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!r.expect("cell", &rest)) {
+            *error = r.error();
+            return false;
+        }
+        const std::vector<std::string> parts = split(rest, ' ');
+        long long window = 0;
+        long long depth = 0;
+        long long integer_bits = 0;
+        long long frac_bits = 0;
+        long long tried = 0;
+        Explorer::Format_cell cell;
+        if (parts.size() != 8 || !parse_ll_strict(parts[0], &window) ||
+            !parse_ll_strict(parts[1], &depth) ||
+            !parse_ll_strict(parts[2], &integer_bits) ||
+            !parse_ll_strict(parts[3], &frac_bits) ||
+            !decode_double_bits(parts[4], &cell.result.psnr_db) ||
+            !decode_double_bits(parts[5], &cell.result.max_abs_value) ||
+            !parse_ll_strict(parts[6], &tried) ||
+            (parts[7] != "0" && parts[7] != "1")) {
+            r.fail_value("cell");
+            *error = r.error();
+            return false;
+        }
+        cell.window = static_cast<int>(window);
+        cell.depth = static_cast<int>(depth);
+        cell.result.format.integer_bits = static_cast<int>(integer_bits);
+        cell.result.format.frac_bits = static_cast<int>(frac_bits);
+        cell.result.formats_tried = static_cast<int>(tried);
+        cell.result.satisfiable = parts[7] == "1";
+        out.cells.push_back(cell);
+    }
+    if (!r.expect("end", &rest) || !r.done()) {
+        *error = r.error();
+        return false;
+    }
+    *grid = std::move(out);
+    return true;
+}
+
+// --- Synthesis_report -------------------------------------------------------------
+
+std::string serialize_record(const Synthesis_report& report) {
+    std::ostringstream os;
+    os << "synthesis-report v1\n";
+    os << "design";
+    if (!report.design_name.empty()) os << " " << report.design_name;
+    os << "\n";
+    os << "lut_count " << encode_double_bits(report.lut_count) << "\n";
+    os << "raw_lut_count " << encode_double_bits(report.raw_lut_count) << "\n";
+    os << "ff_count " << encode_double_bits(report.ff_count) << "\n";
+    os << "dsp_count " << report.dsp_count << "\n";
+    os << "bram_kbits " << encode_double_bits(report.bram_kbits) << "\n";
+    os << "f_max_mhz " << encode_double_bits(report.f_max_mhz) << "\n";
+    os << "latency_cycles " << report.latency_cycles << "\n";
+    os << "register_count " << report.register_count << "\n";
+    os << "synthesis_cpu_seconds "
+       << encode_double_bits(report.synthesis_cpu_seconds) << "\n";
+    os << "fits " << (report.fits ? 1 : 0) << "\n";
+    os << "end\n";
+    return os.str();
+}
+
+bool parse_record(const std::string& text, Synthesis_report* report,
+                  std::string* error) {
+    Line_reader r(text);
+    Synthesis_report out;
+    std::string rest;
+    const bool ok =
+        r.expect("synthesis-report", &rest) && rest == "v1" &&
+        read_text(r, "design", &out.design_name) &&
+        read_double(r, "lut_count", &out.lut_count) &&
+        read_double(r, "raw_lut_count", &out.raw_lut_count) &&
+        read_double(r, "ff_count", &out.ff_count) &&
+        read_int(r, "dsp_count", &out.dsp_count) &&
+        read_double(r, "bram_kbits", &out.bram_kbits) &&
+        read_double(r, "f_max_mhz", &out.f_max_mhz) &&
+        read_int(r, "latency_cycles", &out.latency_cycles) &&
+        read_int(r, "register_count", &out.register_count) &&
+        read_double(r, "synthesis_cpu_seconds", &out.synthesis_cpu_seconds) &&
+        read_bool(r, "fits", &out.fits) && r.expect("end", &rest) && r.done();
+    if (!ok) {
+        if (!r.failed()) r.fail_value("synthesis-report version");
+        *error = r.error();
+        return false;
+    }
+    *report = std::move(out);
+    return true;
+}
+
+// --- cache keys -------------------------------------------------------------------
+
+std::string kernel_ir_key(const std::string& kernel_name, Boundary boundary,
+                          const Stencil_step& step) {
+    std::ostringstream os;
+    os << "kernel " << kernel_name << "\n";
+    os << "boundary " << to_string(boundary) << "\n";
+    for (const std::string& name : step.const_fields()) {
+        os << "const " << name << "\n";
+    }
+    const std::vector<std::string>& fields = step.state_fields();
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        os << "state " << fields[i] << " = "
+           << to_sexpr(step.pool(), step.update(static_cast<int>(i))) << "\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+// Every option that can change a sweep result, shared by the entry and
+// request keys. Thread counts are deliberately absent: results are
+// byte-identical at any fan-out width, so a warm cache serves requests
+// regardless of how parallel the original run was.
+std::string config_key_options(const Sweep_config& config) {
+    std::ostringstream os;
+    os << "frame " << config.frame_width << "x" << config.frame_height << "\n";
+    os << "format " << config.format.integer_bits << "." << config.format.frac_bits
+       << "\n";
+    os << "space " << config.space.max_window << " " << config.space.max_depth
+       << " " << config.space.max_cores_per_sweep << " "
+       << encode_double_bits(config.space.pareto_area_cap_luts) << "\n";
+    os << "throughput " << encode_double_bits(config.throughput.core_read_ports)
+       << " " << encode_double_bits(config.throughput.global_read_ports) << " "
+       << encode_double_bits(config.throughput.offchip_write_cost) << " "
+       << encode_double_bits(config.throughput.class_switch_cycles) << "\n";
+    os << "calibration_windows";
+    for (int w : config.calibration_windows) os << " " << w;
+    os << "\n";
+    os << "with_pareto " << (config.with_pareto ? 1 : 0) << "\n";
+    os << "validate " << (config.validate ? 1 : 0) << " "
+       << config.validation_frame_width << "x" << config.validation_frame_height
+       << " seed " << config.validation_seed << "\n";
+    os << "search_formats " << (config.search_formats ? 1 : 0) << " "
+       << encode_double_bits(config.format_search.target_psnr_db) << " "
+       << encode_double_bits(config.format_search.peak_value) << " "
+       << config.format_search.sample_windows << " "
+       << config.format_search.max_total_bits << " " << config.format_search.seed
+       << "\n";
+    os << "validate_fixed " << (config.validate_fixed ? 1 : 0) << "\n";
+    return os.str();
+}
+
+}  // namespace
+
+std::string sweep_entry_key(const std::string& ir_key, const Sweep_config& config,
+                            const std::string& device, int iterations) {
+    return cat("sweep-entry-key v1\n", ir_key, "device ", device, "\niterations ",
+               iterations, "\n", config_key_options(config));
+}
+
+std::string format_grid_key(const std::string& ir_key, const Sweep_config& config) {
+    return cat("format-grid-key v1\n", ir_key, "space ", config.space.max_window,
+               " ", config.space.max_depth, "\ncontent ",
+               config.validation_frame_width, "x", config.validation_frame_height,
+               " seed ", config.validation_seed, "\nsearch ",
+               encode_double_bits(config.format_search.target_psnr_db), " ",
+               encode_double_bits(config.format_search.peak_value), " ",
+               config.format_search.sample_windows, " ",
+               config.format_search.max_total_bits, " ", config.format_search.seed,
+               "\n");
+}
+
+std::string synthesis_key_prefix(const std::string& ir_key) {
+    return cat("synthesis-key v1\n", ir_key);
+}
+
+std::string sweep_request_key(const Sweep_config& config) {
+    std::ostringstream os;
+    os << "sweep-request v1\n";
+    os << "kernels";
+    for (const std::string& k : config.kernels) os << " " << k;
+    os << "\ndevices";
+    for (const std::string& d : config.devices) os << " " << d;
+    os << "\niterations";
+    for (int n : config.iteration_counts) os << " " << n;
+    os << "\n" << config_key_options(config);
+    return os.str();
+}
+
+}  // namespace islhls

@@ -32,6 +32,13 @@ const Cone_stats& Cone_library::stats(int window, int depth) {
     return cone(window, depth).stats();
 }
 
+void Cone_library::attach_synthesis_store(Synthesis_store store,
+                                          std::string key_prefix) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    store_ = std::move(store);
+    store_key_prefix_ = std::move(key_prefix);
+}
+
 const Synthesis_report& Cone_library::synthesis(int window, int depth,
                                                 const Fpga_device& device,
                                                 const Synth_options& options) {
@@ -49,6 +56,20 @@ const Synthesis_report& Cone_library::synthesis(int window, int depth,
         auto it = syntheses_.find(key);
         if (it != syntheses_.end()) return it->second;
     }
+    // The persistent store, when attached, is consulted before synthesizing:
+    // a loaded report enters the memo map flagged in loaded_, so the meters
+    // keep reporting what THIS process actually ran. Load/store happen
+    // outside any lock (the store synchronizes itself).
+    if (store_.load) {
+        const std::string persist_key =
+            cat(store_key_prefix_, window, "/", depth, "/", std::get<2>(key), "\n");
+        if (std::optional<Synthesis_report> loaded = store_.load(persist_key)) {
+            std::unique_lock<std::shared_mutex> lock(mutex_);
+            auto [it, inserted] = syntheses_.emplace(key, std::move(*loaded));
+            if (inserted) loaded_.insert(key);
+            return it->second;
+        }
+    }
     // Synthesize outside the exclusive section: the synthesizer only reads
     // the cone's own (immutable once built) register program, so distinct
     // keys can synthesize concurrently. Racing threads may synthesize the
@@ -57,19 +78,31 @@ const Synthesis_report& Cone_library::synthesis(int window, int depth,
     const Cone& built_cone = cone(window, depth);
     const Synthesis_report report =
         synthesize_cone(built_cone, kernel_name_, device, options);
+    if (store_.store) {
+        const std::string persist_key =
+            cat(store_key_prefix_, window, "/", depth, "/", std::get<2>(key), "\n");
+        store_.store(persist_key, report);
+    }
     std::unique_lock<std::shared_mutex> lock(mutex_);
     return syntheses_.emplace(key, report).first->second;
 }
 
 int Cone_library::synthesis_runs() const {
     std::shared_lock<std::shared_mutex> lock(mutex_);
-    return static_cast<int>(syntheses_.size());
+    return static_cast<int>(syntheses_.size() - loaded_.size());
+}
+
+int Cone_library::synthesis_loads() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return static_cast<int>(loaded_.size());
 }
 
 double Cone_library::synthesis_cpu_seconds() const {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     double total = 0.0;
-    for (const auto& [key, report] : syntheses_) total += report.synthesis_cpu_seconds;
+    for (const auto& [key, report] : syntheses_) {
+        if (!loaded_.count(key)) total += report.synthesis_cpu_seconds;
+    }
     return total;
 }
 
@@ -77,7 +110,9 @@ std::vector<double> Cone_library::synthesis_costs() const {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     std::vector<double> costs;
     costs.reserve(syntheses_.size());
-    for (const auto& [key, report] : syntheses_) costs.push_back(report.synthesis_cpu_seconds);
+    for (const auto& [key, report] : syntheses_) {
+        if (!loaded_.count(key)) costs.push_back(report.synthesis_cpu_seconds);
+    }
     return costs;
 }
 

@@ -23,8 +23,11 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -35,6 +38,16 @@
 #include "synth/synthesizer.hpp"
 
 namespace islhls {
+
+// Optional persistence seam for synthesis results. The library stays
+// storage-agnostic: the owner (core/service.hpp) binds these to its
+// content-addressed result cache. `load` returns a report previously stored
+// under `key` or nullopt; `store` persists one best-effort (failures are the
+// store's problem, never the library's). Both must be thread-safe.
+struct Synthesis_store {
+    std::function<std::optional<Synthesis_report>(const std::string& key)> load;
+    std::function<void(const std::string& key, const Synthesis_report&)> store;
+};
 
 class Cone_library {
 public:
@@ -54,9 +67,19 @@ public:
     const Synthesis_report& synthesis(int window, int depth, const Fpga_device& device,
                                       const Synth_options& options);
 
+    // Attaches a persistent synthesis store: synthesis() misses consult it
+    // before running the virtual synthesizer, and fresh results are written
+    // back through it. `key_prefix` pins the kernel's content identity so
+    // two kernels (or two versions of one) never share records.
+    void attach_synthesis_store(Synthesis_store store, std::string key_prefix);
+
     // Number of distinct syntheses performed and their cumulative simulated
     // CPU time (sum over the cache in key order — schedule-independent).
+    // Reports loaded from the persistent store count as synthesis_loads(),
+    // not runs, and contribute no CPU time: they were paid for in an
+    // earlier process.
     int synthesis_runs() const;
+    int synthesis_loads() const;
     double synthesis_cpu_seconds() const;
 
     // Simulated tool runtime of each cached synthesis, in key order. Feed to
@@ -69,11 +92,16 @@ public:
     int cone_builds() const;
 
 private:
+    using Synthesis_key = std::tuple<int, int, std::string>;
+
     Stencil_step step_;
     std::string kernel_name_;
+    Synthesis_store store_;
+    std::string store_key_prefix_;
     mutable std::shared_mutex mutex_;
     std::map<std::pair<int, int>, std::unique_ptr<Cone>> cones_;
-    std::map<std::tuple<int, int, std::string>, Synthesis_report> syntheses_;
+    std::map<Synthesis_key, Synthesis_report> syntheses_;
+    std::set<Synthesis_key> loaded_;  // subset of syntheses_ from the store
     std::atomic<long long> cone_lookups_{0};
     std::atomic<long long> synthesis_lookups_{0};
 };

@@ -2,14 +2,41 @@
 //
 // Every failure in the flow is reported by throwing one of these exception
 // types; they all derive from islhls::Error so callers can catch the whole
-// family at the API boundary. Constructors take a human-readable message;
-// frontend errors additionally carry a source location.
+// family at the API boundary. Each concrete type additionally carries an
+// Error_kind — the structured taxonomy the long-lived sweep service routes
+// on: `user` mistakes report and stop, `io`/`timeout` are transient and may
+// be retried, `corrupt` records are quarantined and recomputed, `internal`
+// is a bug in the library itself. Constructors take a human-readable
+// message; frontend errors additionally carry a source location.
 #pragma once
 
+#include <exception>
 #include <stdexcept>
 #include <string>
 
 namespace islhls {
+
+// The failure taxonomy. Every user-reachable failure maps to exactly one
+// kind, so front-ends (CLI exit codes, the batch service's per-request
+// outcomes) can report and route errors without string matching.
+enum class Error_kind {
+    user,      // bad input: options, source, request files, unknown names
+    io,        // filesystem / stream failure (possibly transient: ENOSPC, ...)
+    corrupt,   // on-disk record failed validation (quarantined, recomputed)
+    timeout,   // a job exceeded its deadline or was cancelled
+    internal,  // invariant violation: a bug in the library
+};
+
+constexpr const char* to_string(Error_kind kind) {
+    switch (kind) {
+        case Error_kind::user: return "user";
+        case Error_kind::io: return "io";
+        case Error_kind::corrupt: return "corrupt";
+        case Error_kind::timeout: return "timeout";
+        case Error_kind::internal: return "internal";
+    }
+    return "internal";
+}
 
 // Root of all exceptions thrown by this library.
 class Error : public std::runtime_error {
@@ -17,12 +44,35 @@ public:
     explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+// An Error with a structured kind. All concrete error types derive from
+// this, so `catch (const Islhls_error& e)` plus `e.kind()` classifies any
+// library failure.
+class Islhls_error : public Error {
+public:
+    Islhls_error(Error_kind kind, const std::string& what)
+        : Error(what), kind_(kind) {}
+
+    Error_kind kind() const { return kind_; }
+
+private:
+    Error_kind kind_;
+};
+
+// Bad user input outside the frontend: malformed options, unknown names,
+// invalid request files.
+class User_error : public Islhls_error {
+public:
+    explicit User_error(const std::string& what)
+        : Islhls_error(Error_kind::user, what) {}
+};
+
 // Lexer/parser failure; carries a 1-based line/column into the C source.
-class Parse_error : public Error {
+class Parse_error : public Islhls_error {
 public:
     Parse_error(const std::string& what, int line, int column)
-        : Error("parse error at " + std::to_string(line) + ":" +
-                std::to_string(column) + ": " + what),
+        : Islhls_error(Error_kind::user,
+                       "parse error at " + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + what),
           line_(line),
           column_(column) {}
 
@@ -36,40 +86,74 @@ private:
 
 // Semantic analysis failure: the input is valid C but not a recognizable /
 // synthesizable iterative stencil loop (e.g. non-affine subscripts).
-class Sema_error : public Error {
+class Sema_error : public Islhls_error {
 public:
-    using Error::Error;
+    explicit Sema_error(const std::string& what)
+        : Islhls_error(Error_kind::user, what) {}
 };
 
 // Symbolic execution failure (unsupported construct reached at run time).
-class Symexec_error : public Error {
+class Symexec_error : public Islhls_error {
 public:
-    using Error::Error;
+    explicit Symexec_error(const std::string& what)
+        : Islhls_error(Error_kind::user, what) {}
 };
 
 // Virtual synthesis failure (e.g. design does not fit any device variant).
-class Synthesis_error : public Error {
+class Synthesis_error : public Islhls_error {
 public:
-    using Error::Error;
+    explicit Synthesis_error(const std::string& what)
+        : Islhls_error(Error_kind::user, what) {}
 };
 
 // Design space exploration failure (e.g. empty feasible set).
-class Dse_error : public Error {
+class Dse_error : public Islhls_error {
 public:
-    using Error::Error;
+    explicit Dse_error(const std::string& what)
+        : Islhls_error(Error_kind::user, what) {}
 };
 
 // File / stream I/O failure.
-class Io_error : public Error {
+class Io_error : public Islhls_error {
 public:
-    using Error::Error;
+    explicit Io_error(const std::string& what)
+        : Islhls_error(Error_kind::io, what) {}
+};
+
+// An on-disk record failed validation (bad magic, checksum mismatch,
+// truncation). The result cache handles these internally by quarantining
+// the record and recomputing; the type exists for the verify tooling.
+class Corrupt_error : public Islhls_error {
+public:
+    explicit Corrupt_error(const std::string& what)
+        : Islhls_error(Error_kind::corrupt, what) {}
+};
+
+// A job ran past its deadline or was cancelled cooperatively.
+class Timeout_error : public Islhls_error {
+public:
+    explicit Timeout_error(const std::string& what)
+        : Islhls_error(Error_kind::timeout, what) {}
 };
 
 // Internal invariant violation: indicates a bug in the library itself.
-class Internal_error : public Error {
+class Internal_error : public Islhls_error {
 public:
-    using Error::Error;
+    explicit Internal_error(const std::string& what)
+        : Islhls_error(Error_kind::internal, what) {}
 };
+
+// Maps any in-flight exception to its taxonomy kind: Islhls_errors carry
+// their own, a plain Error is treated as bad user input (every in-tree
+// `throw Error(...)` reports on user-supplied names or options), anything
+// else is an internal bug.
+inline Error_kind classify_error(const std::exception& e) {
+    if (auto* classified = dynamic_cast<const Islhls_error*>(&e)) {
+        return classified->kind();
+    }
+    if (dynamic_cast<const Error*>(&e) != nullptr) return Error_kind::user;
+    return Error_kind::internal;
+}
 
 // Throws Internal_error when `condition` is false. Used for internal
 // invariants that should hold regardless of user input.

@@ -1,0 +1,274 @@
+#include "support/result_cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace islhls {
+
+namespace {
+
+constexpr char kMagic[8] = {'I', 'S', 'L', 'H', 'L', 'S', 'C', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8 + 8;
+
+void put_u32(std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(const std::string& in, std::size_t at) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + i]))
+             << (8 * i);
+    }
+    return v;
+}
+
+std::uint64_t get_u64(const std::string& in, std::size_t at) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[at + i]))
+             << (8 * i);
+    }
+    return v;
+}
+
+std::string encode_record(const std::string& key, const std::string& payload) {
+    std::string out;
+    out.reserve(kHeaderSize + key.size() + payload.size());
+    out.append(kMagic, sizeof kMagic);
+    put_u32(out, kVersion);
+    put_u32(out, static_cast<std::uint32_t>(key.size()));
+    put_u64(out, payload.size());
+    std::uint64_t checksum = fnv1a64(key);
+    // Chain the payload into the key's running hash: one checksum covers
+    // both sections, so a flipped bit anywhere in the record is caught.
+    for (char c : payload) {
+        checksum ^= static_cast<unsigned char>(c);
+        checksum *= 0x100000001B3ULL;
+    }
+    put_u64(out, checksum);
+    out += key;
+    out += payload;
+    return out;
+}
+
+// Validates one raw record image. Returns the payload, or nullopt with
+// `*why` describing the first validation failure. When `expected_key` is
+// non-null the stored key must match it exactly (a hash collision or a
+// corrupted key section both count as "not this record").
+std::optional<std::string> decode_record(const std::string& raw,
+                                         const std::string* expected_key,
+                                         std::string* why) {
+    if (raw.size() < kHeaderSize) {
+        *why = cat("short header (", raw.size(), " bytes)");
+        return std::nullopt;
+    }
+    if (raw.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0) {
+        *why = "bad magic";
+        return std::nullopt;
+    }
+    const std::uint32_t version = get_u32(raw, 8);
+    if (version != kVersion) {
+        *why = cat("unsupported version ", version);
+        return std::nullopt;
+    }
+    const std::uint64_t key_len = get_u32(raw, 12);
+    const std::uint64_t payload_len = get_u64(raw, 16);
+    const std::uint64_t checksum = get_u64(raw, 24);
+    if (raw.size() != kHeaderSize + key_len + payload_len) {
+        *why = cat("size mismatch: header claims ",
+                   kHeaderSize + key_len + payload_len, " bytes, file has ",
+                   raw.size());
+        return std::nullopt;
+    }
+    const std::string_view body(raw.data() + kHeaderSize, key_len + payload_len);
+    if (fnv1a64(body) != checksum) {
+        *why = "checksum mismatch";
+        return std::nullopt;
+    }
+    const std::string_view key = body.substr(0, key_len);
+    if (expected_key != nullptr && key != *expected_key) {
+        *why = "key mismatch (hash collision)";
+        return std::nullopt;
+    }
+    return std::string(body.substr(key_len));
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data) {
+    std::uint64_t hash = 0xCBF29CE484222325ULL;
+    for (char c : data) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001B3ULL;
+    }
+    return hash;
+}
+
+Result_cache::Result_cache(std::string dir, const Env_hooks* hooks)
+    : dir_(std::move(dir)), hooks_(hooks ? hooks : &real_env_hooks()) {
+    namespace fs = std::filesystem;
+    if (dir_.empty()) throw Io_error("cache directory path is empty");
+    std::error_code ec;
+    const fs::file_status status = fs::status(dir_, ec);
+    if (!ec && fs::exists(status) && !fs::is_directory(status)) {
+        throw Io_error(cat("cache path '", dir_,
+                           "' exists and is not a directory"));
+    }
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        throw Io_error(cat("cannot create cache directory '", dir_, "': ",
+                           ec.message()));
+    }
+    // Probe writability with a real write so an unusable directory fails at
+    // startup with a clear message instead of as silent store failures.
+    const std::string probe = dir_ + "/.islhls-probe.tmp";
+    std::string error;
+    if (!hooks_->write_file(probe, "probe", &error)) {
+        throw Io_error(cat("cache directory '", dir_, "' is not writable: ",
+                           error));
+    }
+    hooks_->remove_file(probe);
+}
+
+std::string Result_cache::record_path(const std::string& key) const {
+    char name[17];
+    std::snprintf(name, sizeof name, "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+    return cat(dir_, "/", name, ".rec");
+}
+
+std::string Result_cache::quarantine(const std::string& path) {
+    const std::string target = path + ".quarantined";
+    std::string error;
+    // Replacing any earlier quarantined copy is fine — one exhibit of the
+    // corruption is enough, and gc prunes them either way.
+    if (!hooks_->rename_file(path, target, &error)) {
+        // Could not move it aside; remove it so the next store is clean.
+        hooks_->remove_file(path);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.corrupt_quarantined;
+    return target;
+}
+
+std::optional<std::string> Result_cache::load(const std::string& key) {
+    const std::string path = record_path(key);
+    std::string raw;
+    std::string error;
+    const Env_hooks::Read_result read = hooks_->read_file(path, &raw, &error);
+    if (read != Env_hooks::Read_result::ok) {
+        // Missing records and read faults both resolve to recompute.
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    std::string why;
+    std::optional<std::string> payload = decode_record(raw, &key, &why);
+    if (!payload) {
+        if (why == "key mismatch (hash collision)") {
+            // The record is someone else's valid data, not corruption.
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.misses;
+        } else {
+            quarantine(path);
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.misses;
+        }
+        return std::nullopt;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    return payload;
+}
+
+bool Result_cache::store(const std::string& key, const std::string& payload) {
+    const std::string path = record_path(key);
+    std::uint64_t serial;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        serial = temp_counter_++;
+    }
+    const std::string temp = cat(path, ".tmp", serial);
+    const std::string record = encode_record(key, payload);
+    std::string error;
+    if (!hooks_->write_file(temp, record, &error)) {
+        hooks_->remove_file(temp);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.store_failures;
+        return false;
+    }
+    if (!hooks_->rename_file(temp, path, &error)) {
+        hooks_->remove_file(temp);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.store_failures;
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.stores;
+    return true;
+}
+
+Result_cache::Verify_report Result_cache::verify(bool gc) {
+    namespace fs = std::filesystem;
+    Verify_report report;
+    // Deterministic order for the notes regardless of directory iteration
+    // order.
+    std::vector<std::string> entries;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+        entries.push_back(entry.path().filename().string());
+    }
+    if (ec) {
+        report.notes.push_back(cat("cannot list '", dir_, "': ", ec.message()));
+        return report;
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const std::string& name : entries) {
+        const std::string path = cat(dir_, "/", name);
+        if (ends_with(name, ".quarantined")) {
+            ++report.quarantined_files;
+            if (gc && hooks_->remove_file(path)) ++report.removed_files;
+            continue;
+        }
+        if (name.find(".tmp") != std::string::npos) {
+            ++report.temp_files;
+            if (gc && hooks_->remove_file(path)) ++report.removed_files;
+            continue;
+        }
+        if (!ends_with(name, ".rec")) continue;  // foreign file: leave it
+        std::string raw;
+        std::string error;
+        if (hooks_->read_file(path, &raw, &error) != Env_hooks::Read_result::ok) {
+            ++report.records_corrupt;
+            report.notes.push_back(cat(name, ": unreadable: ", error));
+            continue;
+        }
+        std::string why;
+        if (!decode_record(raw, nullptr, &why)) {
+            ++report.records_corrupt;
+            report.notes.push_back(cat(name, ": ", why));
+            if (gc && hooks_->remove_file(path)) ++report.removed_files;
+            continue;
+        }
+        ++report.records_ok;
+    }
+    return report;
+}
+
+Result_cache::Stats Result_cache::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+}  // namespace islhls

@@ -1,0 +1,101 @@
+// Crash-safe content-addressed on-disk result cache.
+//
+// Records are keyed by an arbitrary key string (the sweep service builds
+// keys from the kernel IR dump plus every result-affecting option); the
+// record file name is the FNV-1a 64 hash of the key in hex. Each record is
+// self-validating:
+//
+//   magic "ISLHLSC1" (8) | version u32 | key_len u32 | payload_len u64 |
+//   checksum u64 (FNV-1a over key + payload) | key bytes | payload bytes
+//
+// all little-endian. Stores are atomic: the record is written to a
+// same-directory temp file, flushed, then renamed over the final name — a
+// crash at any point leaves either the old record, no record, or an orphan
+// temp file, never a reachable half-written record. Loads validate
+// everything (magic, version, sizes against the file size, checksum, stored
+// key against the requested key); any mismatch quarantines the file
+// (renames it to <name>.quarantined) and reports a miss, so callers always
+// fall back to recompute — corruption never aborts a sweep. Store failures
+// (ENOSPC, read-only media) are soft: counted and skipped, the sweep
+// continues uncached.
+//
+// verify()/gc() back the `islhls cache` subcommand: verify re-validates
+// every record's checksum; gc additionally prunes quarantined records and
+// orphaned temp files.
+//
+// All OS mutation goes through the injectable Env_hooks seam, which is how
+// the fault-injection tests exercise torn writes, ENOSPC and rename
+// failures deterministically.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/env_hooks.hpp"
+
+namespace islhls {
+
+// FNV-1a 64-bit content hash (also the record file-name hash).
+std::uint64_t fnv1a64(std::string_view data);
+
+class Result_cache {
+public:
+    struct Stats {
+        long long hits = 0;
+        long long misses = 0;
+        long long stores = 0;
+        long long store_failures = 0;       // soft: sweep continues uncached
+        long long corrupt_quarantined = 0;  // bad records moved aside on load
+    };
+
+    struct Verify_report {
+        int records_ok = 0;
+        int records_corrupt = 0;   // failed validation during this pass
+        int quarantined_files = 0; // *.quarantined seen (pre-existing + new)
+        int temp_files = 0;        // orphaned *.tmp* seen
+        int removed_files = 0;     // deleted by gc
+        std::vector<std::string> notes;  // one line per problem file
+    };
+
+    // Opens the cache at `dir`, creating the directory on first use.
+    // Throws Io_error when the path exists but is not a directory, when the
+    // directory cannot be created, or when it is not writable (probed with
+    // a real write so the failure surfaces at startup, not mid-sweep).
+    explicit Result_cache(std::string dir, const Env_hooks* hooks = nullptr);
+
+    // The payload stored under `key`, or nullopt on miss. Corrupt records
+    // are quarantined and report a miss; I/O errors report a miss — the
+    // caller's contract is always "recompute on nullopt".
+    std::optional<std::string> load(const std::string& key);
+
+    // Stores `payload` under `key` (overwriting any previous record) via an
+    // atomic temp+rename. Returns false on failure (counted, best-effort
+    // temp cleanup, never throws).
+    bool store(const std::string& key, const std::string& payload);
+
+    // Validates every record in the directory. With `gc`, additionally
+    // removes quarantined records, orphaned temp files and records that
+    // failed validation in this pass.
+    Verify_report verify(bool gc = false);
+
+    Stats stats() const;
+    const std::string& dir() const { return dir_; }
+
+    // Final on-disk path of the record for `key`.
+    std::string record_path(const std::string& key) const;
+
+private:
+    std::string quarantine(const std::string& path);
+
+    std::string dir_;
+    const Env_hooks* hooks_;
+    mutable std::mutex mutex_;  // guards stats_ and temp_counter_
+    Stats stats_;
+    std::uint64_t temp_counter_ = 0;
+};
+
+}  // namespace islhls

@@ -1,0 +1,271 @@
+// Result_cache unit tests: round trips, atomic overwrite, directory
+// lifecycle, verify/gc — and the corruption half of the fault contract:
+// truncation at EVERY byte boundary and single-bit flips at EVERY bit must
+// read back as a miss (quarantined), never as wrong data and never as an
+// abort.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "support/error.hpp"
+#include "support/result_cache.hpp"
+#include "support/text.hpp"
+
+namespace islhls {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh directory per test, removed on teardown.
+class Result_cache_test : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = (fs::temp_directory_path() /
+                cat("islhls-cache-test-", ::testing::UnitTest::GetInstance()
+                                              ->current_test_info()
+                                              ->name()))
+                   .string();
+        fs::remove_all(dir_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string dir_;
+};
+
+std::string read_raw(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void write_raw(const std::string& path, const std::string& data) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << data;
+}
+
+TEST_F(Result_cache_test, round_trip_and_stats) {
+    Result_cache cache(dir_);
+    const std::string key = "some key\nwith lines\n";
+    const std::string payload = std::string("payload with \0 byte", 19);
+    EXPECT_FALSE(cache.load(key).has_value());
+    EXPECT_TRUE(cache.store(key, payload));
+    const auto loaded = cache.load(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, payload);
+    const Result_cache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1);
+    EXPECT_EQ(stats.misses, 1);
+    EXPECT_EQ(stats.stores, 1);
+    EXPECT_EQ(stats.store_failures, 0);
+    EXPECT_EQ(stats.corrupt_quarantined, 0);
+}
+
+TEST_F(Result_cache_test, store_overwrites_and_survives_reopen) {
+    {
+        Result_cache cache(dir_);
+        EXPECT_TRUE(cache.store("k", "old"));
+        EXPECT_TRUE(cache.store("k", "new"));
+        EXPECT_EQ(cache.load("k").value(), "new");
+    }
+    // A second process (fresh instance over the same directory) sees it.
+    Result_cache reopened(dir_);
+    EXPECT_EQ(reopened.load("k").value(), "new");
+}
+
+TEST_F(Result_cache_test, empty_key_and_empty_payload) {
+    Result_cache cache(dir_);
+    EXPECT_TRUE(cache.store("", ""));
+    ASSERT_TRUE(cache.load("").has_value());
+    EXPECT_EQ(cache.load("").value(), "");
+}
+
+TEST_F(Result_cache_test, creates_nested_directory_on_first_use) {
+    const std::string nested = dir_ + "/a/b/c";
+    Result_cache cache(nested);
+    EXPECT_TRUE(cache.store("k", "v"));
+    EXPECT_TRUE(fs::is_directory(nested));
+}
+
+TEST_F(Result_cache_test, path_is_a_file_is_a_named_io_error) {
+    fs::create_directories(dir_);
+    write_raw(dir_ + "/blocker", "");
+    try {
+        Result_cache cache(dir_ + "/blocker");
+        FAIL() << "expected Io_error";
+    } catch (const Islhls_error& e) {
+        EXPECT_EQ(e.kind(), Error_kind::io);
+        EXPECT_NE(std::string(e.what()).find("blocker"), std::string::npos);
+    }
+}
+
+TEST_F(Result_cache_test, unwritable_directory_fails_at_construction) {
+    // Tests may run as root (where permission bits do not bind), so
+    // unwritability is injected through the hooks seam instead of chmod.
+    Env_hooks hooks = real_env_hooks();
+    hooks.write_file = [](const std::string&, const std::string&,
+                          std::string* error) {
+        *error = "No space left on device";
+        return false;
+    };
+    try {
+        Result_cache cache(dir_, &hooks);
+        FAIL() << "expected Io_error";
+    } catch (const Islhls_error& e) {
+        EXPECT_EQ(e.kind(), Error_kind::io);
+        EXPECT_NE(std::string(e.what()).find("not writable"), std::string::npos);
+    }
+}
+
+TEST_F(Result_cache_test, enospc_store_is_soft) {
+    Env_hooks hooks = real_env_hooks();
+    bool fail_writes = false;
+    hooks.write_file = [&](const std::string& path, const std::string& data,
+                           std::string* error) {
+        if (fail_writes) {
+            *error = "No space left on device";
+            return false;
+        }
+        return real_env_hooks().write_file(path, data, error);
+    };
+    Result_cache cache(dir_, &hooks);
+    EXPECT_TRUE(cache.store("before", "x"));
+    fail_writes = true;
+    EXPECT_FALSE(cache.store("during", "y"));
+    EXPECT_FALSE(cache.store("during", "y"));
+    fail_writes = false;
+    // Earlier records are intact, later stores recover.
+    EXPECT_EQ(cache.load("before").value(), "x");
+    EXPECT_FALSE(cache.load("during").has_value());
+    EXPECT_TRUE(cache.store("after", "z"));
+    EXPECT_EQ(cache.stats().store_failures, 2);
+}
+
+TEST_F(Result_cache_test, truncation_at_every_boundary_is_a_miss) {
+    Result_cache cache(dir_);
+    const std::string key = "truncation victim";
+    const std::string payload = "0123456789 payload body";
+    ASSERT_TRUE(cache.store(key, payload));
+    const std::string path = cache.record_path(key);
+    const std::string intact = read_raw(path);
+    ASSERT_GT(intact.size(), 32u);
+    for (std::size_t len = 0; len < intact.size(); ++len) {
+        write_raw(path, intact.substr(0, len));
+        const auto loaded = cache.load(key);
+        EXPECT_FALSE(loaded.has_value()) << "truncated to " << len << " bytes";
+        // The torn record was quarantined; re-store must succeed cleanly.
+        ASSERT_TRUE(cache.store(key, payload));
+        EXPECT_EQ(cache.load(key).value(), payload);
+    }
+    EXPECT_EQ(cache.stats().corrupt_quarantined,
+              static_cast<long long>(intact.size()));
+}
+
+TEST_F(Result_cache_test, every_single_bit_flip_is_a_miss) {
+    Result_cache cache(dir_);
+    const std::string key = "bit flip victim";
+    const std::string payload = "sensitive payload";
+    ASSERT_TRUE(cache.store(key, payload));
+    const std::string path = cache.record_path(key);
+    const std::string intact = read_raw(path);
+    for (std::size_t byte = 0; byte < intact.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string flipped = intact;
+            flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+            write_raw(path, flipped);
+            const auto loaded = cache.load(key);
+            EXPECT_FALSE(loaded.has_value())
+                << "bit " << bit << " of byte " << byte;
+        }
+    }
+    write_raw(path, intact);
+    EXPECT_EQ(cache.load(key).value(), payload);
+}
+
+TEST_F(Result_cache_test, random_garbage_fuzz_never_returns_data) {
+    const std::uint64_t seed = std::random_device{}();
+    SCOPED_TRACE(cat("seed ", seed));  // printed on failure for replay
+    std::mt19937_64 rng(seed);
+    Result_cache cache(dir_);
+    const std::string key = "garbage victim";
+    ASSERT_TRUE(cache.store(key, "real payload"));
+    const std::string path = cache.record_path(key);
+    for (int round = 0; round < 200; ++round) {
+        std::string garbage(rng() % 128, '\0');
+        for (char& c : garbage) c = static_cast<char>(rng());
+        write_raw(path, garbage);
+        const auto loaded = cache.load(key);
+        // Either a miss, or — astronomically unlikely — random bytes that
+        // form a valid record for this exact key carrying some payload; a
+        // wrong payload for a validated record is the one impossible case.
+        if (loaded.has_value()) {
+            ADD_FAILURE() << "random garbage decoded as a valid record (round "
+                          << round << ")";
+        }
+        ASSERT_TRUE(cache.store(key, "real payload"));
+    }
+}
+
+TEST_F(Result_cache_test, verify_and_gc) {
+    Result_cache cache(dir_);
+    ASSERT_TRUE(cache.store("a", "1"));
+    ASSERT_TRUE(cache.store("b", "2"));
+    ASSERT_TRUE(cache.store("c", "3"));
+    // One corrupt record (payload bit flipped, so the checksum catches it),
+    // one orphaned temp, one foreign file.
+    const std::string victim = cache.record_path("b");
+    std::string raw = read_raw(victim);
+    raw.back() = static_cast<char>(raw.back() ^ 0x40);
+    write_raw(victim, raw);
+    write_raw(dir_ + "/0123456789abcdef.rec.tmp7", "torn");
+    write_raw(dir_ + "/README", "not a record");
+
+    Result_cache::Verify_report verified = cache.verify(false);
+    EXPECT_EQ(verified.records_ok, 2);
+    EXPECT_EQ(verified.records_corrupt, 1);
+    EXPECT_EQ(verified.temp_files, 1);
+    EXPECT_EQ(verified.removed_files, 0);
+    ASSERT_EQ(verified.notes.size(), 1u);
+    EXPECT_NE(verified.notes[0].find("checksum mismatch"), std::string::npos);
+
+    Result_cache::Verify_report collected = cache.verify(true);
+    EXPECT_EQ(collected.records_ok, 2);
+    EXPECT_EQ(collected.records_corrupt, 1);
+    EXPECT_EQ(collected.removed_files, 2);  // corrupt record + temp orphan
+
+    Result_cache::Verify_report clean = cache.verify(false);
+    EXPECT_EQ(clean.records_ok, 2);
+    EXPECT_EQ(clean.records_corrupt, 0);
+    EXPECT_EQ(clean.temp_files, 0);
+    // The foreign file was left alone.
+    EXPECT_TRUE(fs::exists(dir_ + "/README"));
+    // The survivors still load.
+    EXPECT_EQ(cache.load("a").value(), "1");
+    EXPECT_EQ(cache.load("c").value(), "3");
+    EXPECT_FALSE(cache.load("b").has_value());
+}
+
+TEST_F(Result_cache_test, quarantine_prevents_rereading_corruption) {
+    Result_cache cache(dir_);
+    ASSERT_TRUE(cache.store("k", "v"));
+    const std::string path = cache.record_path("k");
+    write_raw(path, "garbage garbage garbage garbage garbage");
+    EXPECT_FALSE(cache.load("k").has_value());
+    // The corrupt image was moved aside, not left in place.
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_EQ(cache.verify(false).quarantined_files, 1);
+    EXPECT_EQ(cache.verify(true).removed_files, 1);
+}
+
+TEST_F(Result_cache_test, fnv1a64_reference_values) {
+    // Published FNV-1a test vectors.
+    EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ULL);
+    EXPECT_EQ(fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171F73967E8ULL);
+}
+
+}  // namespace
+}  // namespace islhls

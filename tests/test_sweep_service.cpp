@@ -1,0 +1,351 @@
+// Sweep service tests: exact round-trip identity for every cached payload
+// type, cache-key discipline, and the headline service contract — a warm
+// cache re-serves a request byte-identically while running zero syntheses,
+// zero cone builds and zero format searches; batch mode dedups identical
+// requests and reports structured per-request failures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <limits>
+
+#include "core/service.hpp"
+#include "core/sweep.hpp"
+#include "core/sweep_records.hpp"
+#include "support/text.hpp"
+
+namespace islhls {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+    const std::string dir =
+        (fs::temp_directory_path() / cat("islhls-service-test-", name)).string();
+    fs::remove_all(dir);
+    return dir;
+}
+
+// A small but fully populated sweep config exercising every cached payload
+// type (entries, format grids, syntheses) in well under a second.
+Sweep_config small_config() {
+    Sweep_config config;
+    config.kernels = {"igf"};
+    config.devices = {"xc6vlx760"};
+    config.iteration_counts = {2};
+    config.frame_width = 64;
+    config.frame_height = 48;
+    config.space.max_window = 3;
+    config.space.max_depth = 2;
+    config.validate = true;
+    config.search_formats = true;
+    config.format_search.target_psnr_db = 45.0;
+    return config;
+}
+
+// --- payload round trips ----------------------------------------------------------
+
+Sweep_entry make_full_entry() {
+    Sweep_entry entry;
+    entry.kernel = "igf";
+    entry.device = "xc6vlx760";
+    entry.iterations = 7;
+    entry.fits = true;
+    entry.best.instance.window = 3;
+    entry.best.instance.level_depths = {2, 2, 2, 1};
+    entry.best.instance.cores_per_depth = {{1, 3}, {2, 5}};
+    entry.best.feasible = true;
+    entry.best.infeasible_reason = "";
+    entry.best.estimated_area_luts = 1.0 / 3.0;  // not exactly representable
+    entry.best.actual_area_luts = -0.0;          // signed zero must survive
+    entry.best.f_max_mhz = 212.0390625;
+    entry.best.windows_per_frame = 123456789012LL;
+    entry.best.throughput.cycles_per_window = 17.25;
+    entry.best.throughput.core_bound_cycles = std::numeric_limits<double>::infinity();
+    entry.best.throughput.onchip_bound_cycles = 5e-324;  // smallest denormal
+    entry.best.throughput.offchip_bound_cycles = 0.1;
+    entry.best.throughput.bottleneck = "core compute";
+    entry.best.throughput.seconds_per_frame = 0.0042;
+    entry.best.throughput.fps = 238.095238095238;
+    entry.best.throughput.class_cycles = {{1, 2.5}, {2, 1.0 / 7.0}};
+    entry.best.memory.input_buffer_kbits = 12.5;
+    entry.best.memory.intermediate_kbits = 0.0;
+    entry.best.memory.output_buffer_kbits = 99.0;
+    entry.best.memory.total_kbits = 111.5;
+    entry.best.memory.whole_frame_kbits = 4096.0;
+    entry.best.memory.saving_factor = 36.735426008968610;
+    entry.pareto_points = 421;
+    entry.pareto_front_size = 17;
+    entry.validated = true;
+    entry.validation_max_abs_err = 0.0;
+    entry.format_searched = true;
+    entry.format_satisfiable = true;
+    entry.fixed_format.integer_bits = 11;
+    entry.fixed_format.frac_bits = 9;
+    entry.format_psnr_db = 51.03125;
+    entry.searched_area_luts = 54321.0;
+    entry.validated_fixed = true;
+    entry.validation_max_raw_err = 1.0;
+    return entry;
+}
+
+TEST(Sweep_records, sweep_entry_round_trip_is_exact) {
+    const Sweep_entry entry = make_full_entry();
+    const std::string text = serialize_record(entry);
+    Sweep_entry parsed;
+    std::string error;
+    ASSERT_TRUE(parse_record(text, &parsed, &error)) << error;
+    // serialize(parse(s)) == s pins every field bit for bit (doubles travel
+    // as their IEEE-754 bit patterns, so 1/3, -0.0, inf, denormals all
+    // survive exactly).
+    EXPECT_EQ(serialize_record(parsed), text);
+    EXPECT_EQ(parsed.kernel, entry.kernel);
+    EXPECT_EQ(parsed.iterations, entry.iterations);
+    EXPECT_EQ(parsed.best.instance.level_depths, entry.best.instance.level_depths);
+    EXPECT_EQ(parsed.best.instance.cores_per_depth,
+              entry.best.instance.cores_per_depth);
+    EXPECT_EQ(parsed.best.estimated_area_luts, entry.best.estimated_area_luts);
+    EXPECT_TRUE(std::signbit(parsed.best.actual_area_luts));
+    EXPECT_EQ(parsed.best.throughput.core_bound_cycles,
+              std::numeric_limits<double>::infinity());
+    EXPECT_EQ(parsed.best.throughput.onchip_bound_cycles, 5e-324);
+    EXPECT_EQ(parsed.best.throughput.class_cycles, entry.best.throughput.class_cycles);
+    EXPECT_EQ(parsed.best.throughput.bottleneck, entry.best.throughput.bottleneck);
+    EXPECT_EQ(parsed.pareto_points, entry.pareto_points);
+    EXPECT_EQ(parsed.fixed_format.integer_bits, 11);
+    EXPECT_EQ(parsed.fixed_format.frac_bits, 9);
+}
+
+TEST(Sweep_records, nan_survives_the_round_trip) {
+    Sweep_entry entry = make_full_entry();
+    entry.best.f_max_mhz = std::numeric_limits<double>::quiet_NaN();
+    const std::string text = serialize_record(entry);
+    Sweep_entry parsed;
+    std::string error;
+    ASSERT_TRUE(parse_record(text, &parsed, &error)) << error;
+    EXPECT_TRUE(std::isnan(parsed.best.f_max_mhz));
+    EXPECT_EQ(serialize_record(parsed), text);
+}
+
+TEST(Sweep_records, unfit_entry_skips_the_evaluation_block) {
+    Sweep_entry entry;
+    entry.kernel = "k";
+    entry.device = "d";
+    entry.iterations = 1;
+    entry.fits = false;
+    const std::string text = serialize_record(entry);
+    EXPECT_EQ(text.find("eval."), std::string::npos);
+    Sweep_entry parsed;
+    std::string error;
+    ASSERT_TRUE(parse_record(text, &parsed, &error)) << error;
+    EXPECT_EQ(serialize_record(parsed), text);
+    EXPECT_FALSE(parsed.fits);
+}
+
+TEST(Sweep_records, format_grid_round_trip_is_exact) {
+    Explorer::Format_grid grid;
+    for (int w = 1; w <= 2; ++w) {
+        for (int d = 1; d <= 2; ++d) {
+            Explorer::Format_cell cell;
+            cell.window = w;
+            cell.depth = d;
+            cell.result.format.integer_bits = 8 + w;
+            cell.result.format.frac_bits = 4 + d;
+            cell.result.psnr_db = 50.0 + 1.0 / (w + d);
+            cell.result.max_abs_value = 255.96875 * w;
+            cell.result.formats_tried = w * 10 + d;
+            cell.result.satisfiable = (w + d) % 2 == 0;
+            grid.cells.push_back(cell);
+        }
+    }
+    const std::string text = serialize_record(grid);
+    Explorer::Format_grid parsed;
+    std::string error;
+    ASSERT_TRUE(parse_record(text, &parsed, &error)) << error;
+    EXPECT_EQ(serialize_record(parsed), text);
+    ASSERT_EQ(parsed.cells.size(), grid.cells.size());
+    EXPECT_EQ(parsed.cells[3].result.psnr_db, grid.cells[3].result.psnr_db);
+    EXPECT_EQ(parsed.cells[3].result.satisfiable, grid.cells[3].result.satisfiable);
+}
+
+TEST(Sweep_records, synthesis_report_round_trip_is_exact) {
+    Synthesis_report report;
+    report.design_name = "igf cone w3 d2";
+    report.lut_count = 1234.567;
+    report.raw_lut_count = 1300.0;
+    report.ff_count = 999.0;
+    report.dsp_count = 12;
+    report.bram_kbits = 36.125;
+    report.f_max_mhz = 201.5;
+    report.latency_cycles = 17;
+    report.register_count = 421;
+    report.synthesis_cpu_seconds = 3600.25;
+    report.fits = true;
+    const std::string text = serialize_record(report);
+    Synthesis_report parsed;
+    std::string error;
+    ASSERT_TRUE(parse_record(text, &parsed, &error)) << error;
+    EXPECT_EQ(serialize_record(parsed), text);
+    EXPECT_EQ(parsed.design_name, report.design_name);
+    EXPECT_EQ(parsed.lut_count, report.lut_count);
+    EXPECT_EQ(parsed.dsp_count, report.dsp_count);
+}
+
+TEST(Sweep_records, strict_parsers_reject_mutations) {
+    const std::string text = serialize_record(make_full_entry());
+    Sweep_entry parsed;
+    std::string error;
+    // Truncated: drop the trailing "end\n".
+    EXPECT_FALSE(parse_record(text.substr(0, text.size() - 4), &parsed, &error));
+    // Trailing garbage after "end".
+    EXPECT_FALSE(parse_record(text + "extra\n", &parsed, &error));
+    // Renamed field.
+    std::string renamed = text;
+    renamed.replace(renamed.find("kernel "), 7, "kernle ");
+    EXPECT_FALSE(parse_record(renamed, &parsed, &error));
+    EXPECT_NE(error.find("expected"), std::string::npos);
+    // Wrong version token.
+    std::string reversioned = text;
+    reversioned.replace(reversioned.find("v1"), 2, "v2");
+    EXPECT_FALSE(parse_record(reversioned, &parsed, &error));
+    // Malformed double (hex digits replaced).
+    std::string bad_double = text;
+    const auto pos = bad_double.find("validation_max_abs_err ");
+    bad_double.replace(pos + 23, 4, "zzzz");
+    EXPECT_FALSE(parse_record(bad_double, &parsed, &error));
+    // Wrong record type entirely.
+    Explorer::Format_grid grid;
+    EXPECT_FALSE(parse_record(text, &grid, &error));
+}
+
+TEST(Sweep_records, double_bits_codec_is_exact_and_strict) {
+    for (double v : {0.0, -0.0, 1.0 / 3.0, 5e-324,
+                     std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::max()}) {
+        double decoded = 1.0;
+        ASSERT_TRUE(decode_double_bits(encode_double_bits(v), &decoded));
+        EXPECT_EQ(encode_double_bits(decoded), encode_double_bits(v));
+    }
+    double out;
+    EXPECT_FALSE(decode_double_bits("", &out));
+    EXPECT_FALSE(decode_double_bits("123", &out));                  // short
+    EXPECT_FALSE(decode_double_bits("00000000000000000", &out));    // long
+    EXPECT_FALSE(decode_double_bits("000000000000000G", &out));     // bad digit
+    EXPECT_FALSE(decode_double_bits("3FF000000000000A", &out));     // upper case
+}
+
+// --- cache keys -------------------------------------------------------------------
+
+TEST(Sweep_records, keys_track_results_not_thread_counts) {
+    const Sweep_config base = small_config();
+    const std::string ir = "kernel igf\n";
+    const std::string key = sweep_entry_key(ir, base, "xc6vlx760", 2);
+    // Result-affecting knobs change the key...
+    Sweep_config changed = base;
+    changed.format.frac_bits += 1;
+    EXPECT_NE(sweep_entry_key(ir, changed, "xc6vlx760", 2), key);
+    changed = base;
+    changed.frame_width = 128;
+    EXPECT_NE(sweep_entry_key(ir, changed, "xc6vlx760", 2), key);
+    changed = base;
+    changed.validate = false;
+    EXPECT_NE(sweep_entry_key(ir, changed, "xc6vlx760", 2), key);
+    EXPECT_NE(sweep_entry_key(ir, base, "xc7vx485t", 2), key);
+    EXPECT_NE(sweep_entry_key(ir, base, "xc6vlx760", 3), key);
+    // ...thread counts do not (results are thread-invariant by contract).
+    changed = base;
+    changed.space.threads = 16;
+    changed.format_search.threads = 8;
+    EXPECT_EQ(sweep_entry_key(ir, changed, "xc6vlx760", 2), key);
+    EXPECT_EQ(sweep_request_key(changed), sweep_request_key(base));
+    EXPECT_EQ(format_grid_key(ir, changed), format_grid_key(ir, base));
+}
+
+// --- the service ------------------------------------------------------------------
+
+TEST(Sweep_service, warm_cache_is_byte_identical_and_runs_nothing) {
+    const std::string dir = fresh_dir("warm");
+    const Sweep_config config = small_config();
+
+    // Reference: a plain uncached session.
+    const Sweep_report reference = Sweep_session(config).run();
+
+    Service_options options;
+    options.cache_dir = dir;
+    std::string cold_table;
+    {
+        Sweep_service service(options);
+        const Sweep_report cold = service.run(config);
+        cold_table = report_table(cold);
+        EXPECT_EQ(cold_table, report_table(reference));
+        EXPECT_EQ(cold.entry_hits, 0);
+        EXPECT_EQ(cold.entry_misses, 1);
+        EXPECT_EQ(cold.entry_stores, 1);
+        EXPECT_EQ(cold.grid_misses, 1);
+        EXPECT_GT(cold.synthesis_runs, 0);
+    }
+    // A fresh service over the same directory (a new process, effectively).
+    Sweep_service warm_service(options);
+    const Sweep_report warm = warm_service.run(config);
+    EXPECT_EQ(report_table(warm), cold_table);
+    EXPECT_EQ(warm.entry_hits, static_cast<int>(warm.entries.size()));
+    EXPECT_EQ(warm.entry_misses, 0);
+    // The hit counters prove nothing was recomputed.
+    EXPECT_EQ(warm.cone_builds, 0);
+    EXPECT_EQ(warm.synthesis_runs, 0);
+    EXPECT_EQ(warm.synthesis_loads, 0);  // entry hits short-circuit synthesis
+    EXPECT_EQ(warm.synthesis_cpu_seconds, 0.0);
+    fs::remove_all(dir);
+}
+
+TEST(Sweep_service, same_service_memoizes_repeat_requests) {
+    Sweep_service service;  // no persistent cache: in-memory only
+    const Sweep_config config = small_config();
+    const Sweep_report first = service.run(config);
+    const Sweep_report second = service.run(config);
+    EXPECT_EQ(report_table(first), report_table(second));
+    // The resident libraries served the repeat: no new cones or syntheses.
+    EXPECT_EQ(second.cone_builds, 0);
+    EXPECT_EQ(second.synthesis_runs, 0);
+}
+
+TEST(Sweep_service, batch_dedups_and_isolates_failures) {
+    Sweep_service service;
+    std::vector<Sweep_config> requests;
+    requests.push_back(small_config());
+    requests.push_back(small_config());  // identical: must dedup
+    Sweep_config bad = small_config();
+    bad.kernels = {"no_such_kernel"};
+    requests.push_back(bad);
+    Sweep_config invalid = small_config();
+    invalid.iteration_counts = {0};
+    requests.push_back(invalid);
+
+    const std::vector<Request_outcome> outcomes = service.run_requests(requests);
+    ASSERT_EQ(outcomes.size(), 4u);
+    EXPECT_TRUE(outcomes[0].ok);
+    EXPECT_FALSE(outcomes[0].deduplicated);
+    EXPECT_TRUE(outcomes[1].ok);
+    EXPECT_TRUE(outcomes[1].deduplicated);
+    EXPECT_EQ(report_table(outcomes[0].report), report_table(outcomes[1].report));
+    EXPECT_FALSE(outcomes[2].ok);
+    EXPECT_EQ(outcomes[2].kind, Error_kind::user);
+    EXPECT_NE(outcomes[2].message.find("no_such_kernel"), std::string::npos);
+    EXPECT_FALSE(outcomes[3].ok);
+    EXPECT_EQ(outcomes[3].kind, Error_kind::user);
+    EXPECT_NE(outcomes[3].message.find(">= 1"), std::string::npos);
+}
+
+TEST(Sweep_service, session_wrapper_still_validates_at_construction) {
+    Sweep_config config;  // empty: no kernels
+    EXPECT_THROW(Sweep_session{config}, Error);
+    try {
+        Sweep_session session{config};
+        FAIL();
+    } catch (const Islhls_error& e) {
+        EXPECT_EQ(e.kind(), Error_kind::user);
+    }
+}
+
+}  // namespace
+}  // namespace islhls
