@@ -22,12 +22,20 @@
 // record (temp file + rename, same discipline as micro_sim_throughput); the
 // "gated_metrics" block carries the host-portable synthesis-makespan speedup
 // that tools/check_bench.py diffs against the committed baseline in CI.
+// It also times the multi-backend seam: one cold sweep over the paper
+// backend alone vs the same sweep over paper + streaming through one shared
+// Cone_library. The streaming backend's candidates are closed-form and its
+// calibration reuses the paper backend's synthesis set, so the whole second
+// backend must cost at most 1.5x the single-backend sweep; the gated
+// "multi_backend_sweep_overhead" metric stores the INVERTED ratio
+// t_paper/t_all (gates are higher-is-better).
 #include <chrono>
 #include <iostream>
 #include <numeric>
 #include <string>
 
 #include "bench_common.hpp"
+#include "core/service.hpp"
 #include "dse/explorer.hpp"
 #include "kernels/kernels.hpp"
 #include "support/parallel.hpp"
@@ -80,11 +88,30 @@ Sweep_run run_sweep(int threads) {
     return run;
 }
 
+// Cold multi-backend sweep wall time (a fresh service per run, so each
+// measurement pays its own cone builds and virtual syntheses).
+double time_backend_sweep(const std::vector<std::string>& backends) {
+    Sweep_config config;
+    config.kernels = {"igf", "jacobi"};
+    config.devices = {"xc6vlx760"};
+    config.iteration_counts = {10};
+    config.frame_width = islhls_bench::paper_options().frame_width;
+    config.frame_height = islhls_bench::paper_options().frame_height;
+    config.with_pareto = true;
+    config.backends = backends;
+    Sweep_service service;
+    const auto start = std::chrono::steady_clock::now();
+    const Sweep_report report = service.run(config);
+    const auto stop = std::chrono::steady_clock::now();
+    if (report.entries.empty()) return 0.0;  // keeps the claim false below
+    return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
 // The bench fails when the record could not be written, so CI never passes
 // with a missing or stale perf record.
 bool write_json(const std::string& path, const Sweep_run& serial,
                 const Sweep_run& parallel, double serial_synth,
-                double parallel_synth, double speedup) {
+                double parallel_synth, double speedup, double overhead_inv) {
     return islhls_bench::write_json_record(path, [&](std::ostream& out) {
         out << "{\n";
         out << "  \"bench\": \"micro_dse_parallel\",\n";
@@ -101,7 +128,9 @@ bool write_json(const std::string& path, const Sweep_run& serial,
             << ", \"threads_8\": " << format_fixed(parallel.wall_ms, 1) << "},\n";
         out << "  \"gated_metrics\": {\n";
         out << "    \"synthesis_makespan_speedup_8w\": " << format_fixed(speedup, 2)
-            << "\n";
+            << ",\n";
+        out << "    \"multi_backend_sweep_overhead\": "
+            << format_fixed(overhead_inv, 2) << "\n";
         out << "  }\n}\n";
     });
 }
@@ -153,9 +182,23 @@ int main(int argc, char** argv) {
         "8-thread sweep cuts the synthesis-phase makespan by >= 3x",
         speedup >= 3.0);
 
+    // The multi-backend seam: adding the streaming backend to a cold sweep
+    // must ride the shared Cone_library instead of redoing the heavy work.
+    const double t_paper = time_backend_sweep({"paper"});
+    const double t_all = time_backend_sweep({"paper", "streaming"});
+    const double overhead = t_paper > 0.0 ? t_all / t_paper : 0.0;
+    const double overhead_inv = t_all > 0.0 ? t_paper / t_all : 0.0;
+    std::cout << "\n[INFO] cold sweep (igf+jacobi, pareto): paper-only "
+              << format_fixed(t_paper, 1) << " ms, paper+streaming "
+              << format_fixed(t_all, 1) << " ms ("
+              << format_fixed(overhead, 2) << "x)\n\n";
+    deviations += islhls_bench::report_claim(
+        "paper+streaming sweep costs <= 1.5x the paper-only sweep",
+        t_paper > 0.0 && t_all > 0.0 && overhead <= 1.5);
+
     if (!json_path.empty()) {
         if (write_json(json_path, serial, parallel, serial_synth, parallel_synth,
-                       speedup)) {
+                       speedup, overhead_inv)) {
             std::cout << "\nwrote " << json_path << "\n";
         } else {
             deviations += 1;

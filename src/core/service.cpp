@@ -7,6 +7,8 @@
 
 #include "core/sweep_records.hpp"
 #include "dse/architecture.hpp"
+#include "dse/pareto.hpp"
+#include "dse/streaming_backend.hpp"
 #include "grid/frame_ops.hpp"
 #include "grid/frame_set.hpp"
 #include "kernels/kernels.hpp"
@@ -221,6 +223,7 @@ Sweep_report Sweep_service::run_impl(const Sweep_config& config, Job_context* jo
         for (const std::string& device_name : config.devices) {
             const Fpga_device& device = device_by_name(device_name);
             for (int iterations : config.iteration_counts) {
+              for (const std::string& backend_name : config.backends) {
                 // Deadlines and cancellation interrupt between combinations:
                 // the natural unit of progress, and the unit of cache reuse
                 // a retried attempt picks back up from.
@@ -228,8 +231,8 @@ Sweep_report Sweep_service::run_impl(const Sweep_config& config, Job_context* jo
 
                 std::string entry_key;
                 if (cache_) {
-                    entry_key =
-                        sweep_entry_key(ikey, config, device_name, iterations);
+                    entry_key = sweep_entry_key(ikey, config, device_name,
+                                                iterations, backend_name);
                     if (std::optional<std::string> payload = cache_->load(entry_key)) {
                         Sweep_entry cached;
                         std::string error;
@@ -255,12 +258,66 @@ Sweep_report Sweep_service::run_impl(const Sweep_config& config, Job_context* jo
                 Space_options space = config.space;
                 space.iterations = iterations;
 
-                Explorer explorer(lib, device, evaluator_options, space,
-                                  shared_pool);
                 Sweep_entry entry;
                 entry.kernel = kernel;
                 entry.device = device_name;
                 entry.iterations = iterations;
+                entry.backend = backend_name;
+
+                if (backend_name == "streaming") {
+                    // The streaming multi-PE array: every candidate is one
+                    // closed-form evaluation, so the fan-out that pays for a
+                    // pool in the paper backend is a plain loop here. The
+                    // backend shares this kernel's Cone_library, so its
+                    // calibration syntheses are the ones the paper backend
+                    // already paid for (or vice versa).
+                    Streaming_backend streaming(lib, device, evaluator_options,
+                                                space);
+                    streaming.calibrate();
+                    bool any = false;
+                    std::vector<Backend_point> points;
+                    for (const Streaming_config& candidate : streaming.configs()) {
+                        const Streaming_evaluation eval =
+                            streaming.evaluate(candidate);
+                        if (!eval.feasible) continue;
+                        if (!any || eval.fps > entry.streaming_best.fps) {
+                            entry.streaming_best = eval;
+                            any = true;
+                        }
+                        if (config.with_pareto) {
+                            points.push_back({to_string(eval.config),
+                                              eval.area_luts,
+                                              eval.seconds_per_frame, eval.fps,
+                                              ""});
+                        }
+                    }
+                    entry.fits = any;
+                    if (config.with_pareto) {
+                        std::vector<Design_point> dps;
+                        dps.reserve(points.size());
+                        for (std::size_t i = 0; i < points.size(); ++i) {
+                            dps.push_back({points[i].area_luts,
+                                           points[i].seconds_per_frame, i});
+                        }
+                        const std::vector<std::size_t> front = pareto_front(dps);
+                        entry.pareto_points = points.size();
+                        entry.pareto_front_size = front.size();
+                        for (std::size_t i : front) {
+                            entry.front_points.push_back(
+                                {points[i].config, points[i].area_luts,
+                                 points[i].seconds_per_frame, points[i].fps});
+                        }
+                    }
+                    if (cache_ && !entry_key.empty() &&
+                        cache_->store(entry_key, serialize_record(entry))) {
+                        ++report.entry_stores;
+                    }
+                    report.entries.push_back(std::move(entry));
+                    continue;
+                }
+
+                Explorer explorer(lib, device, evaluator_options, space,
+                                  shared_pool);
                 const Explorer::Fit_result fit = explorer.fit_device();
                 entry.fits = fit.has_best;
                 if (fit.has_best) entry.best = fit.best;
@@ -268,6 +325,12 @@ Sweep_report Sweep_service::run_impl(const Sweep_config& config, Job_context* jo
                     const Explorer::Pareto_result pareto = explorer.explore_pareto();
                     entry.pareto_points = pareto.points.size();
                     entry.pareto_front_size = pareto.front.size();
+                    for (std::size_t i : pareto.front) {
+                        const Arch_evaluation& e = pareto.points[i];
+                        entry.front_points.push_back(
+                            {to_string(e.instance), e.estimated_area_luts,
+                             e.throughput.seconds_per_frame, e.throughput.fps});
+                    }
                 }
                 if (config.search_formats && entry.fits) {
                     // The per-(window, depth) grid is device- and
@@ -375,7 +438,37 @@ Sweep_report Sweep_service::run_impl(const Sweep_config& config, Job_context* jo
                     ++report.entry_stores;
                 }
                 report.entries.push_back(std::move(entry));
+              }
             }
+        }
+    }
+    // Cross-backend merged fronts: with more than one backend and a Pareto
+    // sweep, the consecutive entries of each combination fold into one front
+    // via the front-of-fronts identity front(A + B) == front(front(A) +
+    // front(B)) — the entries' cached front_points are all it needs, so a
+    // fully warm run rebuilds these without recomputing anything.
+    if (config.with_pareto && config.backends.size() > 1) {
+        const std::size_t group = config.backends.size();
+        for (std::size_t base = 0; base + group <= report.entries.size();
+             base += group) {
+            Merged_front merged;
+            merged.kernel = report.entries[base].kernel;
+            merged.device = report.entries[base].device;
+            merged.iterations = report.entries[base].iterations;
+            std::vector<Merged_front::Point> candidates;
+            std::vector<Design_point> dps;
+            for (std::size_t k = 0; k < group; ++k) {
+                const Sweep_entry& e = report.entries[base + k];
+                for (const Front_point& fp : e.front_points) {
+                    dps.push_back({fp.area_luts, fp.seconds_per_frame,
+                                   candidates.size()});
+                    candidates.push_back({e.backend, fp});
+                }
+            }
+            for (std::size_t i : pareto_front(dps)) {
+                merged.points.push_back(candidates[i]);
+            }
+            report.merged_fronts.push_back(std::move(merged));
         }
     }
     // Meter deltas over the distinct resident libraries — not per occurrence

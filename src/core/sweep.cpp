@@ -29,6 +29,22 @@ void validate_config(const Sweep_config& config) {
         throw User_error(cat("sweep frame ", config.frame_width, "x",
                              config.frame_height, " must be positive"));
     }
+    if (config.backends.empty()) {
+        throw User_error("sweep needs at least one backend");
+    }
+    for (std::size_t i = 0; i < config.backends.size(); ++i) {
+        const std::string& backend = config.backends[i];
+        if (backend != "paper" && backend != "streaming") {
+            throw User_error(cat("unknown sweep backend '", backend,
+                                 "' (expected paper or streaming)"));
+        }
+        for (std::size_t j = 0; j < i; ++j) {
+            if (config.backends[j] == backend) {
+                throw User_error(cat("sweep backend '", backend,
+                                     "' listed more than once"));
+            }
+        }
+    }
     if (config.validate_fixed) {
         // The raw-word comparison reconstructs the simulator's words from
         // its from_raw outputs, which is exact only while every raw word
@@ -61,17 +77,21 @@ Cone_library& Sweep_session::library(const std::string& kernel) {
 }
 
 std::string report_table(const Sweep_report& report) {
-    // The format and fixed-golden columns only appear when some entry
-    // carries them, so plain sweeps keep the classic nine-column layout.
+    // The backend, format and fixed-golden columns only appear when some
+    // entry carries them, so plain paper-only sweeps keep the classic
+    // nine-column layout byte for byte.
+    bool any_backend = false;
     bool any_format = false;
     bool any_fixed = false;
     for (const Sweep_entry& e : report.entries) {
+        any_backend |= e.backend != "paper";
         any_format |= e.format_searched;
         any_fixed |= e.validated_fixed;
     }
-    std::vector<std::string> header = {"kernel", "device", "N", "fit",
-                                       "architecture", "fps", "kLUTs (est)",
-                                       "pareto", "golden"};
+    std::vector<std::string> header = {"kernel", "device", "N"};
+    if (any_backend) header.push_back("backend");
+    header.insert(header.end(), {"fit", "architecture", "fps", "kLUTs (est)",
+                                 "pareto", "golden"});
     if (any_format) {
         header.push_back("format");
         header.push_back("kLUTs@fmt");
@@ -88,20 +108,22 @@ std::string report_table(const Sweep_report& report) {
                                ? std::string("exact")
                                : cat("err ", e.validation_max_abs_err))
                         : std::string("-");
-        std::vector<std::string> row;
-        if (e.fits) {
-            row = {e.kernel,
-                   e.device,
-                   cat(e.iterations),
-                   "yes",
-                   to_string(e.best.instance),
-                   format_fixed(e.best.throughput.fps, 1),
-                   format_fixed(e.best.estimated_area_luts / 1e3, 1),
-                   pareto,
-                   golden};
+        std::vector<std::string> row = {e.kernel, e.device, cat(e.iterations)};
+        if (any_backend) row.push_back(e.backend);
+        if (e.fits && e.backend == "streaming") {
+            row.insert(row.end(),
+                       {"yes", to_string(e.streaming_best.config),
+                        format_fixed(e.streaming_best.fps, 1),
+                        format_fixed(e.streaming_best.area_luts / 1e3, 1), pareto,
+                        golden});
+        } else if (e.fits) {
+            row.insert(row.end(),
+                       {"yes", to_string(e.best.instance),
+                        format_fixed(e.best.throughput.fps, 1),
+                        format_fixed(e.best.estimated_area_luts / 1e3, 1), pareto,
+                        golden});
         } else {
-            row = {e.kernel, e.device, cat(e.iterations), "no", "-", "-", "-",
-                   pareto, golden};
+            row.insert(row.end(), {"no", "-", "-", "-", pareto, golden});
         }
         if (any_format) {
             if (e.format_searched && e.format_satisfiable) {
@@ -124,7 +146,21 @@ std::string report_table(const Sweep_report& report) {
         }
         table.add_row(std::move(row));
     }
-    return table.to_text();
+    std::string out = table.to_text();
+    // Merged cross-backend fronts, one deterministic table per combination.
+    for (const Merged_front& front : report.merged_fronts) {
+        out += cat("\nmerged pareto front: ", front.kernel, " on ", front.device,
+                   ", N=", front.iterations, " (", front.points.size(),
+                   " points)\n");
+        Table front_table({"backend", "architecture", "kLUTs (est)", "fps"});
+        for (const Merged_front::Point& p : front.points) {
+            front_table.add_row({p.backend, p.point.config,
+                                 format_fixed(p.point.area_luts / 1e3, 1),
+                                 format_fixed(p.point.fps, 1)});
+        }
+        out += front_table.to_text();
+    }
+    return out;
 }
 
 std::string to_string(const Sweep_report& report) {

@@ -28,6 +28,7 @@
 
 #include "backend/fixed_point.hpp"
 #include "dse/explorer.hpp"
+#include "dse/streaming_backend.hpp"
 #include "estimate/throughput_model.hpp"
 
 namespace islhls {
@@ -44,6 +45,11 @@ struct Sweep_config {
     Space_options space;
     Throughput_params throughput;
     std::vector<int> calibration_windows = {1, 2};
+    // Architecture backends to explore per combination ("paper",
+    // "streaming"); each backend contributes its own report entry, and with
+    // more than one backend plus `with_pareto`, the per-backend fronts merge
+    // into one cross-backend front per combination.
+    std::vector<std::string> backends = {"paper"};
     bool with_pareto = false;  // additionally run the Pareto sweep per combo
     // Golden validation of each feasible best fit: simulate the fitted
     // architecture functionally on a small frame and compare against the
@@ -70,14 +76,31 @@ struct Sweep_config {
     bool validate_fixed = false;
 };
 
+// One Pareto-front point as cached entries carry it: enough to rebuild the
+// cross-backend merged front without re-running any exploration, via the
+// front-of-fronts identity front(A + B) == front(front(A) + front(B)).
+struct Front_point {
+    std::string config;  // human-readable candidate identity
+    double area_luts = 0.0;
+    double seconds_per_frame = 0.0;
+    double fps = 0.0;
+};
+
 struct Sweep_entry {
     std::string kernel;
     std::string device;
     int iterations = 0;
+    std::string backend = "paper";   // Arch_backend that produced this entry
     bool fits = false;               // a feasible device fit exists
-    Arch_evaluation best;            // valid when `fits`
+    Arch_evaluation best;            // valid when `fits` and backend "paper"
+    // Valid when `fits` and backend "streaming": the best-fps feasible
+    // streaming configuration.
+    Streaming_evaluation streaming_best;
     std::size_t pareto_points = 0;   // filled when with_pareto
     std::size_t pareto_front_size = 0;
+    // The backend's own Pareto front, filled when with_pareto; feeds the
+    // merged cross-backend front (warm cache included).
+    std::vector<Front_point> front_points;
     // Filled when Sweep_config::validate and `fits`: max |sim - golden| over
     // all state fields (0.0 = the architecture reproduces the golden
     // exactly, which double mode must).
@@ -99,8 +122,25 @@ struct Sweep_entry {
     double validation_max_raw_err = 0.0;
 };
 
+// The merged cross-backend Pareto front of one kernel x device x N
+// combination; built when with_pareto runs with more than one backend.
+struct Merged_front {
+    std::string kernel;
+    std::string device;
+    int iterations = 0;
+    struct Point {
+        std::string backend;
+        Front_point point;
+    };
+    std::vector<Point> points;  // non-dominated set, ascending area
+};
+
 struct Sweep_report {
-    std::vector<Sweep_entry> entries;  // kernel-major, then device, then N
+    std::vector<Sweep_entry> entries;  // kernel-major, then device, N, backend
+    // One merged front per combination (empty unless with_pareto ran with
+    // more than one backend); derived from the entries' front_points, so a
+    // fully warm cache rebuilds them without recomputing anything.
+    std::vector<Merged_front> merged_fronts;
     // Shared-cache effectiveness over this run (in-process memoization).
     int cone_builds = 0;
     long long cone_lookups = 0;

@@ -300,20 +300,101 @@ bool read_evaluation(Line_reader& r, Arch_evaluation* e) {
     return true;
 }
 
+// --- Streaming_evaluation block ---------------------------------------------------
+
+void write_streaming(std::ostringstream& os, const Streaming_evaluation& e) {
+    os << "stream.config " << e.config.depth << " " << e.config.vector_width << " "
+       << e.config.pe_count << " " << e.config.channels << "\n";
+    os << "stream.feasible " << (e.feasible ? 1 : 0) << "\n";
+    os << "stream.reason";
+    if (!e.infeasible_reason.empty()) os << " " << e.infeasible_reason;
+    os << "\n";
+    os << "stream.area_luts " << encode_double_bits(e.area_luts) << "\n";
+    os << "stream.datapath_luts " << encode_double_bits(e.datapath_luts) << "\n";
+    os << "stream.line_buffer_luts " << encode_double_bits(e.line_buffer_luts)
+       << "\n";
+    os << "stream.line_buffer_kbits " << encode_double_bits(e.line_buffer_kbits)
+       << "\n";
+    os << "stream.f_max_mhz " << encode_double_bits(e.f_max_mhz) << "\n";
+    os << "stream.passes " << e.passes << "\n";
+    os << "stream.compute_cycles " << encode_double_bits(e.compute_cycles) << "\n";
+    os << "stream.memory_cycles " << encode_double_bits(e.memory_cycles) << "\n";
+    os << "stream.cycles_per_pass " << encode_double_bits(e.cycles_per_pass)
+       << "\n";
+    os << "stream.bottleneck";
+    if (!e.bottleneck.empty()) os << " " << e.bottleneck;
+    os << "\n";
+    os << "stream.seconds_per_frame " << encode_double_bits(e.seconds_per_frame)
+       << "\n";
+    os << "stream.fps " << encode_double_bits(e.fps) << "\n";
+}
+
+bool read_streaming(Line_reader& r, Streaming_evaluation* e) {
+    std::string rest;
+    if (!r.expect("stream.config", &rest)) return false;
+    {
+        const std::vector<std::string> parts = split(rest, ' ');
+        long long depth = 0;
+        long long vector_width = 0;
+        long long pe_count = 0;
+        long long channels = 0;
+        if (parts.size() != 4 || !parse_ll_strict(parts[0], &depth) ||
+            !parse_ll_strict(parts[1], &vector_width) ||
+            !parse_ll_strict(parts[2], &pe_count) ||
+            !parse_ll_strict(parts[3], &channels)) {
+            r.fail_value("stream.config");
+            return false;
+        }
+        e->config.depth = static_cast<int>(depth);
+        e->config.vector_width = static_cast<int>(vector_width);
+        e->config.pe_count = static_cast<int>(pe_count);
+        e->config.channels = static_cast<int>(channels);
+    }
+    return read_bool(r, "stream.feasible", &e->feasible) &&
+           read_text(r, "stream.reason", &e->infeasible_reason) &&
+           read_double(r, "stream.area_luts", &e->area_luts) &&
+           read_double(r, "stream.datapath_luts", &e->datapath_luts) &&
+           read_double(r, "stream.line_buffer_luts", &e->line_buffer_luts) &&
+           read_double(r, "stream.line_buffer_kbits", &e->line_buffer_kbits) &&
+           read_double(r, "stream.f_max_mhz", &e->f_max_mhz) &&
+           read_int(r, "stream.passes", &e->passes) &&
+           read_double(r, "stream.compute_cycles", &e->compute_cycles) &&
+           read_double(r, "stream.memory_cycles", &e->memory_cycles) &&
+           read_double(r, "stream.cycles_per_pass", &e->cycles_per_pass) &&
+           read_text(r, "stream.bottleneck", &e->bottleneck) &&
+           read_double(r, "stream.seconds_per_frame", &e->seconds_per_frame) &&
+           read_double(r, "stream.fps", &e->fps);
+}
+
 }  // namespace
 
 // --- Sweep_entry ------------------------------------------------------------------
 
 std::string serialize_record(const Sweep_entry& entry) {
     std::ostringstream os;
-    os << "sweep-entry v1\n";
+    os << "sweep-entry v2\n";
     os << "kernel " << entry.kernel << "\n";
     os << "device " << entry.device << "\n";
     os << "iterations " << entry.iterations << "\n";
+    os << "backend " << entry.backend << "\n";
     os << "fits " << (entry.fits ? 1 : 0) << "\n";
-    if (entry.fits) write_evaluation(os, entry.best);
+    if (entry.fits) {
+        if (entry.backend == "streaming") {
+            write_streaming(os, entry.streaming_best);
+        } else {
+            write_evaluation(os, entry.best);
+        }
+    }
     os << "pareto_points " << entry.pareto_points << "\n";
     os << "pareto_front " << entry.pareto_front_size << "\n";
+    os << "front_points " << entry.front_points.size() << "\n";
+    for (const Front_point& fp : entry.front_points) {
+        // Config last: it may contain spaces (architecture renderings do)
+        // but never newlines, so everything after the third token is it.
+        os << "fp " << encode_double_bits(fp.area_luts) << " "
+           << encode_double_bits(fp.seconds_per_frame) << " "
+           << encode_double_bits(fp.fps) << " " << fp.config << "\n";
+    }
     os << "validated " << (entry.validated ? 1 : 0) << "\n";
     os << "validation_max_abs_err " << encode_double_bits(entry.validation_max_abs_err)
        << "\n";
@@ -335,7 +416,7 @@ bool parse_record(const std::string& text, Sweep_entry* entry, std::string* erro
     Line_reader r(text);
     Sweep_entry out;
     std::string rest;
-    bool ok = r.expect("sweep-entry", &rest) && rest == "v1";
+    bool ok = r.expect("sweep-entry", &rest) && rest == "v2";
     if (!ok) {
         if (!r.failed()) r.fail_value("sweep-entry version");
         *error = r.error();
@@ -343,11 +424,38 @@ bool parse_record(const std::string& text, Sweep_entry* entry, std::string* erro
     }
     ok = read_text(r, "kernel", &out.kernel) && read_text(r, "device", &out.device) &&
          read_int(r, "iterations", &out.iterations) &&
+         read_text(r, "backend", &out.backend) &&
          read_bool(r, "fits", &out.fits);
-    if (ok && out.fits) ok = read_evaluation(r, &out.best);
+    if (ok && out.fits) {
+        ok = out.backend == "streaming" ? read_streaming(r, &out.streaming_best)
+                                        : read_evaluation(r, &out.best);
+    }
+    std::size_t front_count = 0;
     ok = ok && read_size(r, "pareto_points", &out.pareto_points) &&
          read_size(r, "pareto_front", &out.pareto_front_size) &&
-         read_bool(r, "validated", &out.validated) &&
+         read_size(r, "front_points", &front_count);
+    for (std::size_t i = 0; ok && i < front_count; ++i) {
+        if (!r.expect("fp", &rest)) {
+            ok = false;
+            break;
+        }
+        const std::vector<std::string> parts = split(rest, ' ');
+        Front_point fp;
+        if (parts.size() < 4 || !decode_double_bits(parts[0], &fp.area_luts) ||
+            !decode_double_bits(parts[1], &fp.seconds_per_frame) ||
+            !decode_double_bits(parts[2], &fp.fps)) {
+            r.fail_value("fp");
+            ok = false;
+            break;
+        }
+        fp.config = parts[3];
+        for (std::size_t p = 4; p < parts.size(); ++p) {
+            fp.config += ' ';
+            fp.config += parts[p];
+        }
+        out.front_points.push_back(std::move(fp));
+    }
+    ok = ok && read_bool(r, "validated", &out.validated) &&
          read_double(r, "validation_max_abs_err", &out.validation_max_abs_err) &&
          read_bool(r, "format_searched", &out.format_searched) &&
          read_bool(r, "format_satisfiable", &out.format_satisfiable);
@@ -385,7 +493,8 @@ bool parse_record(const std::string& text, Sweep_entry* entry, std::string* erro
 
 std::string serialize_record(const Explorer::Format_grid& grid) {
     std::ostringstream os;
-    os << "format-grid v1\n";
+    os << "format-grid v2\n";
+    os << "backend " << grid.backend << "\n";
     os << "cells " << grid.cells.size() << "\n";
     for (const Explorer::Format_cell& cell : grid.cells) {
         os << "cell " << cell.window << " " << cell.depth << " "
@@ -404,8 +513,12 @@ bool parse_record(const std::string& text, Explorer::Format_grid* grid,
     Line_reader r(text);
     Explorer::Format_grid out;
     std::string rest;
-    if (!r.expect("format-grid", &rest) || rest != "v1") {
+    if (!r.expect("format-grid", &rest) || rest != "v2") {
         if (!r.failed()) r.fail_value("format-grid version");
+        *error = r.error();
+        return false;
+    }
+    if (!read_text(r, "backend", &out.backend)) {
         *error = r.error();
         return false;
     }
@@ -560,13 +673,15 @@ std::string config_key_options(const Sweep_config& config) {
 }  // namespace
 
 std::string sweep_entry_key(const std::string& ir_key, const Sweep_config& config,
-                            const std::string& device, int iterations) {
-    return cat("sweep-entry-key v1\n", ir_key, "device ", device, "\niterations ",
-               iterations, "\n", config_key_options(config));
+                            const std::string& device, int iterations,
+                            const std::string& backend) {
+    return cat("sweep-entry-key v2\n", ir_key, "device ", device, "\niterations ",
+               iterations, "\nbackend ", backend, "\n",
+               config_key_options(config));
 }
 
 std::string format_grid_key(const std::string& ir_key, const Sweep_config& config) {
-    return cat("format-grid-key v1\n", ir_key, "space ", config.space.max_window,
+    return cat("format-grid-key v2\n", ir_key, "space ", config.space.max_window,
                " ", config.space.max_depth, "\ncontent ",
                config.validation_frame_width, "x", config.validation_frame_height,
                " seed ", config.validation_seed, "\nsearch ",
@@ -583,13 +698,15 @@ std::string synthesis_key_prefix(const std::string& ir_key) {
 
 std::string sweep_request_key(const Sweep_config& config) {
     std::ostringstream os;
-    os << "sweep-request v1\n";
+    os << "sweep-request v2\n";
     os << "kernels";
     for (const std::string& k : config.kernels) os << " " << k;
     os << "\ndevices";
     for (const std::string& d : config.devices) os << " " << d;
     os << "\niterations";
     for (int n : config.iteration_counts) os << " " << n;
+    os << "\nbackends";
+    for (const std::string& b : config.backends) os << " " << b;
     os << "\n" << config_key_options(config);
     return os.str();
 }

@@ -50,10 +50,13 @@ bool parse_record(const std::string& text, Synthesis_report* report,
 std::string kernel_ir_key(const std::string& kernel_name, Boundary boundary,
                           const Stencil_step& step);
 
-// Key of one sweep combination's Sweep_entry (device and iteration count
-// vary per combination; everything else comes from the config).
+// Key of one sweep combination's Sweep_entry (device, iteration count and
+// backend vary per combination; everything else comes from the config). The
+// backend is part of the key, so a warm cache never serves one backend's
+// entries to a request for another.
 std::string sweep_entry_key(const std::string& ir_key, const Sweep_config& config,
-                            const std::string& device, int iterations);
+                            const std::string& device, int iterations,
+                            const std::string& backend);
 
 // Key of one kernel's format-search grid (device- and N-independent).
 std::string format_grid_key(const std::string& ir_key, const Sweep_config& config);

@@ -1,0 +1,36 @@
+#include "dse/backend.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "dse/pareto.hpp"
+
+namespace islhls {
+
+std::string Arch_backend::dump(const std::vector<Backend_point>& points) const {
+    std::ostringstream os;
+    os << std::setprecision(17);
+    os << "points " << points.size() << "\n";
+    for (const Backend_point& p : points) os << p.detail << "\n";
+    std::vector<Design_point> dps;
+    dps.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        dps.push_back({points[i].area_luts, points[i].seconds_per_frame, i});
+    }
+    os << "front";
+    for (std::size_t i : pareto_front(dps)) os << " " << i;
+    os << "\n";
+    return os.str();
+}
+
+std::vector<Backend_point> evaluate_all_candidates(const Arch_backend& backend) {
+    std::vector<Backend_point> points;
+    const std::size_t count = backend.candidate_count();
+    for (std::size_t i = 0; i < count; ++i) {
+        std::vector<Backend_point> candidate = backend.evaluate_candidate(i);
+        points.insert(points.end(), candidate.begin(), candidate.end());
+    }
+    return points;
+}
+
+}  // namespace islhls

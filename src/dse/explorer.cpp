@@ -1,15 +1,12 @@
 #include "dse/explorer.hpp"
 
 #include <algorithm>
-#include <iomanip>
-#include <sstream>
 
 #include "dse/pareto.hpp"
 
 #include "support/error.hpp"
 #include "support/numeric.hpp"
 #include "support/parallel.hpp"
-#include "support/text.hpp"
 
 namespace islhls {
 
@@ -18,6 +15,7 @@ Explorer::Explorer(Cone_library& library, const Fpga_device& device,
                    const Space_options& space_options, Thread_pool* shared_pool)
     : evaluator_(library, device, evaluator_options),
       space_(space_options),
+      paper_(evaluator_, space_options),
       external_pool_(shared_pool) {
     check_internal(space_.iterations >= 1 && space_.max_window >= 1 &&
                        space_.max_depth >= 1,
@@ -25,22 +23,11 @@ Explorer::Explorer(Cone_library& library, const Fpga_device& device,
 }
 
 std::vector<std::vector<int>> Explorer::depth_partitions() const {
-    std::vector<int> parts;
-    for (int d = 1; d <= space_.max_depth; ++d) parts.push_back(d);
-    return partitions_into(space_.iterations, parts);
+    return islhls::depth_partitions(space_.iterations, space_.max_depth);
 }
 
 std::vector<int> Explorer::canonical_partition(int primary_depth) const {
-    check_internal(primary_depth >= 1, "primary depth must be >= 1");
-    std::vector<int> levels;
-    int remaining = space_.iterations;
-    int depth = primary_depth;
-    while (remaining > 0) {
-        if (depth > remaining) depth = remaining;
-        levels.push_back(depth);
-        remaining -= depth;
-    }
-    return levels;
+    return islhls::canonical_partition(space_.iterations, primary_depth);
 }
 
 void Explorer::run_parallel(std::size_t count,
@@ -60,72 +47,16 @@ void Explorer::run_parallel(std::size_t count,
     pool_->for_each_index(count, body);
 }
 
-Explorer::Grow_result Explorer::grow_allocation(
-    Arch_instance instance, double area_budget, int max_total_cores,
-    std::vector<Arch_evaluation>* out) const {
-    Grow_result result;
-    // Minimal allocation: one core per depth class (the paper's feasibility
-    // requirement).
-    instance.cores_per_depth.clear();
-    for (int d : instance.depth_classes()) instance.cores_per_depth[d] = 1;
-
-    for (;;) {
-        Arch_evaluation eval = evaluator_.evaluate(instance);
-        const bool fits = eval.estimated_area_luts <= area_budget && eval.feasible;
-        if (!fits) break;
-        if (out != nullptr) out->push_back(eval);
-        if (!result.any_feasible ||
-            eval.throughput.fps > result.best.throughput.fps) {
-            result.best = eval;
-            result.any_feasible = true;
-        }
-        // Adding cores only helps while the design is core-bound.
-        if (eval.throughput.bottleneck != "core") break;
-        int total_cores = 0;
-        for (const auto& [d, n] : instance.cores_per_depth) total_cores += n;
-        if (total_cores >= max_total_cores) break;
-        // Feed the bottleneck class.
-        int bottleneck_depth = -1;
-        double worst = -1.0;
-        for (const auto& [d, cycles] : eval.throughput.class_cycles) {
-            if (cycles > worst) {
-                worst = cycles;
-                bottleneck_depth = d;
-            }
-        }
-        if (bottleneck_depth < 0) break;
-        instance.cores_per_depth[bottleneck_depth] += 1;
-    }
-    return result;
-}
-
-Explorer::Pareto_result Explorer::explore_pareto() {
+islhls::Pareto_result Explorer::explore_pareto() {
     // One-time alpha calibration, then every candidate evaluation is pure.
-    evaluator_.calibrate(space_.max_window, space_.max_depth);
+    paper_.calibrate();
 
-    const auto partitions = depth_partitions();
-    struct Candidate {
-        int window = 0;
-        const std::vector<int>* partition = nullptr;
-    };
-    std::vector<Candidate> candidates;
-    candidates.reserve(static_cast<std::size_t>(space_.max_window) * partitions.size());
-    for (int w = 1; w <= space_.max_window; ++w) {
-        for (const auto& partition : partitions) {
-            candidates.push_back({w, &partition});
-        }
-    }
+    const std::size_t count = paper_.candidate_count();
+    std::vector<std::vector<Arch_evaluation>> steps(count);
+    run_parallel(count, [&](std::size_t i) { steps[i] = paper_.candidate_steps(i); });
 
-    std::vector<std::vector<Arch_evaluation>> steps(candidates.size());
-    run_parallel(candidates.size(), [&](std::size_t i) {
-        Arch_instance instance;
-        instance.window = candidates[i].window;
-        instance.level_depths = *candidates[i].partition;
-        grow_allocation(instance, space_.pareto_area_cap_luts,
-                        space_.max_cores_per_sweep, &steps[i]);
-    });
-
-    Pareto_result result;
+    islhls::Pareto_result result;
+    result.backend = paper_.name();
     for (const auto& candidate_steps : steps) {
         result.points.insert(result.points.end(), candidate_steps.begin(),
                              candidate_steps.end());
@@ -140,10 +71,51 @@ Explorer::Pareto_result Explorer::explore_pareto() {
     return result;
 }
 
-Explorer::Fit_result Explorer::fit_device() {
-    evaluator_.calibrate(space_.max_window, space_.max_depth);
+Backend_pareto Explorer::explore_backends(
+    const std::vector<Arch_backend*>& backends) {
+    // Serial calibration of every backend (model fitting and cone building
+    // mutate the shared library), then the union of the candidate axes fans
+    // across one pool.
+    for (Arch_backend* backend : backends) backend->calibrate();
 
-    Fit_result result;
+    struct Slot {
+        std::size_t backend = 0;
+        std::size_t candidate = 0;
+    };
+    std::vector<Slot> slots;
+    for (std::size_t b = 0; b < backends.size(); ++b) {
+        const std::size_t count = backends[b]->candidate_count();
+        for (std::size_t c = 0; c < count; ++c) slots.push_back({b, c});
+    }
+
+    std::vector<std::vector<Backend_point>> results(slots.size());
+    run_parallel(slots.size(), [&](std::size_t i) {
+        results[i] = backends[slots[i].backend]->evaluate_candidate(
+            slots[i].candidate);
+    });
+
+    Backend_pareto merged;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        const std::string& backend_name = backends[slots[i].backend]->name();
+        for (Backend_point& point : results[i]) {
+            merged.points.push_back({backend_name, std::move(point)});
+        }
+    }
+    std::vector<Design_point> dps;
+    dps.reserve(merged.points.size());
+    for (std::size_t i = 0; i < merged.points.size(); ++i) {
+        dps.push_back({merged.points[i].point.area_luts,
+                       merged.points[i].point.seconds_per_frame, i});
+    }
+    merged.front = pareto_front(dps);
+    return merged;
+}
+
+islhls::Fit_result Explorer::fit_device() {
+    paper_.calibrate();
+
+    islhls::Fit_result result;
+    result.backend = paper_.name();
     const double budget =
         static_cast<double>(evaluator_.device().usable_luts());
     const std::size_t cells =
@@ -160,7 +132,7 @@ Explorer::Fit_result Explorer::fit_device() {
         Arch_instance instance;
         instance.window = w;
         instance.level_depths = canonical_partition(d);
-        const Grow_result grown = grow_allocation(
+        const Paper_backend::Grow_result grown = paper_.grow_allocation(
             instance, budget, space_.max_cores_per_sweep * 4, nullptr);
         cell.valid = grown.any_feasible;
         if (cell.valid) cell.eval = grown.best;
@@ -178,10 +150,11 @@ Explorer::Fit_result Explorer::fit_device() {
     return result;
 }
 
-Explorer::Area_validation Explorer::validate_area_model() {
-    evaluator_.calibrate(space_.max_window, space_.max_depth);
+islhls::Area_validation Explorer::validate_area_model() {
+    paper_.calibrate();
 
-    Area_validation validation;
+    islhls::Area_validation validation;
+    validation.backend = paper_.name();
     const auto& calibration = evaluator_.options().calibration_windows;
     const std::size_t cells =
         static_cast<std::size_t>(space_.max_window) *
@@ -213,9 +186,9 @@ Explorer::Area_validation Explorer::validate_area_model() {
     return validation;
 }
 
-Explorer::Format_grid Explorer::search_formats(const Frame_set& content,
-                                               Boundary boundary,
-                                               Format_search_options options) {
+islhls::Format_grid Explorer::search_formats(const Frame_set& content,
+                                             Boundary boundary,
+                                             Format_search_options options) {
     // One search per cell inside the candidate fan-out; the search's own
     // sample-window pool stays disabled (its parallelism would nest).
     options.threads = 1;
@@ -228,7 +201,8 @@ Explorer::Format_grid Explorer::search_formats(const Frame_set& content,
         for (int w = 1; w <= space_.max_window; ++w) library.cone(w, d);
     }
 
-    Format_grid grid;
+    islhls::Format_grid grid;
+    grid.backend = paper_.name();
     const std::size_t cells = static_cast<std::size_t>(space_.max_window) *
                               static_cast<std::size_t>(space_.max_depth);
     grid.cells.resize(cells);
@@ -243,99 +217,6 @@ Explorer::Format_grid Explorer::search_formats(const Frame_set& content,
                                           options);
     });
     return grid;
-}
-
-// --- deterministic dumps ---------------------------------------------------------
-
-namespace {
-
-std::ostream& full_precision(std::ostream& os) {
-    os << std::setprecision(17);
-    return os;
-}
-
-void dump_evaluation(std::ostream& os, const Arch_evaluation& e) {
-    os << to_string(e.instance) << " feasible=" << e.feasible;
-    if (!e.feasible) os << " reason=" << e.infeasible_reason;
-    os << " est_luts=" << e.estimated_area_luts
-       << " act_luts=" << e.actual_area_luts << " f_max=" << e.f_max_mhz
-       << " wpf=" << e.windows_per_frame
-       << " cycles=" << e.throughput.cycles_per_window
-       << " bneck=" << e.throughput.bottleneck
-       << " spf=" << e.throughput.seconds_per_frame
-       << " fps=" << e.throughput.fps << " mem_kbits=" << e.memory.total_kbits;
-}
-
-}  // namespace
-
-std::string dump(const Arch_evaluation& eval) {
-    std::ostringstream os;
-    full_precision(os);
-    dump_evaluation(os, eval);
-    os << "\n";
-    return os.str();
-}
-
-std::string dump(const Explorer::Pareto_result& result) {
-    std::ostringstream os;
-    full_precision(os);
-    os << "points " << result.points.size() << "\n";
-    for (const Arch_evaluation& e : result.points) {
-        dump_evaluation(os, e);
-        os << "\n";
-    }
-    os << "front";
-    for (std::size_t i : result.front) os << " " << i;
-    os << "\n";
-    return os.str();
-}
-
-std::string dump(const Explorer::Fit_result& result) {
-    std::ostringstream os;
-    full_precision(os);
-    os << "grid " << result.grid.size() << "\n";
-    for (const Explorer::Fit_cell& cell : result.grid) {
-        os << "w" << cell.window << " d" << cell.primary_depth
-           << " valid=" << cell.valid;
-        if (cell.valid) {
-            os << " ";
-            dump_evaluation(os, cell.eval);
-        }
-        os << "\n";
-    }
-    os << "best " << result.has_best;
-    if (result.has_best) {
-        os << " ";
-        dump_evaluation(os, result.best);
-    }
-    os << "\n";
-    return os.str();
-}
-
-std::string dump(const Explorer::Area_validation& validation) {
-    std::ostringstream os;
-    full_precision(os);
-    for (const Explorer::Area_point& p : validation.points) {
-        os << "w" << p.window << " d" << p.depth << " regs=" << p.registers
-           << " est=" << p.estimated_luts << " act=" << p.actual_luts
-           << " cal=" << p.is_calibration << " err=" << p.rel_error << "\n";
-    }
-    os << "avg=" << validation.avg_rel_error << " max=" << validation.max_rel_error
-       << "\n";
-    return os.str();
-}
-
-std::string dump(const Explorer::Format_grid& grid) {
-    std::ostringstream os;
-    full_precision(os);
-    for (const Explorer::Format_cell& cell : grid.cells) {
-        os << "w" << cell.window << " d" << cell.depth << " "
-           << to_string(cell.result.format) << " psnr=" << cell.result.psnr_db
-           << " max_abs=" << cell.result.max_abs_value
-           << " tried=" << cell.result.formats_tried
-           << " sat=" << cell.result.satisfiable << "\n";
-    }
-    return os.str();
 }
 
 }  // namespace islhls

@@ -7,33 +7,30 @@
 //     partitions and core allocations, Pareto set extraction (Figs. 6 and 9);
 //   - fit_device(): maximize throughput inside one device's budget, per
 //     (window, primary depth) cell (Figs. 7 and 10).
+// A fourth, explore_backends(), fans a *set* of Arch_backends (the paper
+// datapath, the streaming multi-PE array, ...) across the same pool and
+// merges everything into one cross-backend Pareto front.
 //
-// All three fan independent (window, partition, allocation) candidates
-// across a thread pool (Space_options::threads) after a one-time area-model
-// calibration. Each candidate writes into its own pre-sized slot and the
-// cross-candidate aggregation (concatenation, Pareto extraction, best-cell
-// scan, error statistics) runs after the join in the serial candidate
-// order, so the results are byte-identical to a single-threaded run.
+// All entry points fan independent candidates across a thread pool
+// (Space_options::threads) after a one-time serial calibration. Each
+// candidate writes into its own pre-sized slot and the cross-candidate
+// aggregation (concatenation, Pareto extraction, best-cell scan, error
+// statistics) runs after the join in the serial candidate order, so the
+// results are byte-identical to a single-threaded run.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "dse/backend.hpp"
 #include "dse/evaluator.hpp"
+#include "dse/paper_backend.hpp"
+#include "dse/results.hpp"
 #include "estimate/format_search.hpp"
 #include "support/parallel.hpp"
 
 namespace islhls {
-
-struct Space_options {
-    int iterations = 10;      // N, the total ISL iteration count
-    int max_window = 9;       // output windows 1..max (square)
-    int max_depth = 5;        // cone depths 1..max
-    int max_cores_per_sweep = 16;       // Pareto sweep: total cores cap
-    double pareto_area_cap_luts = 6e6;  // Pareto sweep: area cap
-    int threads = 1;          // DSE fan-out width; 0 = all hardware threads
-};
 
 class Explorer {
 public:
@@ -54,45 +51,34 @@ public:
     // depth 3 over N=10 becomes [3,3,3,1], depth 4 becomes [4,4,2]).
     std::vector<int> canonical_partition(int primary_depth) const;
 
-    // --- Pareto exploration -----------------------------------------------------
-    struct Pareto_result {
-        std::vector<Arch_evaluation> points;   // every evaluated allocation
-        std::vector<std::size_t> front;        // indices into `points`
-    };
-    Pareto_result explore_pareto();
+    // Deprecated aliases: the result structs moved to dse/results.hpp as
+    // top-level types (they now carry a `backend` field); these names are
+    // kept one PR so existing call sites migrate cleanly.
+    using Pareto_result = islhls::Pareto_result;
+    using Fit_cell = islhls::Fit_cell;
+    using Fit_result = islhls::Fit_result;
+    using Area_point = islhls::Area_point;
+    using Area_validation = islhls::Area_validation;
+    using Format_cell = islhls::Format_cell;
+    using Format_grid = islhls::Format_grid;
 
-    // --- device fit ---------------------------------------------------------------
-    struct Fit_cell {
-        int window = 0;
-        int primary_depth = 0;
-        bool valid = false;          // a feasible allocation exists
-        Arch_evaluation eval;
-    };
-    struct Fit_result {
-        std::vector<Fit_cell> grid;  // (window, primary depth) row-major
-        bool has_best = false;
-        Arch_evaluation best;        // highest fps over the valid grid
-    };
-    Fit_result fit_device();
+    // --- Pareto exploration (paper backend) --------------------------------------
+    islhls::Pareto_result explore_pareto();
 
-    // --- area-model validation -----------------------------------------------------
-    struct Area_point {
-        int window = 0;
-        int depth = 0;
-        int registers = 0;
-        double estimated_luts = 0.0;
-        double actual_luts = 0.0;
-        bool is_calibration = false;  // synthesized to fit alpha
-        double rel_error = 0.0;
-    };
-    struct Area_validation {
-        std::vector<Area_point> points;
-        double max_rel_error = 0.0;  // over non-calibration points
-        double avg_rel_error = 0.0;
-    };
-    Area_validation validate_area_model();
+    // --- cross-backend Pareto exploration ----------------------------------------
+    // Calibrates every backend serially, then fans the union of their
+    // candidate axes across the pool and merges the points into one front,
+    // each point tagged with its backend. The backends must share this
+    // explorer's Cone_library (or be otherwise thread-safe against it).
+    Backend_pareto explore_backends(const std::vector<Arch_backend*>& backends);
 
-    // --- per-candidate fixed-point format search ------------------------------------
+    // --- device fit --------------------------------------------------------------
+    islhls::Fit_result fit_device();
+
+    // --- area-model validation ---------------------------------------------------
+    islhls::Area_validation validate_area_model();
+
+    // --- per-candidate fixed-point format search ---------------------------------
     // The numeric axis of the design space: the narrowest passing Qm.f per
     // (window, depth) cell, searched over sample windows of `content` (the
     // same grid the fit/area explorations cover). Cells are independent, so
@@ -100,41 +86,14 @@ public:
     // per-cell search itself runs serially (options.threads is overridden to
     // 1 — nested pools would oversubscribe) and each cell is seeded, so the
     // grid is bit-identical at any thread count.
-    struct Format_cell {
-        int window = 0;
-        int depth = 0;
-        Format_search_result result;
-    };
-    struct Format_grid {
-        std::vector<Format_cell> cells;  // (window, primary depth) row-major
-
-        const Format_cell& at(int window, int depth, int max_depth) const {
-            return cells[static_cast<std::size_t>(window - 1) *
-                             static_cast<std::size_t>(max_depth) +
-                         static_cast<std::size_t>(depth - 1)];
-        }
-    };
-    Format_grid search_formats(const Frame_set& content, Boundary boundary,
-                               Format_search_options options = {});
+    islhls::Format_grid search_formats(const Frame_set& content, Boundary boundary,
+                                       Format_search_options options = {});
 
     Arch_evaluator& evaluator() { return evaluator_; }
+    Paper_backend& paper_backend() { return paper_; }
     const Space_options& space() const { return space_; }
 
 private:
-    // Grows the core allocation of `instance` greedily (always feeding the
-    // bottleneck class) while the estimated area stays within `area_budget`;
-    // records every step into `out` when `record_steps` is set. Returns the
-    // best-fps evaluation found (unset optional when even the minimal
-    // allocation does not fit). Pure: safe to run for many candidates
-    // concurrently once the evaluator is calibrated.
-    struct Grow_result {
-        bool any_feasible = false;
-        Arch_evaluation best;
-    };
-    Grow_result grow_allocation(Arch_instance instance, double area_budget,
-                                int max_total_cores,
-                                std::vector<Arch_evaluation>* out) const;
-
     // Fans body(0..count-1) across the shared pool when one was injected,
     // otherwise the explorer's own pool (created on first use, reused by
     // every subsequent exploration); inline when threads <= 1.
@@ -143,17 +102,9 @@ private:
 
     Arch_evaluator evaluator_;
     Space_options space_;
+    Paper_backend paper_;
     Thread_pool* external_pool_ = nullptr;
     std::unique_ptr<Thread_pool> pool_;
 };
-
-// Deterministic full-precision renderings, used to assert byte-identity
-// between serial and parallel explorations (tests, benches) and to diff
-// results across code changes.
-std::string dump(const Arch_evaluation& eval);
-std::string dump(const Explorer::Pareto_result& result);
-std::string dump(const Explorer::Fit_result& result);
-std::string dump(const Explorer::Area_validation& validation);
-std::string dump(const Explorer::Format_grid& grid);
 
 }  // namespace islhls

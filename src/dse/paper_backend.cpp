@@ -1,0 +1,120 @@
+#include "dse/paper_backend.hpp"
+
+#include "support/error.hpp"
+#include "support/numeric.hpp"
+
+namespace islhls {
+
+std::vector<std::vector<int>> depth_partitions(int iterations, int max_depth) {
+    std::vector<int> parts;
+    for (int d = 1; d <= max_depth; ++d) parts.push_back(d);
+    return partitions_into(iterations, parts);
+}
+
+std::vector<int> canonical_partition(int iterations, int primary_depth) {
+    check_internal(primary_depth >= 1, "primary depth must be >= 1");
+    std::vector<int> levels;
+    int remaining = iterations;
+    int depth = primary_depth;
+    while (remaining > 0) {
+        if (depth > remaining) depth = remaining;
+        levels.push_back(depth);
+        remaining -= depth;
+    }
+    return levels;
+}
+
+Paper_backend::Paper_backend(Arch_evaluator& evaluator, const Space_options& space)
+    : evaluator_(evaluator), space_(space) {
+    check_internal(space_.iterations >= 1 && space_.max_window >= 1 &&
+                       space_.max_depth >= 1,
+                   "invalid space options");
+    partitions_ = depth_partitions(space_.iterations, space_.max_depth);
+    candidates_.reserve(static_cast<std::size_t>(space_.max_window) *
+                        partitions_.size());
+    for (int w = 1; w <= space_.max_window; ++w) {
+        for (std::size_t p = 0; p < partitions_.size(); ++p) {
+            candidates_.push_back({w, p});
+        }
+    }
+}
+
+const std::string& Paper_backend::name() const {
+    static const std::string kName = "paper";
+    return kName;
+}
+
+void Paper_backend::calibrate() {
+    evaluator_.calibrate(space_.max_window, space_.max_depth);
+}
+
+std::size_t Paper_backend::candidate_count() const { return candidates_.size(); }
+
+Paper_backend::Grow_result Paper_backend::grow_allocation(
+    Arch_instance instance, double area_budget, int max_total_cores,
+    std::vector<Arch_evaluation>* out) const {
+    Grow_result result;
+    // Minimal allocation: one core per depth class (the paper's feasibility
+    // requirement).
+    instance.cores_per_depth.clear();
+    for (int d : instance.depth_classes()) instance.cores_per_depth[d] = 1;
+
+    for (;;) {
+        Arch_evaluation eval = evaluator_.evaluate(instance);
+        const bool fits = eval.estimated_area_luts <= area_budget && eval.feasible;
+        if (!fits) break;
+        if (out != nullptr) out->push_back(eval);
+        if (!result.any_feasible ||
+            eval.throughput.fps > result.best.throughput.fps) {
+            result.best = eval;
+            result.any_feasible = true;
+        }
+        // Adding cores only helps while the design is core-bound.
+        if (eval.throughput.bottleneck != "core") break;
+        int total_cores = 0;
+        for (const auto& [d, n] : instance.cores_per_depth) total_cores += n;
+        if (total_cores >= max_total_cores) break;
+        // Feed the bottleneck class.
+        int bottleneck_depth = -1;
+        double worst = -1.0;
+        for (const auto& [d, cycles] : eval.throughput.class_cycles) {
+            if (cycles > worst) {
+                worst = cycles;
+                bottleneck_depth = d;
+            }
+        }
+        if (bottleneck_depth < 0) break;
+        instance.cores_per_depth[bottleneck_depth] += 1;
+    }
+    return result;
+}
+
+std::vector<Arch_evaluation> Paper_backend::candidate_steps(
+    std::size_t index) const {
+    check_internal(index < candidates_.size(), "candidate index out of range");
+    const Candidate& candidate = candidates_[index];
+    Arch_instance instance;
+    instance.window = candidate.window;
+    instance.level_depths = partitions_[candidate.partition];
+    std::vector<Arch_evaluation> steps;
+    grow_allocation(instance, space_.pareto_area_cap_luts,
+                    space_.max_cores_per_sweep, &steps);
+    return steps;
+}
+
+std::vector<Backend_point> Paper_backend::evaluate_candidate(
+    std::size_t index) const {
+    std::vector<Backend_point> points;
+    for (const Arch_evaluation& e : candidate_steps(index)) {
+        Backend_point p;
+        p.config = to_string(e.instance);
+        p.area_luts = e.estimated_area_luts;
+        p.seconds_per_frame = e.throughput.seconds_per_frame;
+        p.fps = e.throughput.fps;
+        p.detail = dump_evaluation_line(e);
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+}  // namespace islhls

@@ -1,0 +1,74 @@
+// The paper's datapath as an Arch_backend: a thin adapter over
+// Arch_evaluator with zero behavior change (locked by dump-identity tests
+// against the pre-interface Explorer output).
+//
+// A candidate is one (window, iteration-partition) pair; evaluating it grows
+// the core allocation greedily (always feeding the bottleneck class) while
+// the estimated area stays under the Pareto sweep cap, recording every step
+// — exactly the enumeration Explorer::explore_pareto has always fanned out.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dse/backend.hpp"
+#include "dse/evaluator.hpp"
+
+namespace islhls {
+
+// All deep-first partitions of `iterations` into parts <= max_depth.
+std::vector<std::vector<int>> depth_partitions(int iterations, int max_depth);
+
+// Canonical partition for a primary depth d: floor(N/d) levels of d, the
+// remainder split recursively (the paper's "missing iterations" handling:
+// depth 3 over N=10 becomes [3,3,3,1], depth 4 becomes [4,4,2]).
+std::vector<int> canonical_partition(int iterations, int primary_depth);
+
+class Paper_backend : public Arch_backend {
+public:
+    // The evaluator must outlive the backend; its library/device/options
+    // define the datapath being priced.
+    Paper_backend(Arch_evaluator& evaluator, const Space_options& space);
+
+    const std::string& name() const override;
+    void calibrate() override;
+    std::size_t candidate_count() const override;
+    std::vector<Backend_point> evaluate_candidate(std::size_t index) const override;
+
+    // Typed variant of evaluate_candidate: the allocation-growth trajectory
+    // of candidate `index` as full evaluations (what the legacy Pareto_result
+    // concatenates).
+    std::vector<Arch_evaluation> candidate_steps(std::size_t index) const;
+
+    // Grows the core allocation of `instance` greedily (always feeding the
+    // bottleneck class) while the estimated area stays within `area_budget`;
+    // records every step into `out` when given. Returns the best-fps
+    // evaluation found (any_feasible false when even the minimal allocation
+    // does not fit). Pure: safe to run for many candidates concurrently once
+    // the evaluator is calibrated.
+    struct Grow_result {
+        bool any_feasible = false;
+        Arch_evaluation best;
+    };
+    Grow_result grow_allocation(Arch_instance instance, double area_budget,
+                                int max_total_cores,
+                                std::vector<Arch_evaluation>* out) const;
+
+    const std::vector<std::vector<int>>& partitions() const { return partitions_; }
+    Arch_evaluator& evaluator() const { return evaluator_; }
+    const Space_options& space() const { return space_; }
+
+private:
+    struct Candidate {
+        int window = 0;
+        std::size_t partition = 0;  // index into partitions_
+    };
+
+    Arch_evaluator& evaluator_;
+    Space_options space_;
+    std::vector<std::vector<int>> partitions_;
+    std::vector<Candidate> candidates_;
+};
+
+}  // namespace islhls

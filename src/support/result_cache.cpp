@@ -219,9 +219,15 @@ bool Result_cache::store(const std::string& key, const std::string& payload) {
     return true;
 }
 
-Result_cache::Verify_report Result_cache::verify(bool gc) {
+Result_cache::Verify_report Result_cache::verify(bool gc, long long max_bytes) {
     namespace fs = std::filesystem;
     Verify_report report;
+    struct Survivor {
+        std::string name;
+        long long bytes = 0;
+        fs::file_time_type mtime;
+    };
+    std::vector<Survivor> survivors;
     // Deterministic order for the notes regardless of directory iteration
     // order.
     std::vector<std::string> entries;
@@ -262,6 +268,29 @@ Result_cache::Verify_report Result_cache::verify(bool gc) {
             continue;
         }
         ++report.records_ok;
+        Survivor s;
+        s.name = name;
+        s.bytes = static_cast<long long>(raw.size());
+        s.mtime = fs::last_write_time(path, ec);  // ec: mtime 0 = oldest
+        report.record_bytes += s.bytes;
+        survivors.push_back(std::move(s));
+    }
+    // Size-budget eviction: valid records leave least-recently-written
+    // first (name breaks mtime ties deterministically) until the rest fit.
+    if (gc && max_bytes >= 0 && report.record_bytes > max_bytes) {
+        std::sort(survivors.begin(), survivors.end(),
+                  [](const Survivor& a, const Survivor& b) {
+                      return a.mtime != b.mtime ? a.mtime < b.mtime
+                                                : a.name < b.name;
+                  });
+        for (const Survivor& victim : survivors) {
+            if (report.record_bytes <= max_bytes) break;
+            if (!hooks_->remove_file(cat(dir_, "/", victim.name))) continue;
+            ++report.records_evicted;
+            --report.records_ok;
+            report.record_bytes -= victim.bytes;
+            report.notes.push_back(cat(victim.name, ": evicted (size budget)"));
+        }
     }
     return report;
 }

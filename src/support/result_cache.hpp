@@ -57,7 +57,9 @@ public:
         int records_corrupt = 0;   // failed validation during this pass
         int quarantined_files = 0; // *.quarantined seen (pre-existing + new)
         int temp_files = 0;        // orphaned *.tmp* seen
-        int removed_files = 0;     // deleted by gc
+        int removed_files = 0;     // deleted by gc (corrupt/quarantined/temp)
+        int records_evicted = 0;   // valid records deleted by the size budget
+        long long record_bytes = 0;  // valid record bytes left on disk
         std::vector<std::string> notes;  // one line per problem file
     };
 
@@ -79,8 +81,12 @@ public:
 
     // Validates every record in the directory. With `gc`, additionally
     // removes quarantined records, orphaned temp files and records that
-    // failed validation in this pass.
-    Verify_report verify(bool gc = false);
+    // failed validation in this pass. A non-negative `max_bytes` (gc only)
+    // further evicts *valid* records, least-recently-written first (file
+    // mtime; a store refreshes it, so recency tracks last write), until the
+    // surviving records fit the budget — survivors keep serving warm hits
+    // unchanged.
+    Verify_report verify(bool gc = false, long long max_bytes = -1);
 
     Stats stats() const;
     const std::string& dir() const { return dir_; }

@@ -248,6 +248,47 @@ TEST_F(Result_cache_test, verify_and_gc) {
     EXPECT_FALSE(cache.load("b").has_value());
 }
 
+TEST_F(Result_cache_test, gc_size_budget_evicts_lru_and_keeps_survivors_warm) {
+    Result_cache cache(dir_);
+    ASSERT_TRUE(cache.store("old", "payload-old"));
+    ASSERT_TRUE(cache.store("mid", "payload-mid"));
+    ASSERT_TRUE(cache.store("new", "payload-new"));
+    // Controlled mtimes so the LRU order is deterministic regardless of the
+    // store timestamps' granularity.
+    const auto now = fs::last_write_time(cache.record_path("new"));
+    using namespace std::chrono_literals;
+    fs::last_write_time(cache.record_path("old"), now - 2h);
+    fs::last_write_time(cache.record_path("mid"), now - 1h);
+    const long long total = cache.verify(false).record_bytes;
+    const long long each = total / 3;
+    ASSERT_EQ(total, 3 * each);  // equal-size records
+
+    // Without gc the budget is ignored (verify never mutates).
+    EXPECT_EQ(cache.verify(false, each).records_evicted, 0);
+    EXPECT_EQ(cache.verify(false).records_ok, 3);
+
+    // A budget of two records evicts exactly the oldest.
+    Result_cache::Verify_report report = cache.verify(true, 2 * each);
+    EXPECT_EQ(report.records_evicted, 1);
+    EXPECT_EQ(report.records_ok, 2);
+    EXPECT_EQ(report.record_bytes, 2 * each);
+    ASSERT_EQ(report.notes.size(), 1u);
+    EXPECT_NE(report.notes[0].find("evicted"), std::string::npos);
+    EXPECT_FALSE(fs::exists(cache.record_path("old")));
+
+    // The warm-hit contract holds for the survivors: both still load, and
+    // the evicted key degrades to a plain miss.
+    EXPECT_EQ(cache.load("mid").value(), "payload-mid");
+    EXPECT_EQ(cache.load("new").value(), "payload-new");
+    EXPECT_FALSE(cache.load("old").has_value());
+
+    // A budget the records already fit evicts nothing.
+    EXPECT_EQ(cache.verify(true, 2 * each).records_evicted, 0);
+    // A zero budget clears every valid record.
+    EXPECT_EQ(cache.verify(true, 0).records_evicted, 2);
+    EXPECT_EQ(cache.verify(false).records_ok, 0);
+}
+
 TEST_F(Result_cache_test, quarantine_prevents_rereading_corruption) {
     Result_cache cache(dir_);
     ASSERT_TRUE(cache.store("k", "v"));

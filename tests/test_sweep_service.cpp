@@ -76,6 +76,9 @@ Sweep_entry make_full_entry() {
     entry.best.memory.saving_factor = 36.735426008968610;
     entry.pareto_points = 421;
     entry.pareto_front_size = 17;
+    entry.front_points.push_back(
+        {"w=3 levels=[2 2 2 1] cores={1:3 2:5}", 12345.5, 0.0042, 238.095});
+    entry.front_points.push_back({"w=5 levels=[7]", 1.0 / 3.0, -0.0, 3.0});
     entry.validated = true;
     entry.validation_max_abs_err = 0.0;
     entry.format_searched = true;
@@ -112,8 +115,56 @@ TEST(Sweep_records, sweep_entry_round_trip_is_exact) {
     EXPECT_EQ(parsed.best.throughput.class_cycles, entry.best.throughput.class_cycles);
     EXPECT_EQ(parsed.best.throughput.bottleneck, entry.best.throughput.bottleneck);
     EXPECT_EQ(parsed.pareto_points, entry.pareto_points);
+    EXPECT_EQ(parsed.backend, "paper");
+    ASSERT_EQ(parsed.front_points.size(), 2u);
+    // Configs with internal spaces survive (they are the line's tail).
+    EXPECT_EQ(parsed.front_points[0].config, entry.front_points[0].config);
+    EXPECT_EQ(parsed.front_points[0].area_luts, entry.front_points[0].area_luts);
+    EXPECT_TRUE(std::signbit(parsed.front_points[1].seconds_per_frame));
     EXPECT_EQ(parsed.fixed_format.integer_bits, 11);
     EXPECT_EQ(parsed.fixed_format.frac_bits, 9);
+}
+
+TEST(Sweep_records, streaming_entry_round_trip_is_exact) {
+    Sweep_entry entry;
+    entry.kernel = "heat";
+    entry.device = "xc6vlx760";
+    entry.iterations = 8;
+    entry.backend = "streaming";
+    entry.fits = true;
+    entry.streaming_best.config = {2, 4, 2, 1};
+    entry.streaming_best.feasible = true;
+    entry.streaming_best.area_luts = 123456.75;
+    entry.streaming_best.datapath_luts = 100000.0;
+    entry.streaming_best.line_buffer_luts = 1.0 / 7.0;
+    entry.streaming_best.line_buffer_kbits = 36.5;
+    entry.streaming_best.f_max_mhz = 212.0390625;
+    entry.streaming_best.passes = 4;
+    entry.streaming_best.compute_cycles = 98304.0;
+    entry.streaming_best.memory_cycles = 24576.0;
+    entry.streaming_best.cycles_per_pass = 98304.0;
+    entry.streaming_best.bottleneck = "compute";
+    entry.streaming_best.seconds_per_frame = 0.00196;
+    entry.streaming_best.fps = 510.2040816326531;
+    entry.pareto_points = 12;
+    entry.pareto_front_size = 3;
+    entry.front_points.push_back({"stream(d=2,v=4,pe=2,ch=1)", 123456.75,
+                                  0.00196, 510.2040816326531});
+    const std::string text = serialize_record(entry);
+    // A streaming entry carries the stream block, not the paper eval block.
+    EXPECT_NE(text.find("stream."), std::string::npos);
+    EXPECT_EQ(text.find("eval."), std::string::npos);
+    Sweep_entry parsed;
+    std::string error;
+    ASSERT_TRUE(parse_record(text, &parsed, &error)) << error;
+    EXPECT_EQ(serialize_record(parsed), text);
+    EXPECT_EQ(parsed.backend, "streaming");
+    EXPECT_EQ(parsed.streaming_best.config.vector_width, 4);
+    EXPECT_EQ(parsed.streaming_best.config.channels, 1);
+    EXPECT_EQ(parsed.streaming_best.line_buffer_luts, 1.0 / 7.0);
+    EXPECT_EQ(parsed.streaming_best.bottleneck, "compute");
+    ASSERT_EQ(parsed.front_points.size(), 1u);
+    EXPECT_EQ(parsed.front_points[0].config, "stream(d=2,v=4,pe=2,ch=1)");
 }
 
 TEST(Sweep_records, nan_survives_the_round_trip) {
@@ -204,9 +255,9 @@ TEST(Sweep_records, strict_parsers_reject_mutations) {
     renamed.replace(renamed.find("kernel "), 7, "kernle ");
     EXPECT_FALSE(parse_record(renamed, &parsed, &error));
     EXPECT_NE(error.find("expected"), std::string::npos);
-    // Wrong version token.
+    // Wrong version token (a stale v1-era record must degrade to a miss).
     std::string reversioned = text;
-    reversioned.replace(reversioned.find("v1"), 2, "v2");
+    reversioned.replace(reversioned.find("v2"), 2, "v1");
     EXPECT_FALSE(parse_record(reversioned, &parsed, &error));
     // Malformed double (hex digits replaced).
     std::string bad_double = text;
@@ -239,24 +290,32 @@ TEST(Sweep_records, double_bits_codec_is_exact_and_strict) {
 TEST(Sweep_records, keys_track_results_not_thread_counts) {
     const Sweep_config base = small_config();
     const std::string ir = "kernel igf\n";
-    const std::string key = sweep_entry_key(ir, base, "xc6vlx760", 2);
+    const std::string key = sweep_entry_key(ir, base, "xc6vlx760", 2, "paper");
     // Result-affecting knobs change the key...
     Sweep_config changed = base;
     changed.format.frac_bits += 1;
-    EXPECT_NE(sweep_entry_key(ir, changed, "xc6vlx760", 2), key);
+    EXPECT_NE(sweep_entry_key(ir, changed, "xc6vlx760", 2, "paper"), key);
     changed = base;
     changed.frame_width = 128;
-    EXPECT_NE(sweep_entry_key(ir, changed, "xc6vlx760", 2), key);
+    EXPECT_NE(sweep_entry_key(ir, changed, "xc6vlx760", 2, "paper"), key);
     changed = base;
     changed.validate = false;
-    EXPECT_NE(sweep_entry_key(ir, changed, "xc6vlx760", 2), key);
-    EXPECT_NE(sweep_entry_key(ir, base, "xc7vx485t", 2), key);
-    EXPECT_NE(sweep_entry_key(ir, base, "xc6vlx760", 3), key);
+    EXPECT_NE(sweep_entry_key(ir, changed, "xc6vlx760", 2, "paper"), key);
+    EXPECT_NE(sweep_entry_key(ir, base, "xc7vx485t", 2, "paper"), key);
+    EXPECT_NE(sweep_entry_key(ir, base, "xc6vlx760", 3, "paper"), key);
+    // ...as does the backend: paper and streaming entries never alias.
+    EXPECT_NE(sweep_entry_key(ir, base, "xc6vlx760", 2, "streaming"), key);
+    // The backend *list* lives in the request key, not the entry key: a
+    // multi-backend request re-serves the single-backend run's paper entries.
+    changed = base;
+    changed.backends = {"paper", "streaming"};
+    EXPECT_EQ(sweep_entry_key(ir, changed, "xc6vlx760", 2, "paper"), key);
+    EXPECT_NE(sweep_request_key(changed), sweep_request_key(base));
     // ...thread counts do not (results are thread-invariant by contract).
     changed = base;
     changed.space.threads = 16;
     changed.format_search.threads = 8;
-    EXPECT_EQ(sweep_entry_key(ir, changed, "xc6vlx760", 2), key);
+    EXPECT_EQ(sweep_entry_key(ir, changed, "xc6vlx760", 2, "paper"), key);
     EXPECT_EQ(sweep_request_key(changed), sweep_request_key(base));
     EXPECT_EQ(format_grid_key(ir, changed), format_grid_key(ir, base));
 }
@@ -295,6 +354,55 @@ TEST(Sweep_service, warm_cache_is_byte_identical_and_runs_nothing) {
     EXPECT_EQ(warm.synthesis_runs, 0);
     EXPECT_EQ(warm.synthesis_loads, 0);  // entry hits short-circuit synthesis
     EXPECT_EQ(warm.synthesis_cpu_seconds, 0.0);
+    fs::remove_all(dir);
+}
+
+TEST(Sweep_service, mixed_backend_cache_never_crosses_backends) {
+    const std::string dir = fresh_dir("mixed");
+    Sweep_config paper_only = small_config();
+    paper_only.validate = false;
+    paper_only.search_formats = false;
+    paper_only.with_pareto = true;
+
+    Service_options options;
+    options.cache_dir = dir;
+    {
+        // A cold paper-only run seeds the cache.
+        Sweep_service service(options);
+        const Sweep_report cold = service.run(paper_only);
+        EXPECT_EQ(cold.entry_hits, 0);
+        EXPECT_EQ(cold.entry_stores, 1);
+    }
+    Sweep_config both = paper_only;
+    both.backends = {"paper", "streaming"};
+    std::string mixed_table;
+    {
+        // The multi-backend request re-serves the paper entry from the warm
+        // cache but must compute the streaming one: the backend name is part
+        // of the entry key, so a paper record can never answer a streaming
+        // lookup.
+        Sweep_service service(options);
+        const Sweep_report mixed = service.run(both);
+        ASSERT_EQ(mixed.entries.size(), 2u);
+        EXPECT_EQ(mixed.entry_hits, 1);
+        EXPECT_EQ(mixed.entry_misses, 1);
+        EXPECT_EQ(mixed.entry_stores, 1);
+        EXPECT_EQ(mixed.entries[0].backend, "paper");
+        EXPECT_EQ(mixed.entries[1].backend, "streaming");
+        ASSERT_EQ(mixed.merged_fronts.size(), 1u);
+        EXPECT_GE(mixed.merged_fronts[0].points.size(), 1u);
+        mixed_table = report_table(mixed);
+    }
+    // A fully warm mixed run serves both entries and rebuilds the merged
+    // front from the cached front_points with zero recomputation.
+    Sweep_service warm_service(options);
+    const Sweep_report warm = warm_service.run(both);
+    EXPECT_EQ(warm.entry_hits, 2);
+    EXPECT_EQ(warm.entry_misses, 0);
+    EXPECT_EQ(warm.cone_builds, 0);
+    EXPECT_EQ(warm.synthesis_runs, 0);
+    ASSERT_EQ(warm.merged_fronts.size(), 1u);
+    EXPECT_EQ(report_table(warm), mixed_table);
     fs::remove_all(dir);
 }
 

@@ -26,6 +26,10 @@
 //   --devices A,B|all     target FPGAs (default xc6vlx760)
 //   --iterations N1,N2    iteration counts (default 10)
 //   --frame WxH, --format Qm.f, --threads N   as above
+//   --backend B           architecture backends: paper (default), streaming,
+//                         or all — every combination runs once per backend,
+//                         and with --pareto plus several backends the report
+//                         adds one merged cross-backend Pareto front each
 //   --pareto              additionally run the Pareto sweep per combination
 //   --validate            golden-check each feasible fit against the simulator
 //   --search-formats      per-(window, depth) fixed-point format search; each
@@ -90,6 +94,9 @@ sweep options:
   --devices A,B|all    target FPGAs (default xc6vlx760)
   --iterations N1,N2   iteration counts (default 10)
   --frame WxH, --format Qm.f, --threads N   as above
+  --backend B          architecture backends: paper (default), streaming, or
+                       all; with --pareto and more than one backend, each
+                       combination also prints the merged cross-backend front
   --pareto             additionally run the Pareto sweep per combination
   --validate           golden-check each feasible fit (simulated architecture
                        vs ghost golden on a small frame; must be exact)
@@ -111,6 +118,8 @@ cache options:
   --verify             validate every record; exit 4 if any is corrupt
   --gc                 verify, then remove corrupt records, quarantined
                        copies and orphaned temp files
+  --max-bytes N        with --gc: additionally evict valid records, oldest
+                       write first, until the survivors fit N bytes
 exit codes: 0 ok, 2 user error, 3 I/O fault, 4 corrupt data, 5 timeout,
 70 internal error
 )";
@@ -269,6 +278,10 @@ bool apply_sweep_option(Sweep_config& config, const std::string& name,
         config.format = parse_format(value());
     } else if (name == "threads") {
         config.space.threads = parse_int(value(), "thread count");
+    } else if (name == "backend") {
+        const std::string v = value();
+        config.backends = v == "all" ? std::vector<std::string>{"paper", "streaming"}
+                                     : parse_name_list(v);
     } else if (name == "pareto") {
         config.with_pareto = true;
     } else if (name == "validate") {
@@ -480,6 +493,7 @@ int run_cache(int argc, char** argv) {
     std::string cache_dir;
     bool verify = false;
     bool gc = false;
+    long long max_bytes = -1;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next_value = [&]() -> std::string {
@@ -492,7 +506,17 @@ int run_cache(int argc, char** argv) {
         else if (arg == "--cache-dir") cache_dir = next_value();
         else if (arg == "--verify") verify = true;
         else if (arg == "--gc") gc = true;
-        else {
+        else if (arg == "--max-bytes") {
+            const std::string v = next_value();
+            try {
+                std::size_t consumed = 0;
+                max_bytes = std::stoll(v, &consumed);
+                if (consumed != v.size() || max_bytes < 0) throw Error("");
+            } catch (const std::exception&) {
+                throw User_error(cat("bad --max-bytes '", v,
+                                     "', expected a non-negative integer"));
+            }
+        } else {
             throw User_error(cat("unknown cache option '", arg,
                                  "' (see islhls --help)"));
         }
@@ -503,14 +527,25 @@ int run_cache(int argc, char** argv) {
     if (!verify && !gc) {
         throw User_error("cache needs --verify or --gc (see islhls --help)");
     }
+    if (max_bytes >= 0 && !gc) {
+        throw User_error("--max-bytes needs --gc (eviction mutates the cache)");
+    }
     Result_cache cache(cache_dir);
-    const Result_cache::Verify_report report = cache.verify(gc);
+    const Result_cache::Verify_report report = cache.verify(gc, max_bytes);
     std::cout << "cache '" << cache_dir << "': " << report.records_ok
-              << " records ok, " << report.records_corrupt << " corrupt, "
+              << " records ok (" << report.record_bytes << " bytes), "
+              << report.records_corrupt << " corrupt, "
               << report.quarantined_files << " quarantined, " << report.temp_files
               << " orphaned temp files\n";
     for (const std::string& note : report.notes) std::cout << "  " << note << "\n";
-    if (gc) std::cout << "removed " << report.removed_files << " files\n";
+    if (gc) {
+        std::cout << "removed " << report.removed_files << " files";
+        if (max_bytes >= 0) {
+            std::cout << ", evicted " << report.records_evicted
+                      << " records for the " << max_bytes << "-byte budget";
+        }
+        std::cout << "\n";
+    }
     // A verified-clean (or just-collected) cache exits 0; lingering
     // corruption is reported through the taxonomy's exit code.
     if (!gc && report.records_corrupt > 0) return exit_code_for(Error_kind::corrupt);
