@@ -120,7 +120,11 @@ Format_search_result search_fixed_format(const Cone& cone, const Frame_set& cont
         return 10.0 * std::log10(options.peak_value * options.peak_value / mse);
     };
 
-    for (int frac = 1; integer_bits + frac <= options.max_total_bits; ++frac) {
+    // Integer-native programs compute exact whole numbers, so a Q m.0 format
+    // already reproduces the double reference (mse == 0 above) — start the
+    // candidate ladder at zero fractional bits instead of one.
+    const int first_frac = step.integer_native() ? 0 : 1;
+    for (int frac = first_frac; integer_bits + frac <= options.max_total_bits; ++frac) {
         const Fixed_format fmt{integer_bits, frac};
         result.formats_tried += 1;
         const double psnr = psnr_of(fmt);

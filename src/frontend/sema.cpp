@@ -180,13 +180,23 @@ Kernel_info analyze_kernel(const Function_ast& fn) {
     // --- classify parameters -------------------------------------------------
     std::vector<std::string> out_params;
     std::vector<const Param_ast*> in_params;
+    bool any_int = false;
+    bool any_float = false;
     for (const Param_ast& p : fn.params) {
         if (p.dims.size() != 2) {
             fail(cat("parameter '", p.name, "' must be a 2-D array (got ",
                      p.dims.size(), " dimensions)"));
         }
-        if (!is_float_type(p.type_name)) {
-            fail(cat("parameter '", p.name, "' must be float or double"));
+        if (p.type_name == "int") {
+            any_int = true;
+        } else if (is_float_type(p.type_name)) {
+            any_float = true;
+        } else {
+            fail(cat("parameter '", p.name, "' must be int, float or double"));
+        }
+        if (any_int && any_float) {
+            fail(cat("parameter '", p.name, "' mixes int and float fields; an "
+                     "integer kernel must declare every field int"));
         }
         if (info.dim_names.empty()) {
             info.dim_names = {p.dims[0], p.dims[1]};
@@ -203,6 +213,7 @@ Kernel_info analyze_kernel(const Function_ast& fn) {
         }
     }
     if (out_params.empty()) fail("kernel has no '_out' output parameter");
+    info.integer_domain = any_int;
 
     // --- pair X_out with X ----------------------------------------------------
     for (const Param_ast* p : in_params) {

@@ -41,6 +41,13 @@ struct Field_info {
 // Everything later stages need to know about a validated kernel.
 struct Kernel_info {
     std::string kernel_name;
+    // True when every field parameter is `int`: the kernel computes on whole
+    // numbers only (cellular automata, counters). Integer kernels flow
+    // through the same double-valued IR — every intermediate is a small
+    // integer, exactly representable — but the flag lets downstream stages
+    // treat the fixed-point domain as the native one (Q m.0 formats, exact
+    // golden). Mixing int and float fields is rejected.
+    bool integer_domain = false;
     std::vector<Field_info> fields;       // declaration order; state and const
     std::vector<std::string> dim_names;   // the two dimension spellings [rows, cols]
     std::string row_var;                  // first-subscript loop variable

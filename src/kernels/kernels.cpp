@@ -340,6 +340,221 @@ Frame_set life_native(const Frame_set& in, Boundary b) {
     });
 }
 
+// --- HotSpot thermal simulation -------------------------------------------------
+
+const char* hotspot_source = R"(
+// HotSpot-style thermal relaxation: a temperature field conducts heat to
+// its four neighbours, gains heat from a constant per-cell power map and
+// leaks towards the 80-degree ambient. All rate constants are exact binary
+// fractions so the double IR matches the native step bit for bit.
+void hotspot_step(float t_out[H][W], const float t[H][W], const float p[H][W]) {
+    for (int y = 0; y < H; y++) {
+        for (int x = 0; x < W; x++) {
+            float conduct = 0.0625f * (t[y-1][x] + t[y+1][x] + t[y][x-1]
+                                     + t[y][x+1] - 4.0f*t[y][x]);
+            t_out[y][x] = t[y][x] + conduct + 0.25f*p[y][x]
+                        + 0.03125f*(80.0f - t[y][x]);
+        }
+    }
+}
+)";
+
+Frame_set hotspot_initial(const Frame& content) {
+    Frame_set fs(content.width(), content.height());
+    fs.add_field("t", content);
+    Frame& p = fs.add_field("p");
+    for (int y = 0; y < content.height(); ++y) {
+        for (int x = 0; x < content.width(); ++x) {
+            p.at(x, y) = content.at(x, y) * 0.00390625;  // power map from content
+        }
+    }
+    return fs;
+}
+
+Frame_set hotspot_native(const Frame_set& in, Boundary b) {
+    const Frame& t = in.field("t");
+    const Frame& p = in.field("p");
+    Frame_set out(in.width(), in.height());
+    Frame& tn = out.add_field("t");
+    for (int y = 0; y < in.height(); ++y) {
+        for (int x = 0; x < in.width(); ++x) {
+            const double conduct =
+                0.0625 * (t.sample(x, y - 1, b) + t.sample(x, y + 1, b) +
+                          t.sample(x - 1, y, b) + t.sample(x + 1, y, b) -
+                          4.0 * t.sample(x, y, b));
+            tn.at(x, y) = t.sample(x, y, b) + conduct + 0.25 * p.sample(x, y, b) +
+                          0.03125 * (80.0 - t.sample(x, y, b));
+        }
+    }
+    out.add_field("p", p);
+    return out;
+}
+
+// --- FDTD electromagnetic update -------------------------------------------------
+
+const char* fdtd_source = R"(
+// 2-D FDTD (TMz) leapfrog step: the electric field ez and the two magnetic
+// fields hx/hy advance together, each update reading the others — a coupled
+// three-state-field ISL with asymmetric one-sided differences.
+void fdtd_step(float ez_out[H][W], float hx_out[H][W], float hy_out[H][W],
+               const float ez[H][W], const float hx[H][W],
+               const float hy[H][W]) {
+    for (int y = 0; y < H; y++) {
+        for (int x = 0; x < W; x++) {
+            ez_out[y][x] = ez[y][x] + 0.5f*((hy[y][x] - hy[y][x-1])
+                                          - (hx[y][x] - hx[y-1][x]));
+            hx_out[y][x] = hx[y][x] - 0.5f*(ez[y+1][x] - ez[y][x]);
+            hy_out[y][x] = hy[y][x] + 0.5f*(ez[y][x+1] - ez[y][x]);
+        }
+    }
+}
+)";
+
+Frame_set fdtd_initial(const Frame& content) {
+    Frame_set fs(content.width(), content.height());
+    fs.add_field("ez", content);
+    fs.add_field("hx");
+    fs.add_field("hy");
+    return fs;
+}
+
+Frame_set fdtd_native(const Frame_set& in, Boundary b) {
+    const Frame& ez = in.field("ez");
+    const Frame& hx = in.field("hx");
+    const Frame& hy = in.field("hy");
+    Frame_set out(in.width(), in.height());
+    Frame& ezn = out.add_field("ez");
+    Frame& hxn = out.add_field("hx");
+    Frame& hyn = out.add_field("hy");
+    for (int y = 0; y < in.height(); ++y) {
+        for (int x = 0; x < in.width(); ++x) {
+            ezn.at(x, y) = ez.sample(x, y, b) +
+                           0.5 * ((hy.sample(x, y, b) - hy.sample(x - 1, y, b)) -
+                                  (hx.sample(x, y, b) - hx.sample(x, y - 1, b)));
+            hxn.at(x, y) = hx.sample(x, y, b) -
+                           0.5 * (ez.sample(x, y + 1, b) - ez.sample(x, y, b));
+            hyn.at(x, y) = hy.sample(x, y, b) +
+                           0.5 * (ez.sample(x + 1, y, b) - ez.sample(x, y, b));
+        }
+    }
+    return out;
+}
+
+// --- Upwind convection-diffusion -------------------------------------------------
+
+const char* convection_source = R"(
+// Convection-diffusion of a scalar field in a constant velocity field:
+// first-order upwind advection (data-dependent on the velocity sign) plus a
+// fourth-order radius-2 diffusion stencil — the widest window in the zoo.
+void convection_step(float t_out[H][W], const float t[H][W],
+                     const float vx[H][W], const float vy[H][W]) {
+    for (int y = 0; y < H; y++) {
+        for (int x = 0; x < W; x++) {
+            float ax = vx[y][x] > 0.0f ? t[y][x] - t[y][x-1]
+                                       : t[y][x+1] - t[y][x];
+            float ay = vy[y][x] > 0.0f ? t[y][x] - t[y-1][x]
+                                       : t[y+1][x] - t[y][x];
+            float dx2 = 16.0f*(t[y][x-1] + t[y][x+1]) - t[y][x-2] - t[y][x+2]
+                      - 30.0f*t[y][x];
+            float dy2 = 16.0f*(t[y-1][x] + t[y+1][x]) - t[y-2][x] - t[y+2][x]
+                      - 30.0f*t[y][x];
+            t_out[y][x] = t[y][x] - 0.25f*(vx[y][x]*ax + vy[y][x]*ay)
+                        + 0.001953125f*(dx2 + dy2);
+        }
+    }
+}
+)";
+
+Frame_set convection_initial(const Frame& content) {
+    Frame_set fs(content.width(), content.height());
+    fs.add_field("t", content);
+    Frame& vx = fs.add_field("vx");
+    Frame& vy = fs.add_field("vy");
+    for (int y = 0; y < content.height(); ++y) {
+        for (int x = 0; x < content.width(); ++x) {
+            // Velocities in [-1, 1] derived from the content so both upwind
+            // branches are exercised.
+            vx.at(x, y) = content.at(x, y) * 0.0078125 - 1.0;
+            vy.at(x, y) = 1.0 - content.at(x, y) * 0.0078125;
+        }
+    }
+    return fs;
+}
+
+Frame_set convection_native(const Frame_set& in, Boundary b) {
+    const Frame& t = in.field("t");
+    const Frame& vx = in.field("vx");
+    const Frame& vy = in.field("vy");
+    Frame_set out(in.width(), in.height());
+    Frame& tn = out.add_field("t");
+    for (int y = 0; y < in.height(); ++y) {
+        for (int x = 0; x < in.width(); ++x) {
+            const double c = t.sample(x, y, b);
+            const double ax = vx.sample(x, y, b) > 0.0
+                                  ? c - t.sample(x - 1, y, b)
+                                  : t.sample(x + 1, y, b) - c;
+            const double ay = vy.sample(x, y, b) > 0.0
+                                  ? c - t.sample(x, y - 1, b)
+                                  : t.sample(x, y + 1, b) - c;
+            const double dx2 =
+                16.0 * (t.sample(x - 1, y, b) + t.sample(x + 1, y, b)) -
+                t.sample(x - 2, y, b) - t.sample(x + 2, y, b) - 30.0 * c;
+            const double dy2 =
+                16.0 * (t.sample(x, y - 1, b) + t.sample(x, y + 1, b)) -
+                t.sample(x, y - 2, b) - t.sample(x, y + 2, b) - 30.0 * c;
+            tn.at(x, y) = c - 0.25 * (vx.sample(x, y, b) * ax +
+                                      vy.sample(x, y, b) * ay) +
+                          0.001953125 * (dx2 + dy2);
+        }
+    }
+    out.add_field("vx", vx);
+    out.add_field("vy", vy);
+    return out;
+}
+
+// --- Conway's Game of Life, integer-native ---------------------------------------
+
+const char* conway_source = R"(
+// Conway's Game of Life on an int grid (alive = 1, dead = 0). The
+// integer-native sibling of `life`: the neighbour count is an int local
+// computed from field reads, and the whole program stays in Q m.0 fixed
+// point with zero error (compare/select tape, no multipliers).
+// Cells outside the frame are dead (zero boundary).
+void conway_step(int u_out[H][W], const int u[H][W]) {
+    for (int y = 0; y < H; y++) {
+        for (int x = 0; x < W; x++) {
+            int n = u[y-1][x-1] + u[y-1][x] + u[y-1][x+1]
+                  + u[y][x-1] + u[y][x+1]
+                  + u[y+1][x-1] + u[y+1][x] + u[y+1][x+1];
+            u_out[y][x] = (n == 3 || (u[y][x] != 0 && n == 2)) ? 1 : 0;
+        }
+    }
+}
+)";
+
+Frame_set conway_initial(const Frame& content) {
+    Frame_set fs(content.width(), content.height());
+    Frame& u = fs.add_field("u");
+    for (int y = 0; y < content.height(); ++y) {
+        for (int x = 0; x < content.width(); ++x) {
+            u.at(x, y) = content.at(x, y) > 127.0 ? 1.0 : 0.0;
+        }
+    }
+    return fs;
+}
+
+Frame_set conway_native(const Frame_set& in, Boundary b) {
+    const Frame& u = in.field("u");
+    return map_single_field(in, [&](int x, int y) {
+        const double n = u.sample(x - 1, y - 1, b) + u.sample(x, y - 1, b) +
+                         u.sample(x + 1, y - 1, b) + u.sample(x - 1, y, b) +
+                         u.sample(x + 1, y, b) + u.sample(x - 1, y + 1, b) +
+                         u.sample(x, y + 1, b) + u.sample(x + 1, y + 1, b);
+        const bool alive = n == 3.0 || (u.sample(x, y, b) != 0.0 && n == 2.0);
+        return alive ? 1.0 : 0.0;
+    });
+}
+
 std::vector<Kernel_def> build_registry() {
     std::vector<Kernel_def> kernels;
 
@@ -387,6 +602,26 @@ std::vector<Kernel_def> build_registry() {
                        "Conway's Game of Life (boolean ISL, dead outside)",
                        life_source, {"u"}, {}, 10, Boundary::zero, life_native,
                        single_field_initial, "u"});
+
+    kernels.push_back({"hotspot", "HotSpot thermal relaxation",
+                       "temperature field with constant power map and ambient leak",
+                       hotspot_source, {"t"}, {"p"}, 10, Boundary::clamp,
+                       hotspot_native, hotspot_initial, "t"});
+
+    kernels.push_back({"fdtd", "FDTD electromagnetic step",
+                       "coupled ez/hx/hy leapfrog update (2-D TMz)", fdtd_source,
+                       {"ez", "hx", "hy"}, {}, 10, Boundary::clamp, fdtd_native,
+                       fdtd_initial, "ez"});
+
+    kernels.push_back({"convection", "Upwind convection-diffusion",
+                       "radius-2 diffusion plus sign-dependent upwind advection",
+                       convection_source, {"t"}, {"vx", "vy"}, 10, Boundary::clamp,
+                       convection_native, convection_initial, "t"});
+
+    kernels.push_back({"conway", "Game of Life (integer)",
+                       "integer-native Life: int fields, exact Q m.0 fixed point",
+                       conway_source, {"u"}, {}, 10, Boundary::zero, conway_native,
+                       conway_initial, "u", true});
 
     return kernels;
 }

@@ -37,6 +37,12 @@ struct Kernel_def {
 
     // The field to inspect as "the result" after iterating.
     std::string result_field;
+
+    // True for kernels whose fields are declared `int`: every value is an
+    // exact small integer, so the fixed-point engine reproduces the double
+    // engine word for word with a Q m.0 format (see Stencil_step::
+    // integer_native()).
+    bool integer_only = false;
 };
 
 // All registered kernels, in a stable order.

@@ -137,6 +137,7 @@ public:
                 step_.add_const_field(f.name);
             }
         }
+        step_.set_integer_native(info_.integer_domain);
 
         decide_axis_mapping();
 
@@ -543,6 +544,17 @@ private:
 
     Sym_value coerce_to(const Sym_value& v, bool is_int, const Source_loc& loc) {
         if (is_int) {
+            if (v.tag == Sym_value::Tag::affine) return v;
+            const Expr_node& n = pool().node(v.expr);
+            if (n.kind == Op_kind::constant &&
+                n.value == static_cast<double>(static_cast<long long>(n.value))) {
+                return Sym_value::make_affine(-1, static_cast<long long>(n.value));
+            }
+            // Integer-domain kernels compute on field values: whole numbers,
+            // but not compile-time constants. They stay symbolic — every IR
+            // op on them is exact in double — while subscript arithmetic
+            // still demands the affine form (to_affine rejects these).
+            if (info_.integer_domain) return v;
             const Affine a = to_affine(v, loc, "an int value");
             return Sym_value::make_affine(a.var, a.offset);
         }
@@ -709,7 +721,14 @@ private:
                 binding.value = tv.value;
                 continue;
             }
-            if (binding.is_int) {
+            // Integer-domain kernels may select between diverging int values
+            // (both sides are exact whole numbers); affine values bound to a
+            // loop variable can never merge, and outside the integer domain
+            // diverging ints stay an error.
+            const bool mergeable =
+                (tv.value.tag == Sym_value::Tag::numeric || tv.value.affine.concrete()) &&
+                (ev.value.tag == Sym_value::Tag::numeric || ev.value.affine.concrete());
+            if (binding.is_int && !(info_.integer_domain && mergeable)) {
                 fail(loc, cat("integer variable '", name,
                               "' takes different values on a data-dependent branch"));
             }

@@ -28,6 +28,13 @@ public:
     // Sets the update expression for a registered state field.
     void set_update(const std::string& state_field, Expr_id expr);
 
+    // Marks the step as integer-native (every field of the source kernel was
+    // declared int). All values are exact whole numbers in the double IR, so
+    // a Q m.0 fixed-point format reproduces the double engine word for word
+    // and the format search needs no fractional bits.
+    void set_integer_native(bool value) { integer_native_ = value; }
+    bool integer_native() const { return integer_native_; }
+
     // --- queries -----------------------------------------------------------------
     Expr_pool& pool() { return pool_; }
     const Expr_pool& pool() const { return pool_; }
@@ -62,6 +69,7 @@ private:
     std::vector<std::string> state_fields_;
     std::vector<std::string> const_fields_;
     std::vector<Expr_id> updates_;  // parallel to state_fields_
+    bool integer_native_ = false;
 };
 
 }  // namespace islhls

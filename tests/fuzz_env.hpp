@@ -1,0 +1,44 @@
+// Environment knobs shared by the fuzz harnesses, so the nightly CI job can
+// deepen and rotate the fuzzing without a rebuild:
+//
+//   ISLHLS_FUZZ_SCALE  multiplies each harness's per-push trial count
+//                      (nightly runs at 10x);
+//   ISLHLS_FUZZ_SEED   rotates the seed base (nightly derives it from the
+//                      UTC date, so every night explores fresh trials while
+//                      any failure stays reproducible from the printed seed).
+//
+// Unset or malformed variables leave the per-push defaults untouched, so
+// local `ctest` runs are bit-for-bit the historical suites.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace islhls::fuzz {
+
+inline int scale() {
+    if (const char* s = std::getenv("ISLHLS_FUZZ_SCALE")) {
+        char* end = nullptr;
+        const long v = std::strtol(s, &end, 10);
+        if (end != s && *end == '\0' && v >= 1 && v <= 1000) {
+            return static_cast<int>(v);
+        }
+    }
+    return 1;
+}
+
+inline std::uint64_t seed_base(std::uint64_t fallback) {
+    if (const char* s = std::getenv("ISLHLS_FUZZ_SEED")) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(s, &end, 10);
+        if (end != s && *end == '\0') {
+            // Mix rather than replace: distinct harnesses keep distinct
+            // streams under the same rotating base.
+            return fallback ^ (static_cast<std::uint64_t>(v) *
+                               0x9E3779B97F4A7C15ULL);
+        }
+    }
+    return fallback;
+}
+
+}  // namespace islhls::fuzz

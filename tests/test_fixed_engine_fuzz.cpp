@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "fuzz_env.hpp"
 #include "grid/frame_ops.hpp"
 #include "sim/exec_engine.hpp"
 #include "sim/fixed_exec.hpp"
@@ -26,14 +27,15 @@
 namespace islhls {
 namespace {
 
-// Builds a random stencil step: 1-2 state fields (plus sometimes a const
-// field), each updated by a random expression over bounded-offset reads,
-// constants and the full operator set (div/sqrt/select corners included).
-// The simplifying constructors may fold parts away — that is the point: the
-// surviving program shapes are exactly what the frontend can produce.
+// Builds a random stencil step: 1-3 state fields (plus sometimes a const
+// field — fdtd-style coupled multi-field updates included), each updated by
+// a random expression over bounded-offset reads, constants and the full
+// operator set (div/sqrt/select corners included). The simplifying
+// constructors may fold parts away — that is the point: the surviving
+// program shapes are exactly what the frontend can produce.
 Stencil_step random_step(Prng& rng) {
     Stencil_step step;
-    const int n_state = rng.next_int(1, 2);
+    const int n_state = rng.next_int(1, 3);
     const int n_const = rng.next_int(0, 1);
     std::vector<int> fields;
     for (int s = 0; s < n_state; ++s) {
@@ -48,12 +50,20 @@ Stencil_step random_step(Prng& rng) {
         if (depth <= 0 || rng.next_int(0, 9) < 3) {
             if (rng.next_int(0, 3) == 0) {
                 // Coarse constants keep folding interesting without making
-                // every trial saturate instantly.
+                // every trial saturate instantly; whole-number constants
+                // stress the integer-native program shapes (conway-style
+                // compare/select tapes over exact small integers).
+                if (rng.next_int(0, 1)) {
+                    return pool.constant(
+                        static_cast<double>(rng.next_int(-8, 8)));
+                }
                 return pool.constant(rng.next_in(-8.0, 8.0));
             }
             const int f = fields[static_cast<std::size_t>(
                 rng.next_int(0, static_cast<int>(fields.size()) - 1))];
-            return pool.input(f, rng.next_int(-2, 2), rng.next_int(-2, 2));
+            // Offsets up to ±3 cover the zoo's widest (radius-2) windows
+            // with one extra step of slack.
+            return pool.input(f, rng.next_int(-3, 3), rng.next_int(-3, 3));
         }
         switch (rng.next_int(0, 12)) {
             case 0: return pool.add(gen(depth - 1), gen(depth - 1));
@@ -88,9 +98,10 @@ constexpr Boundary kBoundaries[] = {Boundary::clamp, Boundary::zero,
                                     Boundary::mirror, Boundary::periodic};
 
 TEST(Fixed_engine_fuzz, random_programs_agree_across_all_three_paths) {
-    constexpr int kTrials = 220;
-    for (int trial = 0; trial < kTrials; ++trial) {
-        const std::uint64_t seed = 0xF1C5ED00ULL + static_cast<std::uint64_t>(trial);
+    const int trials = 220 * fuzz::scale();
+    const std::uint64_t base = fuzz::seed_base(0xF1C5ED00ULL);
+    for (int trial = 0; trial < trials; ++trial) {
+        const std::uint64_t seed = base + static_cast<std::uint64_t>(trial);
         Prng rng(seed);
         const Stencil_step step = random_step(rng);
         const Exec_engine engine(step);

@@ -86,7 +86,10 @@ Format_search_result search_fixed_format_reference(
         return 10.0 * std::log10(options.peak_value * options.peak_value / mse);
     };
 
-    for (int frac = 1; integer_bits + frac <= options.max_total_bits; ++frac) {
+    // Mirrors the production rule: integer-native programs start the
+    // candidate ladder at zero fractional bits (Q m.0 is already exact).
+    const int first_frac = step.integer_native() ? 0 : 1;
+    for (int frac = first_frac; integer_bits + frac <= options.max_total_bits; ++frac) {
         const Fixed_format fmt{integer_bits, frac};
         result.formats_tried += 1;
         const double psnr = psnr_of(fmt);

@@ -3,6 +3,7 @@
 // paths a real user hits constantly.
 #include <gtest/gtest.h>
 
+#include "fuzz_env.hpp"
 #include "kernels/kernels.hpp"
 #include "support/error.hpp"
 #include "support/prng.hpp"
@@ -37,16 +38,18 @@ TEST_P(Truncation_fuzz, every_prefix_is_handled) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Kernels, Truncation_fuzz,
-                         ::testing::Values("igf", "chambolle", "shock", "mean"),
+                         ::testing::Values("igf", "chambolle", "shock", "mean",
+                                           "conway", "fdtd"),
                          [](const auto& info) { return info.param; });
 
 class Mutation_fuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(Mutation_fuzz, random_character_edits_are_handled) {
-    Prng rng(static_cast<std::uint64_t>(GetParam()) * 1299721u);
+    Prng rng(fuzz::seed_base(static_cast<std::uint64_t>(GetParam()) * 1299721u));
     const std::vector<std::string> names = kernel_names();
     static const char replacements[] = "()[]{};=+-*/<>!&|?:xy01. ";
-    for (int trial = 0; trial < 120; ++trial) {
+    const int trials = 120 * fuzz::scale();
+    for (int trial = 0; trial < trials; ++trial) {
         std::string source =
             kernel_by_name(names[static_cast<std::size_t>(
                                rng.next_int(0, static_cast<int>(names.size()) - 1))])

@@ -54,7 +54,22 @@ TEST(Sema, all_builtin_kernels_analyze) {
         const Kernel_info info = analyze(k.c_source);
         EXPECT_EQ(info.state_field_names(), k.state_fields);
         EXPECT_EQ(info.const_field_names(), k.const_fields);
+        EXPECT_EQ(info.integer_domain, k.integer_only);
     }
+}
+
+TEST(Sema, int_kernel_sets_integer_domain) {
+    const Kernel_info info = analyze(R"(
+void f(int u_out[H][W], const int u[H][W]) {
+    for (int y = 0; y < H; y++) {
+        for (int x = 0; x < W; x++) {
+            u_out[y][x] = u[y][x];
+        }
+    }
+}
+)");
+    EXPECT_TRUE(info.integer_domain);
+    EXPECT_FALSE(analyze(kernel_by_name("igf").c_source).integer_domain);
 }
 
 struct Sema_case {
@@ -90,8 +105,11 @@ INSTANTIATE_TEST_SUITE_P(
         Sema_case{"1-D parameter",
                   "void f(float u_out[W], const float u[W]) "
                   "{ for(int y=0;y<H;y++) for(int x=0;x<W;x++) u_out[x]=u[x]; }"},
-        Sema_case{"int field",
-                  "void f(int u_out[H][W], const int u[H][W]) "
+        Sema_case{"mixed int and float fields",
+                  "void f(int u_out[H][W], const int u[H][W], const float g[H][W]) "
+                  "{ for(int y=0;y<H;y++) for(int x=0;x<W;x++) u_out[y][x]=u[y][x]; }"},
+        Sema_case{"mixed float then int fields",
+                  "void f(float u_out[H][W], const float u[H][W], const int g[H][W]) "
                   "{ for(int y=0;y<H;y++) for(int x=0;x<W;x++) u_out[y][x]=u[y][x]; }"},
         Sema_case{"mismatched dims",
                   "void f(float u_out[H][W], const float u[W][H]) "

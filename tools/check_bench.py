@@ -26,6 +26,14 @@ metrics that only exist on capable hosts (e.g. multi-thread scaling that a
 single-core CI runner cannot measure). An optional metric is enforced with
 the same regression floor when it is present in BOTH records, and merely
 noted — never failed — when either side lacks it.
+
+--require-optional METRIC (repeatable) upgrades an optional metric to
+mandatory presence: the run fails unless some fresh record measured it. CI
+passes this on runners known to be capable (e.g. >= 4 cores for the 4-thread
+tiled-scaling ratio), so "the capable runner silently stopped measuring"
+becomes a gate failure instead of a permanent skip. Value enforcement still
+follows the both-sides rule above — presence is required, the regression
+floor binds once a capable-host baseline is committed.
 """
 
 import argparse
@@ -65,6 +73,10 @@ def main(argv=None):
     parser.add_argument("fresh_dir", help="directory holding the freshly measured BENCH_*.json")
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="allowed fractional drop before failing (default 0.30)")
+    parser.add_argument("--require-optional", action="append", default=[],
+                        metavar="METRIC",
+                        help="fail unless some fresh record measured this "
+                             "optional metric (repeatable)")
     args = parser.parse_args(argv)
 
     baselines = sorted(glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json")))
@@ -73,6 +85,7 @@ def main(argv=None):
         return 2
 
     failures = 0
+    seen_optional = set()
     for baseline_path in baselines:
         name = os.path.basename(baseline_path)
         fresh_path = os.path.join(args.fresh_dir, name)
@@ -93,6 +106,7 @@ def main(argv=None):
             print(f"  FAIL: fresh: {err}")
             failures += 1
             continue
+        seen_optional.update(fresh_opt)
         if not baseline:
             print("  note: baseline has no gated_metrics; nothing to enforce")
         for metric, base_value in sorted(baseline.items()):
@@ -136,6 +150,19 @@ def main(argv=None):
         name = os.path.basename(fresh_path)
         if name not in baseline_names:
             print(f"== {name}\n  new record (unenforced until committed)")
+            try:
+                _, fresh_opt = load_metrics(fresh_path)
+            except ValueError:
+                continue  # new records are unenforced either way
+            seen_optional.update(fresh_opt)
+
+    for metric in args.require_optional:
+        if metric in seen_optional:
+            print(f"required optional metric {metric}: measured.")
+        else:
+            print(f"FAIL: required optional metric {metric} was not measured "
+                  f"by any fresh record (capable runner stopped emitting it?)")
+            failures += 1
 
     if failures:
         print(f"\n{failures} gated metric(s) regressed beyond "

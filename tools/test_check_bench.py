@@ -36,9 +36,11 @@ class Check_bench_gate(unittest.TestCase):
         self.addCleanup(self._baseline.cleanup)
         self.addCleanup(self._fresh.cleanup)
 
-    def run_gate(self, max_regression=0.30):
-        return check_bench.main(
-            [self.baseline, self.fresh, "--max-regression", str(max_regression)])
+    def run_gate(self, max_regression=0.30, require_optional=()):
+        argv = [self.baseline, self.fresh, "--max-regression", str(max_regression)]
+        for metric in require_optional:
+            argv += ["--require-optional", metric]
+        return check_bench.main(argv)
 
     def test_clean_pass_within_tolerance(self):
         write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0})
@@ -124,6 +126,37 @@ class Check_bench_gate(unittest.TestCase):
         write_record(self.fresh, "BENCH_a.json", {"speedup": 10.0},
                      optional={"scaling_4t": "fast"})
         self.assertEqual(self.run_gate(), 1)
+
+    def test_required_optional_metric_present_passes(self):
+        # The capable-runner case: CI detected >= 4 cores and demands the
+        # 4-thread scaling ratio actually got measured.
+        write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0})
+        write_record(self.fresh, "BENCH_a.json", {"speedup": 10.0},
+                     optional={"scaling_4t": 3.0})
+        self.assertEqual(self.run_gate(require_optional=["scaling_4t"]), 0)
+
+    def test_required_optional_metric_missing_fails(self):
+        # Without --require-optional this is a tolerated skip; with it, a
+        # capable runner that stopped measuring the metric fails the gate.
+        write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0})
+        write_record(self.fresh, "BENCH_a.json", {"speedup": 10.0})
+        self.assertEqual(self.run_gate(require_optional=["scaling_4t"]), 1)
+
+    def test_required_optional_metric_in_new_record_counts(self):
+        # A fresh-only record (no baseline yet) that measured the metric
+        # satisfies the presence requirement.
+        write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0})
+        write_record(self.fresh, "BENCH_a.json", {"speedup": 10.0})
+        write_record(self.fresh, "BENCH_b.json", {"novel": 1.0},
+                     optional={"scaling_4t": 2.0})
+        self.assertEqual(self.run_gate(require_optional=["scaling_4t"]), 0)
+
+    def test_required_optional_still_enforces_value_when_both_present(self):
+        write_record(self.baseline, "BENCH_a.json", {"speedup": 10.0},
+                     optional={"scaling_4t": 3.0})
+        write_record(self.fresh, "BENCH_a.json", {"speedup": 10.0},
+                     optional={"scaling_4t": 1.5})  # present, but -50%
+        self.assertEqual(self.run_gate(require_optional=["scaling_4t"]), 1)
 
 
 if __name__ == "__main__":
