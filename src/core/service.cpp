@@ -264,6 +264,55 @@ Sweep_report Sweep_service::run_impl(const Sweep_config& config, Job_context* jo
                 entry.iterations = iterations;
                 entry.backend = backend_name;
 
+                // The per-(window, depth) format grid is N-independent but
+                // carries device-priced per-format evaluations, so it is
+                // searched once per (content, device) and shared across
+                // iteration counts, backends and requests.
+                auto format_grid = [&]() -> const Explorer::Format_grid& {
+                    const std::string gkey =
+                        format_grid_key(ikey, config, device_name);
+                    auto grid_it = format_grids_.find(gkey);
+                    if (grid_it == format_grids_.end()) {
+                        std::optional<Explorer::Format_grid> loaded;
+                        if (cache_) {
+                            if (std::optional<std::string> payload =
+                                    cache_->load(gkey)) {
+                                Explorer::Format_grid parsed;
+                                std::string error;
+                                if (parse_record(*payload, &parsed, &error)) {
+                                    loaded = std::move(parsed);
+                                }
+                            }
+                        }
+                        if (loaded) {
+                            ++report.grid_hits;
+                            grid_it =
+                                format_grids_.emplace(gkey, std::move(*loaded))
+                                    .first;
+                        } else {
+                            const Kernel_def& def = kernel_by_name(kernel);
+                            const Frame_set content = def.make_initial(
+                                make_synthetic_scene(config.validation_frame_width,
+                                                     config.validation_frame_height,
+                                                     config.validation_seed));
+                            Explorer grid_explorer(lib, device, evaluator_options,
+                                                   space, shared_pool);
+                            grid_it = format_grids_
+                                          .emplace(gkey,
+                                                   grid_explorer.search_formats(
+                                                       content, def.boundary,
+                                                       config.format_search))
+                                          .first;
+                            if (cache_) {
+                                ++report.grid_misses;
+                                cache_->store(gkey,
+                                              serialize_record(grid_it->second));
+                            }
+                        }
+                    }
+                    return grid_it->second;
+                };
+
                 if (backend_name == "streaming") {
                     // The streaming multi-PE array: every candidate is one
                     // closed-form evaluation, so the fan-out that pays for a
@@ -308,6 +357,34 @@ Sweep_report Sweep_service::run_impl(const Sweep_config& config, Job_context* jo
                                  points[i].seconds_per_frame, points[i].fps});
                         }
                     }
+                    if (config.search_formats && entry.fits) {
+                        // A streaming PE fuses `depth` one-column cones, so
+                        // the covering cell is (window 1, fused depth); the
+                        // re-evaluation rebuilds the backend at the searched
+                        // format, which re-derives the per-width clocks and
+                        // line-buffer bits at the searched word width.
+                        const Format_cell& cell = format_grid().at(
+                            1, entry.streaming_best.config.depth, space.max_depth);
+                        entry.format_searched = true;
+                        entry.format_satisfiable = cell.result.satisfiable;
+                        entry.fixed_format = cell.result.format;
+                        entry.format_exact = cell.result.exact;
+                        entry.format_psnr_db = cell.result.psnr_db;
+                        if (entry.format_satisfiable) {
+                            Evaluator_options priced = evaluator_options;
+                            priced.format = entry.fixed_format;
+                            priced.synth.format = entry.fixed_format;
+                            Streaming_backend priced_streaming(lib, device,
+                                                               priced, space);
+                            priced_streaming.calibrate();
+                            const Streaming_evaluation re =
+                                priced_streaming.evaluate(
+                                    entry.streaming_best.config);
+                            entry.searched_area_luts = re.area_luts;
+                            entry.searched_fps = re.fps;
+                            entry.searched_f_max_mhz = re.f_max_mhz;
+                        }
+                    }
                     if (cache_ && !entry_key.empty() &&
                         cache_->store(entry_key, serialize_record(entry))) {
                         ++report.entry_stores;
@@ -333,62 +410,27 @@ Sweep_report Sweep_service::run_impl(const Sweep_config& config, Job_context* jo
                     }
                 }
                 if (config.search_formats && entry.fits) {
-                    // The per-(window, depth) grid is device- and
-                    // N-independent: search it once per content key, share
-                    // it across every later combination and request.
-                    const std::string gkey = format_grid_key(ikey, config);
-                    auto grid_it = format_grids_.find(gkey);
-                    if (grid_it == format_grids_.end()) {
-                        std::optional<Explorer::Format_grid> loaded;
-                        if (cache_) {
-                            if (std::optional<std::string> payload =
-                                    cache_->load(gkey)) {
-                                Explorer::Format_grid parsed;
-                                std::string error;
-                                if (parse_record(*payload, &parsed, &error)) {
-                                    loaded = std::move(parsed);
-                                }
-                            }
-                        }
-                        if (loaded) {
-                            ++report.grid_hits;
-                            grid_it =
-                                format_grids_.emplace(gkey, std::move(*loaded))
-                                    .first;
-                        } else {
-                            const Kernel_def& def = kernel_by_name(kernel);
-                            const Frame_set content = def.make_initial(
-                                make_synthetic_scene(config.validation_frame_width,
-                                                     config.validation_frame_height,
-                                                     config.validation_seed));
-                            grid_it = format_grids_
-                                          .emplace(gkey,
-                                                   explorer.search_formats(
-                                                       content, def.boundary,
-                                                       config.format_search))
-                                          .first;
-                            if (cache_) {
-                                ++report.grid_misses;
-                                cache_->store(gkey,
-                                              serialize_record(grid_it->second));
-                            }
-                        }
-                    }
                     // Narrowest format covering every depth class of the
                     // fit: integer and fraction bits each take the max over
-                    // the classes' searched formats, the reported PSNR the
-                    // worst (each class achieves at least it at the covering
-                    // width — more fraction bits never hurt).
-                    const Explorer::Format_grid& grid = grid_it->second;
+                    // the classes' searched formats (more bits never hurt).
+                    // The covering point is exact only when every class is;
+                    // the reported PSNR is the worst over the non-exact
+                    // classes (each achieves at least it at the covering
+                    // width) — exact classes contribute no decibel number,
+                    // they are flagged, not folded in as a sentinel.
+                    const Explorer::Format_grid& grid = format_grid();
                     entry.format_searched = true;
                     entry.format_satisfiable = true;
+                    entry.format_exact = true;
                     entry.format_psnr_db = 0.0;
                     bool first = true;
+                    bool any_psnr = false;
                     for (int d : entry.best.instance.depth_classes()) {
                         const Format_search_result& cell =
                             grid.at(entry.best.instance.window, d, space.max_depth)
                                 .result;
                         entry.format_satisfiable &= cell.satisfiable;
+                        entry.format_exact &= cell.exact;
                         entry.fixed_format.integer_bits =
                             first ? cell.format.integer_bits
                                   : std::max(entry.fixed_format.integer_bits,
@@ -397,25 +439,34 @@ Sweep_report Sweep_service::run_impl(const Sweep_config& config, Job_context* jo
                             first ? cell.format.frac_bits
                                   : std::max(entry.fixed_format.frac_bits,
                                              cell.format.frac_bits);
-                        entry.format_psnr_db = first ? cell.psnr_db
-                                                     : std::min(entry.format_psnr_db,
-                                                                cell.psnr_db);
+                        if (!cell.exact) {
+                            entry.format_psnr_db =
+                                any_psnr ? std::min(entry.format_psnr_db,
+                                                    cell.psnr_db)
+                                         : cell.psnr_db;
+                            any_psnr = true;
+                        }
                         first = false;
                     }
-                    // Re-price the fit's estimated area at the searched
-                    // width: a fresh evaluator over the same library, whose
-                    // synthesis cache is format-aware, so calibration
-                    // syntheses at the new width memoize across N values.
-                    // An unsatisfiable search leaves only a failed width
-                    // behind — pricing at it would be meaningless, so the
-                    // column stays empty instead.
+                    // Re-run the full evaluation at the searched width: a
+                    // fresh evaluator over the same library (whose synthesis
+                    // cache is format-aware, so calibration syntheses at the
+                    // new width memoize across N values) re-prices area,
+                    // f_max, cycles and fps — the format column is a true
+                    // design point, not an area-only re-price. An
+                    // unsatisfiable search leaves only a failed width behind
+                    // — pricing at it would be meaningless, so the columns
+                    // stay empty instead.
                     if (entry.format_satisfiable) {
                         Evaluator_options priced = evaluator_options;
                         priced.format = entry.fixed_format;
                         priced.synth.format = entry.fixed_format;
                         const Arch_evaluator pricer(lib, device, priced);
-                        entry.searched_area_luts =
-                            pricer.evaluate(entry.best.instance).estimated_area_luts;
+                        const Arch_evaluation repriced =
+                            pricer.evaluate(entry.best.instance);
+                        entry.searched_area_luts = repriced.estimated_area_luts;
+                        entry.searched_fps = repriced.throughput.fps;
+                        entry.searched_f_max_mhz = repriced.f_max_mhz;
                     }
                 }
                 if (config.validate && entry.fits) {

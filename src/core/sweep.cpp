@@ -95,6 +95,8 @@ std::string report_table(const Sweep_report& report) {
     if (any_format) {
         header.push_back("format");
         header.push_back("kLUTs@fmt");
+        header.push_back("fps@fmt");
+        header.push_back("psnr@fmt");
     }
     if (any_fixed) header.push_back("golden(fx)");
     Table table(header);
@@ -129,12 +131,16 @@ std::string report_table(const Sweep_report& report) {
             if (e.format_searched && e.format_satisfiable) {
                 row.push_back(to_string(e.fixed_format));
                 row.push_back(format_fixed(e.searched_area_luts / 1e3, 1));
+                row.push_back(format_fixed(e.searched_fps, 1));
+                // An exact covering format has no finite PSNR — the flag is
+                // rendered, not a sentinel decibel number.
+                row.push_back(e.format_exact
+                                  ? std::string("exact")
+                                  : cat(format_fixed(e.format_psnr_db, 1), " dB"));
             } else if (e.format_searched) {
-                row.push_back("unsat");
-                row.push_back("-");
+                row.insert(row.end(), {"unsat", "-", "-", "-"});
             } else {
-                row.push_back("-");
-                row.push_back("-");
+                row.insert(row.end(), {"-", "-", "-", "-"});
             }
         }
         if (any_fixed) {

@@ -62,11 +62,13 @@ struct Sweep_config {
     int validation_frame_height = 36;
     std::uint64_t validation_seed = 17;
     // Per-architecture fixed-point formats: run the format search over every
-    // (window, depth) cell once per kernel (the grid is device- and
-    // N-independent, so the session caches it), record the narrowest format
-    // covering each feasible fit's depth classes as a report column, and
-    // re-price the fit's estimated area at that width instead of the one
-    // global `format`.
+    // (window, depth) cell once per (kernel, device) — the grid is
+    // N-independent but each cell carries a full evaluation of its canonical
+    // design point at the searched format, so the session caches it per
+    // device — record the narrowest format covering each feasible fit's
+    // depth classes as a report column, and re-run the full evaluation of
+    // the fit at that width (area, f_max and fps) instead of pricing at the
+    // one global `format`.
     bool search_formats = false;
     Format_search_options format_search;
     // Fixed-mode golden check of each feasible fit: simulate the fitted
@@ -107,14 +109,22 @@ struct Sweep_entry {
     bool validated = false;
     double validation_max_abs_err = 0.0;
     // Filled when Sweep_config::search_formats and `fits`: the narrowest
-    // searched format covering every depth class of the best fit, the worst
-    // achieved PSNR among those classes, and the fit's estimated area
-    // re-priced at that width.
+    // searched format covering every depth class of the best fit (for
+    // streaming, the (window 1, fused depth) cell), and the best fit fully
+    // re-evaluated at that width — area, f_max and fps all shift with the
+    // word width, so the format columns are a true design point.
     bool format_searched = false;
     bool format_satisfiable = false;
+    // Every covering depth class reproduced the double reference exactly at
+    // the covering format. format_psnr_db is then meaningless (0.0): exact
+    // is a flag, never a sentinel decibel value. When false, format_psnr_db
+    // is the worst PSNR over the non-exact classes.
+    bool format_exact = false;
     Fixed_format fixed_format;
     double format_psnr_db = 0.0;
     double searched_area_luts = 0.0;
+    double searched_fps = 0.0;
+    double searched_f_max_mhz = 0.0;
     // Filled when Sweep_config::validate_fixed and `fits`: max |sim - golden|
     // in raw-word LSBs over all state fields (0 = the fixed-point
     // architecture reproduces the frame engine's raw words exactly).

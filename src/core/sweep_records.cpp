@@ -372,7 +372,7 @@ bool read_streaming(Line_reader& r, Streaming_evaluation* e) {
 
 std::string serialize_record(const Sweep_entry& entry) {
     std::ostringstream os;
-    os << "sweep-entry v2\n";
+    os << "sweep-entry v3\n";
     os << "kernel " << entry.kernel << "\n";
     os << "device " << entry.device << "\n";
     os << "iterations " << entry.iterations << "\n";
@@ -400,10 +400,14 @@ std::string serialize_record(const Sweep_entry& entry) {
        << "\n";
     os << "format_searched " << (entry.format_searched ? 1 : 0) << "\n";
     os << "format_satisfiable " << (entry.format_satisfiable ? 1 : 0) << "\n";
+    os << "format_exact " << (entry.format_exact ? 1 : 0) << "\n";
     os << "format " << entry.fixed_format.integer_bits << " "
        << entry.fixed_format.frac_bits << "\n";
     os << "format_psnr_db " << encode_double_bits(entry.format_psnr_db) << "\n";
     os << "searched_area_luts " << encode_double_bits(entry.searched_area_luts)
+       << "\n";
+    os << "searched_fps " << encode_double_bits(entry.searched_fps) << "\n";
+    os << "searched_f_max_mhz " << encode_double_bits(entry.searched_f_max_mhz)
        << "\n";
     os << "validated_fixed " << (entry.validated_fixed ? 1 : 0) << "\n";
     os << "validation_max_raw_err "
@@ -416,7 +420,7 @@ bool parse_record(const std::string& text, Sweep_entry* entry, std::string* erro
     Line_reader r(text);
     Sweep_entry out;
     std::string rest;
-    bool ok = r.expect("sweep-entry", &rest) && rest == "v2";
+    bool ok = r.expect("sweep-entry", &rest) && rest == "v3";
     if (!ok) {
         if (!r.failed()) r.fail_value("sweep-entry version");
         *error = r.error();
@@ -458,7 +462,8 @@ bool parse_record(const std::string& text, Sweep_entry* entry, std::string* erro
     ok = ok && read_bool(r, "validated", &out.validated) &&
          read_double(r, "validation_max_abs_err", &out.validation_max_abs_err) &&
          read_bool(r, "format_searched", &out.format_searched) &&
-         read_bool(r, "format_satisfiable", &out.format_satisfiable);
+         read_bool(r, "format_satisfiable", &out.format_satisfiable) &&
+         read_bool(r, "format_exact", &out.format_exact);
     if (ok) {
         if (!r.expect("format", &rest)) {
             ok = false;
@@ -478,6 +483,8 @@ bool parse_record(const std::string& text, Sweep_entry* entry, std::string* erro
     }
     ok = ok && read_double(r, "format_psnr_db", &out.format_psnr_db) &&
          read_double(r, "searched_area_luts", &out.searched_area_luts) &&
+         read_double(r, "searched_fps", &out.searched_fps) &&
+         read_double(r, "searched_f_max_mhz", &out.searched_f_max_mhz) &&
          read_bool(r, "validated_fixed", &out.validated_fixed) &&
          read_double(r, "validation_max_raw_err", &out.validation_max_raw_err) &&
          r.expect("end", &rest) && r.done();
@@ -493,16 +500,25 @@ bool parse_record(const std::string& text, Sweep_entry* entry, std::string* erro
 
 std::string serialize_record(const Explorer::Format_grid& grid) {
     std::ostringstream os;
-    os << "format-grid v2\n";
+    os << "format-grid v3\n";
     os << "backend " << grid.backend << "\n";
     os << "cells " << grid.cells.size() << "\n";
     for (const Explorer::Format_cell& cell : grid.cells) {
+        // Fourteen fixed fields per cell: the search result (with explicit
+        // exactness and the pre-shrink range floor) plus the per-format full
+        // evaluation of the cell's canonical design point (zeros when the
+        // cell was not evaluated).
         os << "cell " << cell.window << " " << cell.depth << " "
            << cell.result.format.integer_bits << " " << cell.result.format.frac_bits
            << " " << encode_double_bits(cell.result.psnr_db) << " "
+           << (cell.result.exact ? 1 : 0) << " "
            << encode_double_bits(cell.result.max_abs_value) << " "
+           << cell.result.range_integer_bits << " "
            << cell.result.formats_tried << " " << (cell.result.satisfiable ? 1 : 0)
-           << "\n";
+           << " " << (cell.evaluated ? 1 : 0) << " "
+           << encode_double_bits(cell.area_luts) << " "
+           << encode_double_bits(cell.f_max_mhz) << " "
+           << encode_double_bits(cell.fps) << "\n";
     }
     os << "end\n";
     return os.str();
@@ -513,7 +529,7 @@ bool parse_record(const std::string& text, Explorer::Format_grid* grid,
     Line_reader r(text);
     Explorer::Format_grid out;
     std::string rest;
-    if (!r.expect("format-grid", &rest) || rest != "v2") {
+    if (!r.expect("format-grid", &rest) || rest != "v3") {
         if (!r.failed()) r.fail_value("format-grid version");
         *error = r.error();
         return false;
@@ -537,16 +553,25 @@ bool parse_record(const std::string& text, Explorer::Format_grid* grid,
         long long depth = 0;
         long long integer_bits = 0;
         long long frac_bits = 0;
+        long long range_integer_bits = 0;
         long long tried = 0;
+        const auto is_flag = [](const std::string& s) {
+            return s == "0" || s == "1";
+        };
         Explorer::Format_cell cell;
-        if (parts.size() != 8 || !parse_ll_strict(parts[0], &window) ||
+        if (parts.size() != 14 || !parse_ll_strict(parts[0], &window) ||
             !parse_ll_strict(parts[1], &depth) ||
             !parse_ll_strict(parts[2], &integer_bits) ||
             !parse_ll_strict(parts[3], &frac_bits) ||
             !decode_double_bits(parts[4], &cell.result.psnr_db) ||
-            !decode_double_bits(parts[5], &cell.result.max_abs_value) ||
-            !parse_ll_strict(parts[6], &tried) ||
-            (parts[7] != "0" && parts[7] != "1")) {
+            !is_flag(parts[5]) ||
+            !decode_double_bits(parts[6], &cell.result.max_abs_value) ||
+            !parse_ll_strict(parts[7], &range_integer_bits) ||
+            !parse_ll_strict(parts[8], &tried) || !is_flag(parts[9]) ||
+            !is_flag(parts[10]) ||
+            !decode_double_bits(parts[11], &cell.area_luts) ||
+            !decode_double_bits(parts[12], &cell.f_max_mhz) ||
+            !decode_double_bits(parts[13], &cell.fps)) {
             r.fail_value("cell");
             *error = r.error();
             return false;
@@ -555,8 +580,11 @@ bool parse_record(const std::string& text, Explorer::Format_grid* grid,
         cell.depth = static_cast<int>(depth);
         cell.result.format.integer_bits = static_cast<int>(integer_bits);
         cell.result.format.frac_bits = static_cast<int>(frac_bits);
+        cell.result.exact = parts[5] == "1";
+        cell.result.range_integer_bits = static_cast<int>(range_integer_bits);
         cell.result.formats_tried = static_cast<int>(tried);
-        cell.result.satisfiable = parts[7] == "1";
+        cell.result.satisfiable = parts[9] == "1";
+        cell.evaluated = parts[10] == "1";
         out.cells.push_back(cell);
     }
     if (!r.expect("end", &rest) || !r.done()) {
@@ -665,6 +693,7 @@ std::string config_key_options(const Sweep_config& config) {
        << encode_double_bits(config.format_search.peak_value) << " "
        << config.format_search.sample_windows << " "
        << config.format_search.max_total_bits << " " << config.format_search.seed
+       << " shrink " << (config.format_search.shrink_integer_bits ? 1 : 0)
        << "\n";
     os << "validate_fixed " << (config.validate_fixed ? 1 : 0) << "\n";
     return os.str();
@@ -675,21 +704,40 @@ std::string config_key_options(const Sweep_config& config) {
 std::string sweep_entry_key(const std::string& ir_key, const Sweep_config& config,
                             const std::string& device, int iterations,
                             const std::string& backend) {
-    return cat("sweep-entry-key v2\n", ir_key, "device ", device, "\niterations ",
+    return cat("sweep-entry-key v3\n", ir_key, "device ", device, "\niterations ",
                iterations, "\nbackend ", backend, "\n",
                config_key_options(config));
 }
 
-std::string format_grid_key(const std::string& ir_key, const Sweep_config& config) {
-    return cat("format-grid-key v2\n", ir_key, "space ", config.space.max_window,
-               " ", config.space.max_depth, "\ncontent ",
-               config.validation_frame_width, "x", config.validation_frame_height,
-               " seed ", config.validation_seed, "\nsearch ",
-               encode_double_bits(config.format_search.target_psnr_db), " ",
-               encode_double_bits(config.format_search.peak_value), " ",
-               config.format_search.sample_windows, " ",
-               config.format_search.max_total_bits, " ", config.format_search.seed,
-               "\n");
+std::string format_grid_key(const std::string& ir_key, const Sweep_config& config,
+                            const std::string& device) {
+    // v3: the grid's cells carry full per-format evaluations, which are
+    // priced on a device against the modeled frame, throughput parameters
+    // and calibration windows — all of it keyed, so a cached grid is never
+    // served to a request that would have priced its cells differently.
+    std::ostringstream os;
+    os << "format-grid-key v3\n" << ir_key;
+    os << "device " << device << "\n";
+    os << "space " << config.space.max_window << " " << config.space.max_depth
+       << "\n";
+    os << "content " << config.validation_frame_width << "x"
+       << config.validation_frame_height << " seed " << config.validation_seed
+       << "\n";
+    os << "search " << encode_double_bits(config.format_search.target_psnr_db)
+       << " " << encode_double_bits(config.format_search.peak_value) << " "
+       << config.format_search.sample_windows << " "
+       << config.format_search.max_total_bits << " " << config.format_search.seed
+       << " shrink " << (config.format_search.shrink_integer_bits ? 1 : 0)
+       << "\n";
+    os << "frame " << config.frame_width << "x" << config.frame_height << "\n";
+    os << "throughput " << encode_double_bits(config.throughput.core_read_ports)
+       << " " << encode_double_bits(config.throughput.global_read_ports) << " "
+       << encode_double_bits(config.throughput.offchip_write_cost) << " "
+       << encode_double_bits(config.throughput.class_switch_cycles) << "\n";
+    os << "calibration_windows";
+    for (int w : config.calibration_windows) os << " " << w;
+    os << "\n";
+    return os.str();
 }
 
 std::string synthesis_key_prefix(const std::string& ir_key) {
@@ -698,7 +746,7 @@ std::string synthesis_key_prefix(const std::string& ir_key) {
 
 std::string sweep_request_key(const Sweep_config& config) {
     std::ostringstream os;
-    os << "sweep-request v2\n";
+    os << "sweep-request v3\n";
     os << "kernels";
     for (const std::string& k : config.kernels) os << " " << k;
     os << "\ndevices";

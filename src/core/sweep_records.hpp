@@ -58,8 +58,11 @@ std::string sweep_entry_key(const std::string& ir_key, const Sweep_config& confi
                             const std::string& device, int iterations,
                             const std::string& backend);
 
-// Key of one kernel's format-search grid (device- and N-independent).
-std::string format_grid_key(const std::string& ir_key, const Sweep_config& config);
+// Key of one kernel's format-search grid. N-independent, but the grid's
+// per-format cell evaluations are priced on a device against the modeled
+// frame and throughput parameters, so those are part of the key.
+std::string format_grid_key(const std::string& ir_key, const Sweep_config& config,
+                            const std::string& device);
 
 // Key prefix for this kernel's virtual-synthesis reports; Cone_library
 // appends "window/depth/device/options" per synthesis.

@@ -199,6 +199,10 @@ islhls::Format_grid Explorer::search_formats(const Frame_set& content,
     Cone_library& library = evaluator_.library();
     for (int d = 1; d <= space_.max_depth; ++d) {
         for (int w = 1; w <= space_.max_window; ++w) library.cone(w, d);
+        // The per-cell pricing evaluators lazily calibrate their depth's
+        // area model from the calibration windows — those cones must exist
+        // before the fan-out too.
+        for (int w : evaluator_.options().calibration_windows) library.cone(w, d);
     }
 
     islhls::Format_grid grid;
@@ -215,6 +219,29 @@ islhls::Format_grid Explorer::search_formats(const Frame_set& content,
         cell.depth = d;
         cell.result = search_fixed_format(library.cone(w, d), content, boundary,
                                           options);
+        if (!cell.result.satisfiable) return;
+        // Full re-evaluation at the searched format: a per-cell evaluator
+        // whose cost model, synthesis clock and throughput all see the
+        // searched word width prices the canonical single-level design point
+        // (one core of this cell's cone) — so the cell is a true
+        // (area, fps, PSNR) point, not an area-only re-price. Synthesis
+        // memoization and lazy model calibration are thread-safe, and each
+        // cell's evaluator is independent, so the grid stays bit-identical
+        // at any thread count.
+        Evaluator_options priced = evaluator_.options();
+        priced.format = cell.result.format;
+        priced.synth.format = cell.result.format;
+        const Arch_evaluator pricer(library, evaluator_.device(), priced);
+        Arch_instance instance;
+        instance.window = w;
+        instance.level_depths = {d};
+        instance.cores_per_depth[d] = 1;
+        const Arch_evaluation eval = pricer.evaluate(instance);
+        if (!eval.feasible) return;
+        cell.evaluated = true;
+        cell.area_luts = eval.estimated_area_luts;
+        cell.f_max_mhz = eval.f_max_mhz;
+        cell.fps = eval.throughput.fps;
     });
     return grid;
 }

@@ -81,10 +81,13 @@ public:
     // --- per-candidate fixed-point format search ---------------------------------
     // The numeric axis of the design space: the narrowest passing Qm.f per
     // (window, depth) cell, searched over sample windows of `content` (the
-    // same grid the fit/area explorations cover). Cells are independent, so
-    // they fan across the explorer's pool like any other candidate set; the
-    // per-cell search itself runs serially (options.threads is overridden to
-    // 1 — nested pools would oversubscribe) and each cell is seeded, so the
+    // same grid the fit/area explorations cover), plus the full evaluation
+    // of each cell's canonical one-core design point at its searched format
+    // (f_max, cycles and fps re-priced at the searched word width — a true
+    // (area, fps, PSNR) point per cell). Cells are independent, so they fan
+    // across the explorer's pool like any other candidate set; the per-cell
+    // search itself runs serially (options.threads is overridden to 1 —
+    // nested pools would oversubscribe) and each cell is seeded, so the
     // grid is bit-identical at any thread count.
     islhls::Format_grid search_formats(const Frame_set& content, Boundary boundary,
                                        Format_search_options options = {});

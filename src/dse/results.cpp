@@ -98,9 +98,16 @@ std::string dump(const Format_grid& grid) {
     for (const Format_cell& cell : grid.cells) {
         os << "w" << cell.window << " d" << cell.depth << " "
            << to_string(cell.result.format) << " psnr=" << cell.result.psnr_db
+           << " exact=" << cell.result.exact
            << " max_abs=" << cell.result.max_abs_value
+           << " range_int=" << cell.result.range_integer_bits
            << " tried=" << cell.result.formats_tried
-           << " sat=" << cell.result.satisfiable << "\n";
+           << " sat=" << cell.result.satisfiable;
+        if (cell.evaluated) {
+            os << " luts=" << cell.area_luts << " f_max=" << cell.f_max_mhz
+               << " fps=" << cell.fps;
+        }
+        os << "\n";
     }
     return os.str();
 }

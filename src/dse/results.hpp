@@ -56,10 +56,21 @@ struct Area_validation {
 };
 
 // --- per-candidate fixed-point format search ------------------------------------
+// One (window, depth) cell: the searched format plus the full evaluation of
+// the canonical single-level design point {window, depths={depth}, 1 core}
+// at that format — a true (area, fps, PSNR) point, with f_max and cycles
+// re-priced at the searched word width instead of the global format.
 struct Format_cell {
     int window = 0;
     int depth = 0;
     Format_search_result result;
+    // Full re-evaluation at the searched format (device-dependent, iteration-
+    // count-independent). `evaluated` is false when the search was
+    // unsatisfiable or the caller skipped pricing.
+    bool evaluated = false;
+    double area_luts = 0.0;
+    double f_max_mhz = 0.0;
+    double fps = 0.0;
 };
 struct Format_grid {
     std::string backend = "paper";

@@ -75,6 +75,10 @@ void Streaming_backend::calibrate() {
     for (int d = 1; d <= max_depth; ++d) {
         library_.cone(1, d);
         for (int w : evaluator_options_.calibration_windows) library_.cone(w, d);
+        // The per-width clocks below synthesize a v-column cone per
+        // vectorization width — those cones must exist before any
+        // concurrent evaluate() too.
+        for (int v : options_.vector_widths) library_.cone(v, d);
     }
     const Footprint footprint = library_.step().footprint();
     fields_in_ = library_.step().pool().field_count();
@@ -99,9 +103,14 @@ void Streaming_backend::calibrate() {
         }
         model.calibrate();
         profile.model = model;
-        const Synthesis_report& narrow =
-            library_.synthesis(1, d, device_, evaluator_options_.synth);
-        profile.f_max_mhz = std::min(device_.max_clock_mhz, narrow.f_max_mhz);
+        // One synthesis per vectorization width: the v-wide PE's clock, not
+        // the one-column cone's, prices every config at that width.
+        for (int v : options_.vector_widths) {
+            const Synthesis_report& wide =
+                library_.synthesis(v, d, device_, evaluator_options_.synth);
+            profile.f_max_by_width[v] =
+                std::min(device_.max_clock_mhz, wide.f_max_mhz);
+        }
         profiles_[d] = profile;
     }
     calibrated_ = true;
@@ -170,7 +179,10 @@ Streaming_evaluation Streaming_backend::evaluate(
     eval.cycles_per_pass = std::max(eval.compute_cycles, eval.memory_cycles);
     eval.bottleneck =
         eval.memory_cycles > eval.compute_cycles ? "channel" : "compute";
-    eval.f_max_mhz = profile.f_max_mhz;
+    const auto clock = profile.f_max_by_width.find(config.vector_width);
+    check_internal(clock != profile.f_max_by_width.end(),
+                   "vector width was not calibrated");
+    eval.f_max_mhz = clock->second;
     eval.seconds_per_frame =
         eval.passes * eval.cycles_per_pass / (eval.f_max_mhz * 1e6);
     eval.fps = 1.0 / eval.seconds_per_frame;

@@ -96,7 +96,12 @@ private:
         int pipeline_fill = 0;    // levelized DAG depth of cone(1, d)
         int halo_up = 0;          // extra rows above a band: footprint.up * d
         int halo_down = 0;        // extra rows below: footprint.down * d
-        double f_max_mhz = 0.0;   // synthesis(1, d) clock, capped at device
+        // synthesis(v, d) clock per vectorization width, capped at the
+        // device: a v-wide PE is a v-column cone whose deeper sharing and
+        // fatter registers derate the clock, so the streaming f_max is
+        // calibrated against the width actually instantiated instead of
+        // inheriting the one-column (or the paper model's) clock.
+        std::map<int, double> f_max_by_width;
         Area_model model{1.0};    // Eq. 1 model fitted at the word width
     };
 

@@ -60,8 +60,11 @@ Format_search_result search_fixed_format(const Cone& cone, const Frame_set& cont
     Format_search_result result;
     result.max_abs_value = max_abs;
     // Integer bits: sign + magnitude + one guard bit for rounding growth.
+    // This is a conservative floor — phase 3 below may shrink under it when
+    // the observed computation never exercises the head bits.
     const int integer_bits =
         2 + static_cast<int>(std::ceil(std::log2(std::max(1.0, max_abs))));
+    result.range_integer_bits = integer_bits;
 
     // One batched tape pass per candidate format: quantize the flat inputs,
     // run every sample window through the integer-lowered tape, and fold the
@@ -89,7 +92,15 @@ Format_search_result search_fixed_format(const Cone& cone, const Frame_set& cont
     std::vector<std::int64_t> raw_inputs(samples * in_count);
     std::vector<std::int64_t> raw_outputs(samples * out_count);
 
-    auto psnr_of = [&](const Fixed_format& fmt) {
+    // Accuracy of one candidate: either exact (mse == 0, no finite PSNR) or
+    // a real decibel number — never a sentinel. `raw_outputs` holds the
+    // candidate's output words after the call, which is what the shrink
+    // phase compares against.
+    struct Accuracy {
+        bool exact = false;
+        double psnr_db = 0.0;
+    };
+    auto measure = [&](const Fixed_format& fmt) -> Accuracy {
         const Fixed_exec exec(program, fmt);
         const Raw_quantizer quantize(fmt);
         auto run_range = [&](std::size_t j) {
@@ -116,25 +127,48 @@ Format_search_result search_fixed_format(const Cone& cone, const Frame_set& cont
         double se = 0.0;
         for (std::size_t j = 0; j < jobs; ++j) se += partial_se[j];
         const double mse = se / static_cast<double>(samples * out_count);
-        if (mse == 0.0) return 1e9;
-        return 10.0 * std::log10(options.peak_value * options.peak_value / mse);
+        if (mse == 0.0) return {true, 0.0};
+        return {false,
+                10.0 * std::log10(options.peak_value * options.peak_value / mse)};
+    };
+    // Integer-native programs compute exact whole numbers: a near-miss PSNR
+    // is as wrong as a distant one, so they accept on exactness alone.
+    auto accepts = [&](const Accuracy& acc) {
+        if (step.integer_native()) return acc.exact;
+        return acc.exact || acc.psnr_db >= options.target_psnr_db;
     };
 
-    // Integer-native programs compute exact whole numbers, so a Q m.0 format
-    // already reproduces the double reference (mse == 0 above) — start the
-    // candidate ladder at zero fractional bits instead of one.
+    // Phase 3: walk the integer bits down below the range-derived floor
+    // while every output word of the batch stays byte-identical to the
+    // accepted format (same fraction bits, so the raw words are directly
+    // comparable; a wrap or input saturation that fires shows up as a
+    // differing word and stops the walk).
+    auto shrink = [&]() {
+        if (!options.shrink_integer_bits) return;
+        const std::vector<std::int64_t> accepted = raw_outputs;
+        const int frac = result.format.frac_bits;
+        for (int m = result.format.integer_bits - 1; m >= 1 && m + frac >= 2; --m) {
+            result.formats_tried += 1;
+            measure(Fixed_format{m, frac});
+            if (raw_outputs != accepted) break;
+            result.format.integer_bits = m;
+        }
+    };
+
+    // Integer-native programs start the candidate ladder at zero fractional
+    // bits — a Q m.0 format already reproduces the whole-number reference.
     const int first_frac = step.integer_native() ? 0 : 1;
     for (int frac = first_frac; integer_bits + frac <= options.max_total_bits; ++frac) {
         const Fixed_format fmt{integer_bits, frac};
         result.formats_tried += 1;
-        const double psnr = psnr_of(fmt);
-        if (psnr >= options.target_psnr_db) {
-            result.format = fmt;
-            result.psnr_db = psnr;
+        const Accuracy acc = measure(fmt);
+        result.format = fmt;
+        result.psnr_db = acc.psnr_db;
+        result.exact = acc.exact;
+        if (accepts(acc)) {
+            shrink();
             return result;
         }
-        result.format = fmt;
-        result.psnr_db = psnr;
     }
     result.satisfiable = false;
     return result;

@@ -6,7 +6,15 @@
 //      range of every intermediate register — that fixes the integer bits
 //      (plus one guard bit against rounding growth);
 //   2. grow the fraction bits until the bit-accurate fixed-point execution
-//      reaches the requested PSNR against the double reference.
+//      reaches the requested PSNR against the double reference (or matches
+//      it exactly — exactness is modelled as an explicit flag, never as a
+//      sentinel decibel value; integer-native kernels accept on exactness
+//      alone and skip PSNR pruning entirely);
+//   3. shrink the integer bits back below the range-derived floor while the
+//      raw fixed-point outputs stay byte-identical to the accepted format —
+//      kernels whose intermediates stay tiny (chambolle's duals) drop below
+//      the conservative sign+magnitude+guard estimate for free, because a
+//      narrower wrap that never fires cannot change a single output word.
 // Narrower formats mean cheaper operators everywhere in the cost model, so
 // this directly trades accuracy against area.
 //
@@ -38,13 +46,27 @@ struct Format_search_options {
     // semantics: 0 = all hardware threads). The result is byte-identical at
     // any thread count.
     int threads = 1;
+    // Phase-3 integer-bit shrink below the range-derived floor (raw outputs
+    // must stay byte-identical per shrunk candidate). Off reproduces the
+    // plain two-phase search.
+    bool shrink_integer_bits = true;
 };
 
 struct Format_search_result {
     Fixed_format format;       // the chosen (narrowest passing) format
-    double psnr_db = 0.0;      // achieved accuracy at that format
+    // Achieved accuracy at that format. Meaningless (0.0) when `exact` —
+    // an exact match has no finite PSNR and is reported via the flag, not a
+    // sentinel decibel value.
+    double psnr_db = 0.0;
+    // The fixed-point outputs reproduce the double reference bit-for-bit at
+    // the chosen format (mse == 0 over every sample window).
+    bool exact = false;
     double max_abs_value = 0.0;  // observed intermediate dynamic range
-    int formats_tried = 0;
+    // Range-derived integer-bit floor (sign + magnitude + guard) before the
+    // shrink phase; format.integer_bits <= range_integer_bits always, and
+    // strictly less when the shrink phase fired.
+    int range_integer_bits = 0;
+    int formats_tried = 0;     // counts shrink candidates too
     bool satisfiable = true;   // false when max_total_bits is insufficient
 };
 

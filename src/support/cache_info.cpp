@@ -45,8 +45,9 @@ std::string read_first_line(const std::string& path) {
 
 // Linux sysfs: one directory per cache of cpu0. Instruction caches are
 // skipped; for each remaining level the largest reported size wins (some
-// topologies list a slice per core cluster).
-bool probe_sysfs(Cache_topology& t) {
+// topologies list a slice per core cluster). `llc_shared_cpus` receives the
+// winning LLC's shared_cpu_list (how many cpus contend for it).
+bool probe_sysfs(Cache_topology& t, std::string* llc_shared_cpus) {
     bool any = false;
     for (int index = 0; index < 16; ++index) {
         const std::string dir = "/sys/devices/system/cpu/cpu0/cache/index" +
@@ -63,10 +64,28 @@ bool probe_sysfs(Cache_topology& t) {
         } else if (level == 2) {
             t.l2_bytes = std::max(t.l2_bytes, size);
         }
-        if (level >= 2) t.llc_bytes = std::max(t.llc_bytes, size);
+        if (level >= 2 && size > t.llc_bytes) {
+            t.llc_bytes = size;
+            *llc_shared_cpus = read_first_line(dir + "shared_cpu_list");
+        }
         any = true;
     }
     return any;
+}
+
+// The cgroup memory limit of this process, or 0 when unlimited/unknown.
+// Reads cgroup v2 first ("max" = unlimited), then the v1 controller, where
+// "no limit" is a huge number rather than a word.
+std::size_t cgroup_memory_limit() {
+    for (const char* path : {"/sys/fs/cgroup/memory.max",
+                             "/sys/fs/cgroup/memory/memory.limit_in_bytes"}) {
+        const std::string text = read_first_line(path);
+        if (text.empty() || text == "max") continue;
+        const std::size_t limit = parse_size_string(text);
+        if (limit == 0 || limit >= (1ull << 60)) continue;  // v1 "unlimited"
+        return limit;
+    }
+    return 0;
 }
 
 bool probe_sysconf(Cache_topology& t) {
@@ -94,7 +113,8 @@ bool probe_sysconf(Cache_topology& t) {
 
 Cache_topology probe() {
     Cache_topology t;
-    t.probed = probe_sysfs(t);
+    std::string llc_shared_cpus;
+    t.probed = probe_sysfs(t, &llc_shared_cpus);
     if (!t.probed) t.probed = probe_sysconf(t);
     if (t.l1d_bytes == 0) t.l1d_bytes = kFallback_l1d;
     if (t.l2_bytes == 0) t.l2_bytes = kFallback_l2;
@@ -102,6 +122,18 @@ Cache_topology probe() {
     // A last-level slice smaller than L2 only happens on malformed tables;
     // normalize so consumers can treat llc as "the biggest shared level".
     t.llc_bytes = std::max(t.llc_bytes, t.l2_bytes);
+    t.raw_llc_bytes = t.llc_bytes;
+    // Container clamp: a cgroup-limited 1-vCPU runner must not budget tiles
+    // against the host server's whole shared LLC.
+    int online_cpus = 0;
+#if defined(_SC_NPROCESSORS_ONLN)
+    const long online = sysconf(_SC_NPROCESSORS_ONLN);
+    if (online > 0) online_cpus = static_cast<int>(online);
+#endif
+    t.llc_bytes =
+        clamp_llc_bytes(t.raw_llc_bytes, t.l2_bytes, cgroup_memory_limit(),
+                        count_cpu_list(llc_shared_cpus), online_cpus);
+    t.llc_clamped = t.llc_bytes < t.raw_llc_bytes;
     return t;
 }
 
@@ -120,6 +152,63 @@ std::string format_bytes(std::size_t bytes) {
 
 }  // namespace
 
+int count_cpu_list(const std::string& text) {
+    // "0-3,8-11" -> 8; a lone "0" -> 1. Strict: any malformed token makes
+    // the whole list count 0 (unknown), never a partial number.
+    int count = 0;
+    std::size_t i = 0;
+    const auto parse_int = [&](long long* out) {
+        if (i >= text.size() || text[i] < '0' || text[i] > '9') return false;
+        long long v = 0;
+        while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+            v = v * 10 + (text[i] - '0');
+            ++i;
+        }
+        *out = v;
+        return true;
+    };
+    while (i < text.size() &&
+           (text[i] == '\n' || text[i] == '\r' || text[i] == ' ')) {
+        ++i;
+    }
+    if (i >= text.size()) return 0;
+    for (;;) {
+        long long first = 0;
+        if (!parse_int(&first)) return 0;
+        long long last = first;
+        if (i < text.size() && text[i] == '-') {
+            ++i;
+            if (!parse_int(&last) || last < first) return 0;
+        }
+        count += static_cast<int>(last - first + 1);
+        while (i < text.size() &&
+               (text[i] == '\n' || text[i] == '\r' || text[i] == ' ')) {
+            ++i;
+        }
+        if (i >= text.size()) return count;
+        if (text[i] != ',') return 0;
+        ++i;
+    }
+}
+
+std::size_t clamp_llc_bytes(std::size_t probed_llc, std::size_t l2_bytes,
+                            std::size_t cgroup_limit_bytes, int sharing_cpus,
+                            int online_cpus) {
+    std::size_t clamped = probed_llc;
+    if (sharing_cpus > 0 && online_cpus > 0 && online_cpus < sharing_cpus) {
+        // Fewer cpus online than share the LLC: this environment owns a
+        // proportional slice, not the whole thing.
+        clamped = std::min(clamped, probed_llc /
+                                        static_cast<std::size_t>(sharing_cpus) *
+                                        static_cast<std::size_t>(online_cpus));
+    }
+    if (cgroup_limit_bytes > 0) {
+        clamped = std::min(clamped, cgroup_limit_bytes / 2);
+    }
+    // Floor: the engine always gets at least an L2-sized band to tile in.
+    return std::min(probed_llc, std::max(clamped, l2_bytes));
+}
+
 const Cache_topology& cache_topology() {
     // Magic-statics give the one-shot, thread-safe probe.
     static const Cache_topology topology = probe();
@@ -130,6 +219,9 @@ std::string to_string(const Cache_topology& topology) {
     return "L1d " + format_bytes(topology.l1d_bytes) + ", L2 " +
            format_bytes(topology.l2_bytes) + ", LLC " +
            format_bytes(topology.llc_bytes) +
+           (topology.llc_clamped
+                ? " (clamped from " + format_bytes(topology.raw_llc_bytes) + ")"
+                : "") +
            (topology.probed ? " (probed)" : " (fallback)");
 }
 

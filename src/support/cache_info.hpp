@@ -30,6 +30,17 @@ struct Cache_topology {
     std::size_t llc_bytes = 0;
     // True when at least one level came from the OS rather than a fallback.
     bool probed = false;
+    // The raw probed LLC before the container clamp below (equal to
+    // llc_bytes on bare metal); kept so a clamp stays visible in logs.
+    std::size_t raw_llc_bytes = 0;
+    // True when llc_bytes was reduced below the raw probe. Containers make
+    // the raw value a lie twice over: sysfs reports the host's whole shared
+    // LLC even when the cgroup holds one vCPU of it (a 1-vCPU CI runner
+    // "sees" a 260 MiB server LLC), and a cgroup memory limit can be smaller
+    // than the LLC itself, where an LLC-sized working set would be OOM-killed
+    // long before it became cache-resident. llc_bytes is clamped to the
+    // per-core share and to half the cgroup memory limit, floored at l2.
+    bool llc_clamped = false;
 };
 
 // Fallbacks applied per level when the host reports nothing: small enough
@@ -49,7 +60,27 @@ inline constexpr std::size_t kFallback_llc = 32u * 1024 * 1024;
 const Cache_topology& cache_topology();
 
 // "L1d 48 KiB, L2 2 MiB, LLC 260 MiB (probed)" — for bench/CI logs, so
-// cross-host ratio drift is diagnosable from the job output alone.
+// cross-host ratio drift is diagnosable from the job output alone. A
+// clamped LLC renders as "LLC 2 MiB (clamped from 260 MiB) (probed)".
 std::string to_string(const Cache_topology& topology);
+
+// --- pure clamp helpers (exported for unit tests) --------------------------------
+
+// Number of cpus in a sysfs cpu-list string ("0-3,8-11" -> 8). 0 on empty
+// or malformed input.
+int count_cpu_list(const std::string& text);
+
+// The effective LLC budget for this process: the probed size cut down to
+// this cgroup's fair share. `sharing_cpus` is how many cpus share the LLC
+// per the host topology, `online_cpus` how many this environment actually
+// offers; when fewer, the budget shrinks proportionally. A non-zero
+// `cgroup_limit_bytes` (container memory limit) further caps the budget at
+// half the limit — headroom for everything that is not the tile. The result
+// never drops below `l2_bytes` (the engine needs some band to work in) and
+// never exceeds `probed_llc`. Zero parameters mean "unknown": no clamp from
+// that source.
+std::size_t clamp_llc_bytes(std::size_t probed_llc, std::size_t l2_bytes,
+                            std::size_t cgroup_limit_bytes, int sharing_cpus,
+                            int online_cpus);
 
 }  // namespace islhls

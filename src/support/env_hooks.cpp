@@ -1,6 +1,7 @@
 #include "support/env_hooks.hpp"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -15,9 +16,7 @@ namespace {
 
 std::string errno_text() { return std::strerror(errno); }
 
-bool real_write_file(const std::string& path, const std::string& data,
-                     std::string* error) {
-    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+bool write_fd_flushed(int fd, const std::string& data, std::string* error) {
     if (fd < 0) {
         if (error) *error = errno_text();
         return false;
@@ -47,6 +46,24 @@ bool real_write_file(const std::string& path, const std::string& data,
         return false;
     }
     return true;
+}
+
+bool real_write_file(const std::string& path, const std::string& data,
+                     std::string* error) {
+    return write_fd_flushed(::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644),
+                            data, error);
+}
+
+bool real_create_exclusive(const std::string& path, const std::string& data,
+                           std::string* error) {
+    return write_fd_flushed(::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644),
+                            data, error);
+}
+
+bool real_process_alive(std::int64_t pid) {
+    if (pid <= 0) return false;
+    // EPERM means "exists but not ours" — alive for lock purposes.
+    return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
 }
 
 bool real_rename_file(const std::string& from, const std::string& to,
@@ -101,8 +118,9 @@ void real_sleep_ms(std::int64_t ms) {
 
 const Env_hooks& real_env_hooks() {
     static const Env_hooks hooks = {
-        real_write_file, real_rename_file, real_read_file,
-        real_remove_file, real_now_ms,     real_sleep_ms,
+        real_write_file,       real_rename_file,   real_read_file,
+        real_remove_file,      real_create_exclusive, real_process_alive,
+        real_now_ms,           real_sleep_ms,
     };
     return hooks;
 }

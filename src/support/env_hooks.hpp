@@ -43,6 +43,18 @@ struct Env_hooks {
     // Removes `path`; false when it could not be removed (absent is fine).
     std::function<bool(const std::string& path)> remove_file;
 
+    // Creates `path` exclusively (O_CREAT|O_EXCL) and writes `data`, flushed
+    // before returning. False when the file already exists or on I/O
+    // failure: the existence race is the point — this backs the advisory
+    // multi-process cache lock, where exactly one contender's create wins.
+    std::function<bool(const std::string& path, const std::string& data,
+                       std::string* error)>
+        create_exclusive;
+
+    // True when a process with this id is alive (kill(pid, 0), with EPERM
+    // counting as alive). Used to detect a crashed lock holder.
+    std::function<bool(std::int64_t pid)> process_alive;
+
     // Monotonic milliseconds (steady clock). Job deadlines and retry
     // backoff are computed against this, never against wall time.
     std::function<std::int64_t()> now_ms;

@@ -1,5 +1,7 @@
 #include "support/result_cache.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -15,6 +17,14 @@ namespace {
 constexpr char kMagic[8] = {'I', 'S', 'L', 'H', 'L', 'S', 'C', '1'};
 constexpr std::uint32_t kVersion = 1;
 constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8 + 8;
+
+// Advisory lock tuning: a holder silent past kLockStaleMs is presumed hung
+// even if its process is alive (individual mutating passes are fast; verify
+// over a large directory refreshes nothing, so the bound is generous); a
+// contender gives up after kLockWaitMs and proceeds unlocked.
+constexpr std::int64_t kLockStaleMs = 10'000;
+constexpr std::int64_t kLockWaitMs = 2'000;
+constexpr std::int64_t kLockPollMs = 10;
 
 void put_u32(std::string& out, std::uint32_t v) {
     for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
@@ -106,6 +116,28 @@ std::optional<std::string> decode_record(const std::string& raw,
 
 }  // namespace
 
+// Holds the advisory directory lock for one mutating pass: in-process
+// serialization first (cheap mutex), then the cross-process lock file.
+// Releases on destruction; if the lock could not be taken the pass runs
+// unlocked (the operations stay individually crash-safe).
+class Scoped_dir_lock {
+public:
+    explicit Scoped_dir_lock(Result_cache& cache)
+        : cache_(cache),
+          in_process_(cache.dir_lock_mutex_),
+          held_(cache.acquire_dir_lock()) {}
+    ~Scoped_dir_lock() {
+        if (held_) cache_.hooks_->remove_file(cache_.lock_path());
+    }
+    Scoped_dir_lock(const Scoped_dir_lock&) = delete;
+    Scoped_dir_lock& operator=(const Scoped_dir_lock&) = delete;
+
+private:
+    Result_cache& cache_;
+    std::lock_guard<std::mutex> in_process_;
+    bool held_;
+};
+
 std::uint64_t fnv1a64(std::string_view data) {
     std::uint64_t hash = 0xCBF29CE484222325ULL;
     for (char c : data) {
@@ -148,7 +180,58 @@ std::string Result_cache::record_path(const std::string& key) const {
     return cat(dir_, "/", name, ".rec");
 }
 
+std::string Result_cache::lock_path() const { return dir_ + "/.islhls.lock"; }
+
+bool Result_cache::acquire_dir_lock() {
+    // Hooks without the lock primitives (older injected harnesses) simply
+    // run unlocked, as before the lock existed.
+    if (!hooks_->create_exclusive || !hooks_->process_alive) return false;
+    const std::string path = lock_path();
+    const std::int64_t deadline = hooks_->now_ms() + kLockWaitMs;
+    for (;;) {
+        const std::string content =
+            cat(static_cast<long long>(::getpid()), " ", hooks_->now_ms(), "\n");
+        std::string error;
+        if (hooks_->create_exclusive(path, content, &error)) return true;
+        // Somebody holds it. A dead holder (crashed sweep) or an unparseable
+        // or ancient stamp means the lock is abandoned: break it and retry.
+        std::string holder;
+        const Env_hooks::Read_result read =
+            hooks_->read_file(path, &holder, &error);
+        if (read == Env_hooks::Read_result::ok) {
+            long long pid = 0;
+            long long stamp = 0;
+            const bool parsed =
+                std::sscanf(holder.c_str(), "%lld %lld", &pid, &stamp) == 2;
+            const bool stale = !parsed || !hooks_->process_alive(pid) ||
+                               hooks_->now_ms() - stamp > kLockStaleMs;
+            if (stale) {
+                // Break it by renaming first: of several contenders spotting
+                // the same stale lock, exactly one rename succeeds, so
+                // nobody can delete a lock some other winner just re-made.
+                // Fall through to the bounded retry either way (no immediate
+                // continue: a break that cannot succeed must not busy-loop).
+                const std::string breaker =
+                    cat(path, ".stale.", static_cast<long long>(::getpid()));
+                if (hooks_->rename_file(path, breaker, &error)) {
+                    hooks_->remove_file(breaker);
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.lock_takeovers;
+                }
+            }
+        }
+        if (hooks_->now_ms() >= deadline) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.lock_timeouts;
+            return false;
+        }
+        hooks_->sleep_ms(kLockPollMs);
+    }
+}
+
 std::string Result_cache::quarantine(const std::string& path) {
+    // Mutating: must not race a concurrent gc sweeping the same directory.
+    Scoped_dir_lock lock_guard(*this);
     const std::string target = path + ".quarantined";
     std::string error;
     // Replacing any earlier quarantined copy is fine — one exhibit of the
@@ -193,13 +276,19 @@ std::optional<std::string> Result_cache::load(const std::string& key) {
 }
 
 bool Result_cache::store(const std::string& key, const std::string& payload) {
+    // The lock keeps a concurrent gc from collecting the temp file between
+    // its write and its rename (to gc it looks orphaned).
+    Scoped_dir_lock lock_guard(*this);
     const std::string path = record_path(key);
     std::uint64_t serial;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         serial = temp_counter_++;
     }
-    const std::string temp = cat(path, ".tmp", serial);
+    // Pid-unique temp names: two processes storing the same key must never
+    // write through one temp file, locked or not.
+    const std::string temp =
+        cat(path, ".tmp", static_cast<long long>(::getpid()), ".", serial);
     const std::string record = encode_record(key, payload);
     std::string error;
     if (!hooks_->write_file(temp, record, &error)) {
@@ -221,6 +310,9 @@ bool Result_cache::store(const std::string& key, const std::string& payload) {
 
 Result_cache::Verify_report Result_cache::verify(bool gc, long long max_bytes) {
     namespace fs = std::filesystem;
+    // Whole-pass lock: gc decides what is an orphan from one consistent
+    // directory snapshot, excluded from concurrent stores and quarantines.
+    Scoped_dir_lock lock_guard(*this);
     Verify_report report;
     struct Survivor {
         std::string name;

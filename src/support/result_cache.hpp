@@ -23,6 +23,17 @@
 // every record's checksum; gc additionally prunes quarantined records and
 // orphaned temp files.
 //
+// Multi-process safety: concurrent sweeps sharing one cache directory are
+// coordinated by an advisory lock file (.islhls.lock, created exclusively,
+// holding "pid timestamp"). Mutating passes — store, quarantine, verify/gc —
+// take it so a gc never sweeps away another process's in-flight temp file
+// or a record mid-rename. The lock is best-effort by design: a holder that
+// died or went silent past the staleness bound is taken over (its pid is
+// probed), and a contender that cannot get the lock within the bounded wait
+// proceeds unlocked rather than wedging a sweep — the store path stays
+// crash-safe without the lock (pid-unique temp names + atomic rename), the
+// lock only protects gc from racing it. Plain loads never take the lock.
+//
 // All OS mutation goes through the injectable Env_hooks seam, which is how
 // the fault-injection tests exercise torn writes, ENOSPC and rename
 // failures deterministically.
@@ -50,6 +61,8 @@ public:
         long long stores = 0;
         long long store_failures = 0;       // soft: sweep continues uncached
         long long corrupt_quarantined = 0;  // bad records moved aside on load
+        long long lock_takeovers = 0;       // stale locks broken (dead holder)
+        long long lock_timeouts = 0;        // waits that gave up -> unlocked op
     };
 
     struct Verify_report {
@@ -94,12 +107,24 @@ public:
     // Final on-disk path of the record for `key`.
     std::string record_path(const std::string& key) const;
 
+    // Path of the advisory multi-process lock file.
+    std::string lock_path() const;
+
 private:
+    friend class Scoped_dir_lock;
+
     std::string quarantine(const std::string& path);
+    // Tries to take the advisory directory lock; true when held (the caller
+    // must remove lock_path() when done), false to proceed unlocked.
+    bool acquire_dir_lock();
 
     std::string dir_;
     const Env_hooks* hooks_;
     mutable std::mutex mutex_;  // guards stats_ and temp_counter_
+    // Serializes this process's own mutating passes before the cross-process
+    // file lock, so in-process threads never burn the bounded wait on each
+    // other.
+    std::mutex dir_lock_mutex_;
     Stats stats_;
     std::uint64_t temp_counter_ = 0;
 };

@@ -98,6 +98,52 @@ TEST(Format_dse, estimated_area_is_monotone_in_word_width) {
     }
 }
 
+TEST(Format_dse, fps_is_monotone_in_word_width) {
+    // The other half of the full per-format evaluation: narrower operators
+    // are faster, so f_max — and with it fps — must not drop when the word
+    // shrinks, and must strictly rise across a wide-to-narrow span while the
+    // design stays below the device clock cap.
+    const Fixed_format formats[] = {{24, 16}, {12, 8}, {10, 6}, {6, 2}};
+    for (const char* name : {"heat", "jacobi"}) {
+        SCOPED_TRACE(name);
+        const Kernel_def& kernel = kernel_by_name(name);
+        Cone_library library(extract_stencil(kernel.c_source), kernel.name);
+        const Fpga_device& device = device_by_name("xc6vlx760");
+        Arch_instance instance;
+        instance.window = 3;
+        instance.level_depths = {2, 1};
+        instance.cores_per_depth[1] = 1;
+        instance.cores_per_depth[2] = 1;
+
+        double previous_fps = 0.0;
+        double previous_f_max = 0.0;
+        for (std::size_t i = 0; i < std::size(formats); ++i) {
+            SCOPED_TRACE(to_string(formats[i]));
+            Evaluator_options options;
+            options.format = formats[i];
+            options.synth.format = formats[i];
+            const Arch_evaluator evaluator(library, device, options);
+            const Arch_evaluation eval = evaluator.evaluate(instance);
+            ASSERT_GT(eval.throughput.fps, 0.0);
+            if (i > 0) {
+                EXPECT_GE(eval.throughput.fps, previous_fps);
+                EXPECT_GE(eval.f_max_mhz, previous_f_max);
+            }
+            previous_fps = eval.throughput.fps;
+            previous_f_max = eval.f_max_mhz;
+        }
+
+        // End to end the shrink buys real throughput, not just a tie at the
+        // device clock cap.
+        Evaluator_options wide;
+        wide.format = formats[0];
+        wide.synth.format = formats[0];
+        const double wide_fps =
+            Arch_evaluator(library, device, wide).evaluate(instance).throughput.fps;
+        EXPECT_GT(previous_fps, wide_fps);
+    }
+}
+
 TEST(Format_dse, sweep_reports_per_architecture_formats_and_exact_fixed_golden) {
     Sweep_config config;
     config.kernels = {"heat", "igf"};
@@ -121,8 +167,11 @@ TEST(Format_dse, sweep_reports_per_architecture_formats_and_exact_fixed_golden) 
         EXPECT_TRUE(e.format_satisfiable);
         EXPECT_GE(e.fixed_format.total_bits(), 3);
         EXPECT_LE(e.fixed_format.total_bits(), 32);
-        EXPECT_GE(e.format_psnr_db, config.format_search.target_psnr_db);
-        // The re-priced area equals an independent evaluation at that width.
+        // Exact cells have no finite PSNR; non-exact ones must clear the bar.
+        EXPECT_TRUE(e.format_exact ||
+                    e.format_psnr_db >= config.format_search.target_psnr_db);
+        // The re-priced point equals an independent full evaluation at that
+        // width: area, f_max and fps all shifted together.
         Evaluator_options priced;
         priced.frame_width = config.frame_width;
         priced.frame_height = config.frame_height;
@@ -130,8 +179,11 @@ TEST(Format_dse, sweep_reports_per_architecture_formats_and_exact_fixed_golden) 
         priced.synth.format = e.fixed_format;
         const Arch_evaluator pricer(session.library(e.kernel),
                                     device_by_name(e.device), priced);
-        EXPECT_EQ(e.searched_area_luts,
-                  pricer.evaluate(e.best.instance).estimated_area_luts);
+        const Arch_evaluation repriced = pricer.evaluate(e.best.instance);
+        EXPECT_EQ(e.searched_area_luts, repriced.estimated_area_luts);
+        EXPECT_EQ(e.searched_fps, repriced.throughput.fps);
+        EXPECT_EQ(e.searched_f_max_mhz, repriced.f_max_mhz);
+        EXPECT_GT(e.searched_fps, 0.0);
         // Fixed-mode golden: the simulated architecture reproduces the
         // integer frame engine's raw words exactly.
         ASSERT_TRUE(e.validated_fixed);

@@ -54,8 +54,13 @@ Format_search_result search_fixed_format_reference(
     result.max_abs_value = max_abs;
     const int integer_bits =
         2 + static_cast<int>(std::ceil(std::log2(std::max(1.0, max_abs))));
+    result.range_integer_bits = integer_bits;
 
-    auto psnr_of = [&](const Fixed_format& fmt) {
+    struct Accuracy {
+        bool exact = false;
+        double psnr_db = 0.0;
+    };
+    auto measure = [&](const Fixed_format& fmt) -> Accuracy {
         // The fold-order contract of the batched search: partial squared-
         // error sums over at most 16 fixed contiguous sample ranges, never
         // smaller than one lane block (a function of the sample count
@@ -82,8 +87,40 @@ Format_search_result search_fixed_format_reference(
             se += partial;
         }
         const double mse = se / static_cast<double>(count);
-        if (mse == 0.0) return 1e9;
-        return 10.0 * std::log10(options.peak_value * options.peak_value / mse);
+        if (mse == 0.0) return {true, 0.0};
+        return {false,
+                10.0 * std::log10(options.peak_value * options.peak_value / mse)};
+    };
+    auto accepts = [&](const Accuracy& acc) {
+        if (step.integer_native()) return acc.exact;
+        return acc.exact || acc.psnr_db >= options.target_psnr_db;
+    };
+    // The reference shrink walks the per-sample raw interpreter (the batched
+    // search compares its own batch buffers — byte-identical by the Fixed_exec
+    // contract), accepting while every output word matches the accepted
+    // format's.
+    auto raw_outputs_of = [&](const Fixed_format& fmt) {
+        const Raw_quantizer quantize(fmt);
+        std::vector<std::int64_t> flat;
+        std::vector<std::int64_t> raw;
+        for (const std::vector<double>& inputs : input_sets) {
+            raw.clear();
+            for (double v : inputs) raw.push_back(quantize(v));
+            for (std::int64_t word : run_fixed_raw(program, raw, fmt)) {
+                flat.push_back(word);
+            }
+        }
+        return flat;
+    };
+    auto shrink = [&]() {
+        if (!options.shrink_integer_bits) return;
+        const std::vector<std::int64_t> accepted = raw_outputs_of(result.format);
+        const int frac = result.format.frac_bits;
+        for (int m = result.format.integer_bits - 1; m >= 1 && m + frac >= 2; --m) {
+            result.formats_tried += 1;
+            if (raw_outputs_of(Fixed_format{m, frac}) != accepted) break;
+            result.format.integer_bits = m;
+        }
     };
 
     // Mirrors the production rule: integer-native programs start the
@@ -92,10 +129,14 @@ Format_search_result search_fixed_format_reference(
     for (int frac = first_frac; integer_bits + frac <= options.max_total_bits; ++frac) {
         const Fixed_format fmt{integer_bits, frac};
         result.formats_tried += 1;
-        const double psnr = psnr_of(fmt);
+        const Accuracy acc = measure(fmt);
         result.format = fmt;
-        result.psnr_db = psnr;
-        if (psnr >= options.target_psnr_db) return result;
+        result.psnr_db = acc.psnr_db;
+        result.exact = acc.exact;
+        if (accepts(acc)) {
+            shrink();
+            return result;
+        }
     }
     result.satisfiable = false;
     return result;
@@ -104,7 +145,9 @@ Format_search_result search_fixed_format_reference(
 void expect_same_result(const Format_search_result& a, const Format_search_result& b) {
     EXPECT_EQ(a.format, b.format);
     EXPECT_EQ(a.psnr_db, b.psnr_db);
+    EXPECT_EQ(a.exact, b.exact);
     EXPECT_EQ(a.max_abs_value, b.max_abs_value);
+    EXPECT_EQ(a.range_integer_bits, b.range_integer_bits);
     EXPECT_EQ(a.formats_tried, b.formats_tried);
     EXPECT_EQ(a.satisfiable, b.satisfiable);
 }
@@ -127,12 +170,16 @@ TEST_F(Format_search_fixture, integer_bits_cover_the_dynamic_range) {
         search_fixed_format(cone, content, Boundary::clamp);
     ASSERT_TRUE(r.satisfiable);
     // IGF intermediates reach data*16 before scaling: max_abs in the
-    // thousands, so at least 13 integer bits (sign + magnitude + guard).
+    // thousands, so at least 13 integer bits (sign + magnitude + guard) in
+    // the range-derived floor. The chosen format may sit below the floor
+    // (shrink phase), never above it.
     EXPECT_GT(r.max_abs_value, 255.0);
-    EXPECT_GE(r.format.integer_bits,
+    EXPECT_GE(r.range_integer_bits,
               2 + static_cast<int>(std::ceil(std::log2(r.max_abs_value))));
+    EXPECT_LE(r.format.integer_bits, r.range_integer_bits);
+    EXPECT_GE(r.format.integer_bits, 1);
     // The returned format really achieves the target.
-    EXPECT_GE(r.psnr_db, 50.0);
+    EXPECT_TRUE(r.exact || r.psnr_db >= 50.0);
 }
 
 TEST_F(Format_search_fixture, tighter_target_needs_more_fraction_bits) {
@@ -242,9 +289,61 @@ TEST(Format_search, chambolle_small_range_small_integer_bits) {
     options.target_psnr_db = 45.0;
     const auto r = search_fixed_format(cone, content, kernel.boundary, options);
     ASSERT_TRUE(r.satisfiable);
-    // The input registers hold g (up to 255), so 10 integer bits; still far
-    // below IGF's ~14 (whose intermediates reach data*16).
-    EXPECT_LE(r.format.integer_bits, 10);
+    // The input registers hold g (up to 255), so a range floor of 10 integer
+    // bits; still far below IGF's ~14 (whose intermediates reach data*16).
+    EXPECT_LE(r.range_integer_bits, 10);
+    EXPECT_LE(r.format.integer_bits, r.range_integer_bits);
+}
+
+TEST(Format_search, chambolle_shrink_drops_below_the_range_floor_and_stays_exact) {
+    // The range analysis sees g up to 255 and fixes a 10-bit floor, but the
+    // head bit is a guard that the observed computation never exercises: the
+    // shrink phase must land strictly below the floor, and the shrunk format
+    // must reproduce the unshrunk outputs word for word (same fraction bits,
+    // no wrap fired — the search already proved it, this re-proves it with
+    // the independent per-sample interpreter).
+    Stencil_step step = extract_stencil(kernel_by_name("chambolle").c_source);
+    const Cone cone(step, Cone_spec{2, 2, 1});
+    const Kernel_def& kernel = kernel_by_name("chambolle");
+    const Frame_set content = kernel.make_initial(make_synthetic_scene(24, 24, 9));
+    Format_search_options options;
+    options.target_psnr_db = 45.0;
+    options.shrink_integer_bits = false;
+    const auto wide = search_fixed_format(cone, content, kernel.boundary, options);
+    options.shrink_integer_bits = true;
+    const auto shrunk = search_fixed_format(cone, content, kernel.boundary, options);
+    ASSERT_TRUE(wide.satisfiable);
+    ASSERT_TRUE(shrunk.satisfiable);
+    // Shrink-off reproduces the classic two-phase result at the floor.
+    EXPECT_EQ(wide.format.integer_bits, wide.range_integer_bits);
+    // Shrink-on lands strictly below it, at the same fraction width and the
+    // same achieved accuracy (the outputs did not change).
+    EXPECT_LT(shrunk.format.integer_bits, shrunk.range_integer_bits);
+    EXPECT_EQ(shrunk.range_integer_bits, wide.range_integer_bits);
+    EXPECT_EQ(shrunk.format.frac_bits, wide.format.frac_bits);
+    EXPECT_EQ(shrunk.psnr_db, wide.psnr_db);
+    EXPECT_EQ(shrunk.exact, wide.exact);
+    EXPECT_GT(shrunk.formats_tried, wide.formats_tried);
+
+    // Independent word-for-word check across a fresh window sample.
+    const Register_program& program = cone.program();
+    const Raw_quantizer q_wide(wide.format);
+    const Raw_quantizer q_shrunk(shrunk.format);
+    Prng rng(7);
+    for (int s = 0; s < 16; ++s) {
+        const int ox = rng.next_int(0, content.width() - 1);
+        const int oy = rng.next_int(0, content.height() - 1);
+        std::vector<std::int64_t> raw_wide;
+        std::vector<std::int64_t> raw_shrunk;
+        for (const auto& port : program.input_ports()) {
+            const Frame& f = content.field(step.pool().field_name(port.field));
+            const double v = f.sample(ox + port.dx, oy + port.dy, kernel.boundary);
+            raw_wide.push_back(q_wide(v));
+            raw_shrunk.push_back(q_shrunk(v));
+        }
+        EXPECT_EQ(run_fixed_raw(program, raw_wide, wide.format),
+                  run_fixed_raw(program, raw_shrunk, shrunk.format));
+    }
 }
 
 }  // namespace

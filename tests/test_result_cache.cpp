@@ -5,6 +5,9 @@
 // abort.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -299,6 +302,114 @@ TEST_F(Result_cache_test, quarantine_prevents_rereading_corruption) {
     EXPECT_FALSE(fs::exists(path));
     EXPECT_EQ(cache.verify(false).quarantined_files, 1);
     EXPECT_EQ(cache.verify(true).removed_files, 1);
+}
+
+TEST_F(Result_cache_test, stale_lock_from_dead_holder_is_taken_over) {
+    Env_hooks hooks = real_env_hooks();
+    hooks.process_alive = [](std::int64_t) { return false; };  // holder died
+    Result_cache cache(dir_, &hooks);
+    // A crashed writer's leftover lock file.
+    write_raw(cache.lock_path(), "999999 0\n");
+    EXPECT_TRUE(cache.store("k", "v"));
+    EXPECT_EQ(cache.load("k").value(), "v");
+    EXPECT_GE(cache.stats().lock_takeovers, 1);
+    EXPECT_EQ(cache.stats().lock_timeouts, 0);
+    // The taken-over lock was released after the store.
+    EXPECT_FALSE(fs::exists(cache.lock_path()));
+}
+
+TEST_F(Result_cache_test, garbage_lock_content_counts_as_stale) {
+    Result_cache cache(dir_);
+    write_raw(cache.lock_path(), "not a pid stamp\n");
+    EXPECT_TRUE(cache.store("k", "v"));
+    EXPECT_GE(cache.stats().lock_takeovers, 1);
+    EXPECT_FALSE(fs::exists(cache.lock_path()));
+}
+
+TEST_F(Result_cache_test, held_lock_times_out_to_an_unlocked_store) {
+    // A live, fresh holder that never releases: the contender must give up
+    // after the bounded wait and store unlocked rather than wedging. The
+    // injected clock advances only through sleep_ms, so the test is instant.
+    Env_hooks hooks = real_env_hooks();
+    std::int64_t fake_now = 0;
+    hooks.now_ms = [&] { return fake_now; };
+    hooks.sleep_ms = [&](std::int64_t ms) { fake_now += ms; };
+    hooks.process_alive = [](std::int64_t) { return true; };
+    Result_cache cache(dir_, &hooks);
+    write_raw(cache.lock_path(), "123456 0\n");
+    EXPECT_TRUE(cache.store("k", "v"));
+    EXPECT_EQ(cache.load("k").value(), "v");
+    EXPECT_EQ(cache.stats().lock_timeouts, 1);
+    EXPECT_EQ(cache.stats().lock_takeovers, 0);
+    // The foreign holder's lock was left untouched.
+    EXPECT_EQ(read_raw(cache.lock_path()), "123456 0\n");
+}
+
+TEST_F(Result_cache_test, hooks_without_lock_primitives_run_unlocked) {
+    Env_hooks hooks = real_env_hooks();
+    hooks.create_exclusive = nullptr;
+    hooks.process_alive = nullptr;
+    Result_cache cache(dir_, &hooks);
+    EXPECT_TRUE(cache.store("k", "v"));
+    EXPECT_EQ(cache.load("k").value(), "v");
+    EXPECT_EQ(cache.verify(true).records_ok, 1);
+    EXPECT_FALSE(fs::exists(cache.lock_path()));
+}
+
+TEST_F(Result_cache_test, two_processes_store_and_gc_concurrently_without_loss) {
+    constexpr int kRecords = 40;
+    {
+        Result_cache setup(dir_);  // create the directory up front
+    }
+    std::vector<pid_t> children;
+    for (int child = 0; child < 2; ++child) {
+        const pid_t pid = ::fork();
+        ASSERT_NE(pid, -1);
+        if (pid == 0) {
+            // Child process: no gtest assertions here — report through the
+            // exit status only, and _exit so no parent state unwinds twice.
+            int failures = 0;
+            try {
+                Result_cache cache(dir_);
+                for (int i = 0; i < kRecords; ++i) {
+                    const std::string key = cat("key-", i);
+                    if (!cache.store(key, cat("payload-", child, "-", i))) {
+                        ++failures;
+                    }
+                    // Interleave full gc passes with the other process's
+                    // stores: without the directory lock these would sweep
+                    // away its in-flight temp files.
+                    if (i % 8 == child) cache.verify(true);
+                    if (!cache.load(key).has_value()) ++failures;
+                }
+            } catch (...) {
+                failures = 99;
+            }
+            ::_exit(failures == 0 ? 0 : 1);
+        }
+        children.push_back(pid);
+    }
+    for (pid_t pid : children) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 0);
+    }
+    // Every key survives with one of the two writers' payloads, and the
+    // directory verifies clean: nothing torn, quarantined or orphaned.
+    Result_cache cache(dir_);
+    for (int i = 0; i < kRecords; ++i) {
+        const auto loaded = cache.load(cat("key-", i));
+        ASSERT_TRUE(loaded.has_value()) << "key-" << i << " lost";
+        EXPECT_TRUE(*loaded == cat("payload-0-", i) ||
+                    *loaded == cat("payload-1-", i))
+            << "key-" << i << " holds torn payload '" << *loaded << "'";
+    }
+    const Result_cache::Verify_report report = cache.verify(false);
+    EXPECT_EQ(report.records_ok, kRecords);
+    EXPECT_EQ(report.records_corrupt, 0);
+    EXPECT_EQ(report.quarantined_files, 0);
+    EXPECT_EQ(report.temp_files, 0);
 }
 
 TEST_F(Result_cache_test, fnv1a64_reference_values) {

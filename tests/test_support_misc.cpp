@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 
 #include "support/cache_info.hpp"
 #include "support/error.hpp"
@@ -117,11 +119,80 @@ TEST(Cache_info, probe_is_sane_and_stable) {
     EXPECT_GE(t.l1d_bytes, 1u * 1024);
     EXPECT_GE(t.l2_bytes, t.l1d_bytes / 8);
     EXPECT_GE(t.llc_bytes, t.l2_bytes);
+    // The clamp only ever shrinks the raw probe, and records when it did.
+    EXPECT_GE(t.raw_llc_bytes, t.llc_bytes);
+    EXPECT_EQ(t.llc_clamped, t.llc_bytes < t.raw_llc_bytes);
     EXPECT_EQ(&t, &cache_topology());
     const std::string text = to_string(t);
     EXPECT_NE(text.find("L1d"), std::string::npos);
     EXPECT_NE(text.find("LLC"), std::string::npos);
     EXPECT_NE(text.find(t.probed ? "probed" : "fallback"), std::string::npos);
+    if (t.llc_clamped) {
+        EXPECT_NE(text.find("clamped from"), std::string::npos);
+    }
+}
+
+TEST(Cache_info, cpu_list_counting) {
+    EXPECT_EQ(count_cpu_list("0"), 1);
+    EXPECT_EQ(count_cpu_list("0-3"), 4);
+    EXPECT_EQ(count_cpu_list("0-3,8-11"), 8);
+    EXPECT_EQ(count_cpu_list("0,2,4"), 3);
+    EXPECT_EQ(count_cpu_list("0-63\n"), 64);
+    // Malformed lists count as unknown, never as a partial number.
+    EXPECT_EQ(count_cpu_list(""), 0);
+    EXPECT_EQ(count_cpu_list("0-"), 0);
+    EXPECT_EQ(count_cpu_list("3-1"), 0);
+    EXPECT_EQ(count_cpu_list("0,,2"), 0);
+    EXPECT_EQ(count_cpu_list("abc"), 0);
+}
+
+TEST(Cache_info, llc_clamp_arithmetic) {
+    constexpr std::size_t kMiB = 1024u * 1024;
+    // The CI-container bug this fixes: a 1-vCPU cgroup on a 64-core host
+    // with a 260 MiB shared LLC must not budget 260 MiB of tiles.
+    EXPECT_EQ(clamp_llc_bytes(260 * kMiB, 2 * kMiB, 0, 64, 1),
+              260 * kMiB / 64);
+    // A cgroup memory limit caps the budget at half the limit.
+    EXPECT_EQ(clamp_llc_bytes(260 * kMiB, 2 * kMiB, 64 * kMiB, 64, 64),
+              32 * kMiB);
+    // Both clamps: the tighter one wins.
+    EXPECT_EQ(clamp_llc_bytes(260 * kMiB, 2 * kMiB, 64 * kMiB, 64, 1),
+              260 * kMiB / 64);
+    // Unknown inputs clamp nothing.
+    EXPECT_EQ(clamp_llc_bytes(32 * kMiB, 2 * kMiB, 0, 0, 0), 32 * kMiB);
+    // All cpus online: no per-core cut on bare metal.
+    EXPECT_EQ(clamp_llc_bytes(32 * kMiB, 2 * kMiB, 0, 16, 16), 32 * kMiB);
+    // The floor: the budget never drops below L2...
+    EXPECT_EQ(clamp_llc_bytes(260 * kMiB, 4 * kMiB, 0, 256, 1), 4 * kMiB);
+    EXPECT_EQ(clamp_llc_bytes(260 * kMiB, 4 * kMiB, 1 * kMiB, 64, 64), 4 * kMiB);
+    // ...but also never exceeds the probe, even when L2 tables are weird.
+    EXPECT_EQ(clamp_llc_bytes(3 * kMiB, 4 * kMiB, 0, 256, 1), 3 * kMiB);
+}
+
+TEST(Cache_info, llc_budget_respects_the_cgroup_allowance) {
+    // Sanity on the machine actually running the tests: wherever a cgroup
+    // memory limit is readable, the probed budget must fit inside it (half
+    // the limit, floored at L2) — the exec engine sizes tile working sets
+    // from llc_bytes, and a budget above the allowance invites the OOM
+    // killer on CI runners.
+    std::size_t limit = 0;
+    for (const char* path : {"/sys/fs/cgroup/memory.max",
+                             "/sys/fs/cgroup/memory/memory.limit_in_bytes"}) {
+        std::ifstream in(path);
+        std::string text;
+        if (!in || !std::getline(in, text) || text.empty() || text == "max") {
+            continue;
+        }
+        const unsigned long long value = std::strtoull(text.c_str(), nullptr, 10);
+        if (value == 0 || value >= (1ull << 60)) continue;
+        limit = static_cast<std::size_t>(value);
+        break;
+    }
+    if (limit == 0) {
+        GTEST_SKIP() << "no cgroup memory limit on this host";
+    }
+    const Cache_topology& t = cache_topology();
+    EXPECT_LE(t.llc_bytes, std::max(limit / 2, t.l2_bytes));
 }
 
 }  // namespace

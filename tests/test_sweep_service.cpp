@@ -85,8 +85,11 @@ Sweep_entry make_full_entry() {
     entry.format_satisfiable = true;
     entry.fixed_format.integer_bits = 11;
     entry.fixed_format.frac_bits = 9;
+    entry.format_exact = true;
     entry.format_psnr_db = 51.03125;
     entry.searched_area_luts = 54321.0;
+    entry.searched_fps = 2.0 / 7.0;  // not exactly representable
+    entry.searched_f_max_mhz = 187.59375;
     entry.validated_fixed = true;
     entry.validation_max_raw_err = 1.0;
     return entry;
@@ -123,6 +126,9 @@ TEST(Sweep_records, sweep_entry_round_trip_is_exact) {
     EXPECT_TRUE(std::signbit(parsed.front_points[1].seconds_per_frame));
     EXPECT_EQ(parsed.fixed_format.integer_bits, 11);
     EXPECT_EQ(parsed.fixed_format.frac_bits, 9);
+    EXPECT_TRUE(parsed.format_exact);
+    EXPECT_EQ(parsed.searched_fps, entry.searched_fps);
+    EXPECT_EQ(parsed.searched_f_max_mhz, entry.searched_f_max_mhz);
 }
 
 TEST(Sweep_records, streaming_entry_round_trip_is_exact) {
@@ -203,9 +209,19 @@ TEST(Sweep_records, format_grid_round_trip_is_exact) {
             cell.result.format.integer_bits = 8 + w;
             cell.result.format.frac_bits = 4 + d;
             cell.result.psnr_db = 50.0 + 1.0 / (w + d);
+            cell.result.exact = (w == 2 && d == 1);
             cell.result.max_abs_value = 255.96875 * w;
+            cell.result.range_integer_bits = 9 + w;
             cell.result.formats_tried = w * 10 + d;
             cell.result.satisfiable = (w + d) % 2 == 0;
+            // Satisfiable cells carry the full evaluation of their canonical
+            // design point; the unsatisfiable ones stay unevaluated.
+            cell.evaluated = cell.result.satisfiable;
+            if (cell.evaluated) {
+                cell.area_luts = 1000.0 * w + 1.0 / d;
+                cell.f_max_mhz = 180.0 + 0.125 * d;
+                cell.fps = 30.0 * w / 7.0;
+            }
             grid.cells.push_back(cell);
         }
     }
@@ -217,6 +233,13 @@ TEST(Sweep_records, format_grid_round_trip_is_exact) {
     ASSERT_EQ(parsed.cells.size(), grid.cells.size());
     EXPECT_EQ(parsed.cells[3].result.psnr_db, grid.cells[3].result.psnr_db);
     EXPECT_EQ(parsed.cells[3].result.satisfiable, grid.cells[3].result.satisfiable);
+    EXPECT_EQ(parsed.cells[2].result.exact, grid.cells[2].result.exact);
+    EXPECT_EQ(parsed.cells[3].result.range_integer_bits,
+              grid.cells[3].result.range_integer_bits);
+    EXPECT_EQ(parsed.cells[3].evaluated, grid.cells[3].evaluated);
+    EXPECT_EQ(parsed.cells[3].area_luts, grid.cells[3].area_luts);
+    EXPECT_EQ(parsed.cells[3].f_max_mhz, grid.cells[3].f_max_mhz);
+    EXPECT_EQ(parsed.cells[3].fps, grid.cells[3].fps);
 }
 
 TEST(Sweep_records, synthesis_report_round_trip_is_exact) {
@@ -255,9 +278,10 @@ TEST(Sweep_records, strict_parsers_reject_mutations) {
     renamed.replace(renamed.find("kernel "), 7, "kernle ");
     EXPECT_FALSE(parse_record(renamed, &parsed, &error));
     EXPECT_NE(error.find("expected"), std::string::npos);
-    // Wrong version token (a stale v1-era record must degrade to a miss).
+    // Wrong version token (a stale v2-era record must degrade to a miss).
     std::string reversioned = text;
-    reversioned.replace(reversioned.find("v2"), 2, "v1");
+    ASSERT_NE(reversioned.find("v3"), std::string::npos);
+    reversioned.replace(reversioned.find("v3"), 2, "v2");
     EXPECT_FALSE(parse_record(reversioned, &parsed, &error));
     // Malformed double (hex digits replaced).
     std::string bad_double = text;
@@ -317,7 +341,17 @@ TEST(Sweep_records, keys_track_results_not_thread_counts) {
     changed.format_search.threads = 8;
     EXPECT_EQ(sweep_entry_key(ir, changed, "xc6vlx760", 2, "paper"), key);
     EXPECT_EQ(sweep_request_key(changed), sweep_request_key(base));
-    EXPECT_EQ(format_grid_key(ir, changed), format_grid_key(ir, base));
+    EXPECT_EQ(format_grid_key(ir, changed, "xc6vlx760"),
+              format_grid_key(ir, base, "xc6vlx760"));
+    // The grid's per-cell evaluations are priced on a device, so grids from
+    // different devices never alias; neither do shrink-on and shrink-off
+    // searches.
+    EXPECT_NE(format_grid_key(ir, base, "xc7vx485t"),
+              format_grid_key(ir, base, "xc6vlx760"));
+    changed = base;
+    changed.format_search.shrink_integer_bits = false;
+    EXPECT_NE(format_grid_key(ir, changed, "xc6vlx760"),
+              format_grid_key(ir, base, "xc6vlx760"));
 }
 
 // --- the service ------------------------------------------------------------------

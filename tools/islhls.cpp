@@ -32,8 +32,10 @@
 //                         adds one merged cross-backend Pareto front each
 //   --pareto              additionally run the Pareto sweep per combination
 //   --validate            golden-check each feasible fit against the simulator
-//   --search-formats      per-(window, depth) fixed-point format search; each
-//                         fit reports its covering format + re-priced area
+//   --search-formats      per-(window, depth) fixed-point format search with
+//                         integer-bit shrink; each fit reports its covering
+//                         format plus area, fps and PSNR (or "exact")
+//                         re-evaluated at that width
 //   --psnr DB             format search accuracy target (default 50)
 //   --validate-fixed      fixed-mode golden check against the integer frame
 //                         engine (raw words must match exactly)
@@ -100,8 +102,11 @@ sweep options:
   --pareto             additionally run the Pareto sweep per combination
   --validate           golden-check each feasible fit (simulated architecture
                        vs ghost golden on a small frame; must be exact)
-  --search-formats     search the narrowest passing Qm.f per (window, depth),
-                       report each fit's covering format and its re-priced area
+  --search-formats     search the narrowest passing Qm.f per (window, depth)
+                       (shrinking integer bits below the range floor when the
+                       outputs stay exact); each fit reports its covering
+                       format and the full evaluation at that width — area,
+                       fps, f_max and PSNR (or "exact")
   --psnr DB            format search accuracy target (default 50)
   --validate-fixed     fixed-point golden check: simulate each feasible fit
                        under quantization vs the fixed frame engine (raw words
